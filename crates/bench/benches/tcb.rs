@@ -1,0 +1,137 @@
+//! **E10 — §5.2 "Trusted Codebase".**
+//!
+//! Paper: SafeWeb's taint-tracking library is 1943 LOC and the event
+//! processing engine 1908 LOC; after auditing those once, per-application
+//! audits shrink to the privileged units (138 LOC) and the frontend
+//! privilege-assignment code (142 LOC) — the remaining 2841 LOC of the
+//! MDT application need no security audit.
+//!
+//! This harness counts the equivalent lines in this repository and prints
+//! the same table: the one-time-audited middleware TCB vs. the
+//! per-application audited slice vs. the unaudited application logic.
+//!
+//! Run with `cargo bench -p safeweb-bench --bench tcb`.
+
+use std::path::Path;
+
+fn main() {
+    let root = workspace_root();
+    eprintln!("=== E10: trusted codebase (paper §5.2) ===\n");
+
+    // One-time-audited middleware TCB (the paper names the taint-tracking
+    // library and the event processing engine; this reproduction's TCB
+    // additionally includes the label model and enforcement points they
+    // build on).
+    let taint = count_crate(&root, "taint");
+    let engine = count_crate(&root, "engine");
+    let labels = count_crate(&root, "labels");
+    let broker = count_crate(&root, "broker");
+    let web = count_crate(&root, "web");
+
+    eprintln!("one-time audited middleware (TCB):");
+    row("taint-tracking library", Some(1943), taint);
+    row("event processing engine", Some(1908), engine);
+    row("label model & policy", None, labels);
+    row("IFC-aware broker", None, broker);
+    row("web frontend middleware", None, web);
+    eprintln!();
+
+    // Per-application audited slice: the privileged units (which hold
+    // declassification power / I/O) and the privilege-assignment code.
+    let units = count_file(&root, "crates/mdt/src/units.rs");
+    let labels_mdt = count_file(&root, "crates/mdt/src/labels.rs");
+    let app_total = count_crate(&root, "mdt");
+    let audited_app = units + labels_mdt;
+
+    eprintln!("per-application audit (MDT portal):");
+    row("privileged units + aggregation", Some(138), units);
+    row("privilege assignment (labels.rs)", Some(142), labels_mdt);
+    row("application total", Some(3121), app_total);
+    row(
+        "application code needing no audit",
+        Some(2841),
+        app_total - audited_app,
+    );
+    let pct = (app_total - audited_app) as f64 / app_total as f64 * 100.0;
+    let paper_pct = 2841.0 / 3121.0 * 100.0;
+    eprintln!(
+        "\n  unaudited fraction of application: paper {paper_pct:.0}% — measured {pct:.0}%"
+    );
+    eprintln!(
+        "  (absolute LOC differ — Rust vs Ruby — the reproduced shape is that the\n   audited slice is a small fraction of the application)"
+    );
+}
+
+fn row(label: &str, paper: Option<usize>, measured: usize) {
+    let paper = paper.map_or("—".to_string(), |p| format!("{p} LOC"));
+    eprintln!("  {label:<38} paper: {paper:<12} measured: {measured} LOC");
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Counts non-blank, non-comment lines of all Rust sources in a crate's
+/// src/ (tests excluded via `#[cfg(test)]` block stripping heuristic: the
+/// paper's LOC figures are implementation lines).
+fn count_crate(root: &Path, krate: &str) -> usize {
+    let src = root.join("crates").join(krate).join("src");
+    let mut total = 0;
+    let mut stack = vec![src];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                total += count_source(&path);
+            }
+        }
+    }
+    total
+}
+
+fn count_file(root: &Path, rel: &str) -> usize {
+    count_source(&root.join(rel))
+}
+
+fn count_source(path: &Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut count = 0;
+    let mut in_test_mod = false;
+    let mut depth = 0usize;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_test_mod = true;
+            depth = 0;
+            continue;
+        }
+        if in_test_mod {
+            depth += trimmed.matches('{').count();
+            let closes = trimmed.matches('}').count();
+            if closes > 0 {
+                if depth <= closes {
+                    in_test_mod = false;
+                }
+                depth = depth.saturating_sub(closes);
+            }
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}

@@ -1,0 +1,373 @@
+//! The embedded IFC-aware broker core (§4.2).
+//!
+//! The broker matches published events against subscriptions by topic and
+//! optional SQL-92 selector, **then filters by security label**: an event is
+//! delivered to a subscriber only if the subscriber's clearance privileges
+//! cover every confidentiality label on the event. This is the property the
+//! paper relies on to keep jailed units from ever observing data they are
+//! not cleared for.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use safeweb_events::LabelledEvent;
+use safeweb_labels::PrivilegeSet;
+use safeweb_selector::Selector;
+
+/// A topic pattern: exact (`/patient_report`) or prefix (`/reports/*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicPattern {
+    /// Matches exactly one topic.
+    Exact(String),
+    /// Matches the prefix itself and any topic below it.
+    Prefix(String),
+}
+
+impl TopicPattern {
+    /// Parses a destination string; a trailing `/*` makes it a prefix
+    /// pattern (an extension over the paper's exact topics, used by the
+    /// monitoring examples).
+    pub fn parse(s: &str) -> TopicPattern {
+        match s.strip_suffix("/*") {
+            Some(prefix) => TopicPattern::Prefix(prefix.to_string()),
+            None => TopicPattern::Exact(s.to_string()),
+        }
+    }
+
+    /// Whether `topic` is matched.
+    pub fn matches(&self, topic: &str) -> bool {
+        match self {
+            TopicPattern::Exact(t) => t == topic,
+            TopicPattern::Prefix(p) => {
+                topic == p || topic.strip_prefix(p.as_str()).is_some_and(|r| r.starts_with('/'))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TopicPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicPattern::Exact(t) => write!(f, "{t}"),
+            TopicPattern::Prefix(p) => write!(f, "{p}/*"),
+        }
+    }
+}
+
+/// Identifies a subscription: (client name, subscription id). Subscription
+/// ids disambiguate multiple subscriptions from one unit (§4.2:
+/// "subscriptions include unique identifiers").
+pub type SubscriptionKey = (String, String);
+
+#[derive(Debug)]
+struct Subscription {
+    topic: TopicPattern,
+    selector: Option<Selector>,
+    clearance: PrivilegeSet,
+    sender: Sender<Delivery>,
+}
+
+/// An event as delivered to one subscriber: tagged with the subscription id
+/// that matched.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Which subscription this delivery belongs to.
+    pub subscription_id: String,
+    /// The labelled event.
+    pub event: LabelledEvent,
+}
+
+/// Counters exposed for the evaluation benches.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    published: AtomicU64,
+    delivered: AtomicU64,
+    label_filtered: AtomicU64,
+    selector_filtered: AtomicU64,
+}
+
+impl BrokerStats {
+    /// Events published.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries made (one per matching subscription).
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries suppressed because the subscriber lacked clearance.
+    pub fn label_filtered(&self) -> u64 {
+        self.label_filtered.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries suppressed by a content selector.
+    pub fn selector_filtered(&self) -> u64 {
+        self.selector_filtered.load(Ordering::Relaxed)
+    }
+}
+
+/// Configuration for [`Broker`].
+#[derive(Debug, Clone)]
+pub struct BrokerOptions {
+    /// When `false`, label clearance filtering is skipped entirely. This
+    /// exists **only** for the paper's baseline measurements (§5.3 measures
+    /// throughput with and without label tracking); production deployments
+    /// must leave it on.
+    pub label_filtering: bool,
+}
+
+impl Default for BrokerOptions {
+    fn default() -> BrokerOptions {
+        BrokerOptions {
+            label_filtering: true,
+        }
+    }
+}
+
+/// The embedded broker. Cheap to clone (shared state behind an [`Arc`]).
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    subs: RwLock<HashMap<SubscriptionKey, Subscription>>,
+    stats: BrokerStats,
+    options: RwLock<BrokerOptions>,
+}
+
+impl Broker {
+    /// Creates a broker with default options (label filtering on).
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Creates a broker with explicit options.
+    pub fn with_options(options: BrokerOptions) -> Broker {
+        let broker = Broker::new();
+        *broker.inner.options.write() = options;
+        broker
+    }
+
+    /// Registers a subscription and returns the receiving end of its
+    /// delivery channel.
+    ///
+    /// `clearance` is the privilege set of the *subscribing principal* — in
+    /// the deployed system this comes from the policy file, never from the
+    /// subscriber itself. Re-subscribing with the same key replaces the
+    /// previous subscription.
+    pub fn subscribe(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<Selector>,
+        clearance: PrivilegeSet,
+    ) -> Receiver<Delivery> {
+        let (tx, rx) = unbounded();
+        let sub = Subscription {
+            topic: TopicPattern::parse(topic),
+            selector,
+            clearance,
+            sender: tx,
+        };
+        self.inner
+            .subs
+            .write()
+            .insert((client.to_string(), subscription_id.to_string()), sub);
+        rx
+    }
+
+    /// Removes a subscription. Returns whether it existed.
+    pub fn unsubscribe(&self, client: &str, subscription_id: &str) -> bool {
+        self.inner
+            .subs
+            .write()
+            .remove(&(client.to_string(), subscription_id.to_string()))
+            .is_some()
+    }
+
+    /// Removes every subscription belonging to `client` (used when a
+    /// connection drops).
+    pub fn unsubscribe_all(&self, client: &str) -> usize {
+        let mut subs = self.inner.subs.write();
+        let before = subs.len();
+        subs.retain(|(c, _), _| c != client);
+        before - subs.len()
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.subs.read().len()
+    }
+
+    /// Publishes an event: fan-out to every subscription whose topic and
+    /// selector match **and** whose clearance covers the event's
+    /// confidentiality labels.
+    ///
+    /// Returns the number of deliveries made.
+    pub fn publish(&self, event: &LabelledEvent) -> usize {
+        let label_filtering = self.inner.options.read().label_filtering;
+        self.inner.stats.published.fetch_add(1, Ordering::Relaxed);
+        let subs = self.inner.subs.read();
+        let mut delivered = 0;
+        for ((_, sub_id), sub) in subs.iter() {
+            if !sub.topic.matches(event.topic()) {
+                continue;
+            }
+            if let Some(sel) = &sub.selector {
+                if !sel.matches(event.event()) {
+                    self.inner
+                        .stats
+                        .selector_filtered
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            if label_filtering && !event.labels().flows_to(&sub.clearance) {
+                self.inner
+                    .stats
+                    .label_filtered
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let delivery = Delivery {
+                subscription_id: sub_id.clone(),
+                event: event.clone(),
+            };
+            if sub.sender.send(delivery).is_ok() {
+                delivered += 1;
+                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        delivered
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.inner.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeweb_events::Event;
+    use safeweb_labels::{Label, Privilege};
+
+    fn labelled(topic: &str, labels: &[Label]) -> LabelledEvent {
+        Event::new(topic)
+            .unwrap()
+            .with_labels(labels.iter().cloned())
+    }
+
+    fn clearance_for(labels: &[Label]) -> PrivilegeSet {
+        labels
+            .iter()
+            .cloned()
+            .map(Privilege::clearance)
+            .collect()
+    }
+
+    #[test]
+    fn topic_matching() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("u", "1", "/a", None, PrivilegeSet::new());
+        assert_eq!(broker.publish(&labelled("/a", &[])), 1);
+        assert_eq!(broker.publish(&labelled("/b", &[])), 0);
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn prefix_topic_matching() {
+        let broker = Broker::new();
+        let _rx = broker.subscribe("u", "1", "/reports/*", None, PrivilegeSet::new());
+        assert_eq!(broker.publish(&labelled("/reports/daily", &[])), 1);
+        assert_eq!(broker.publish(&labelled("/reports", &[])), 1);
+        assert_eq!(broker.publish(&labelled("/reportsX", &[])), 0);
+    }
+
+    #[test]
+    fn label_filtering_blocks_uncleared_subscribers() {
+        let broker = Broker::new();
+        let patient = Label::conf("e", "patient/1");
+        let cleared = broker.subscribe("ok", "1", "/t", None, clearance_for(&[patient.clone()]));
+        let uncleared = broker.subscribe("no", "1", "/t", None, PrivilegeSet::new());
+
+        let n = broker.publish(&labelled("/t", &[patient.clone()]));
+        assert_eq!(n, 1);
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(uncleared.len(), 0);
+        assert_eq!(broker.stats().label_filtered(), 1);
+    }
+
+    #[test]
+    fn integrity_labels_do_not_block_delivery() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        assert_eq!(broker.publish(&labelled("/t", &[Label::int("e", "ok")])), 1);
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn selector_filtering() {
+        let broker = Broker::new();
+        let sel = Selector::parse("type = 'cancer'").unwrap();
+        let rx = broker.subscribe("u", "1", "/t", Some(sel), PrivilegeSet::new());
+        let hit = Event::new("/t").unwrap().with_attr("type", "cancer").with_labels([]);
+        let miss = Event::new("/t").unwrap().with_attr("type", "benign").with_labels([]);
+        broker.publish(&hit);
+        broker.publish(&miss);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(broker.stats().selector_filtered(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        assert!(broker.unsubscribe("u", "1"));
+        assert!(!broker.unsubscribe("u", "1"));
+        assert_eq!(broker.publish(&labelled("/t", &[])), 0);
+        assert_eq!(rx.len(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_all_on_disconnect() {
+        let broker = Broker::new();
+        broker.subscribe("u", "1", "/a", None, PrivilegeSet::new());
+        broker.subscribe("u", "2", "/b", None, PrivilegeSet::new());
+        broker.subscribe("v", "1", "/c", None, PrivilegeSet::new());
+        assert_eq!(broker.unsubscribe_all("u"), 2);
+        assert_eq!(broker.subscription_count(), 1);
+    }
+
+    #[test]
+    fn multiple_subscriptions_same_client() {
+        let broker = Broker::new();
+        let rx1 = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        let rx2 = broker.subscribe("u", "2", "/t", None, PrivilegeSet::new());
+        assert_eq!(broker.publish(&labelled("/t", &[])), 2);
+        assert_eq!(rx1.recv().unwrap().subscription_id, "1");
+        assert_eq!(rx2.recv().unwrap().subscription_id, "2");
+    }
+
+    #[test]
+    fn disabling_label_filtering_is_explicit_baseline_mode() {
+        let broker = Broker::with_options(BrokerOptions {
+            label_filtering: false,
+        });
+        let rx = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        broker.publish(&labelled("/t", &[Label::conf("e", "p/1")]));
+        // Baseline mode delivers even without clearance.
+        assert_eq!(rx.len(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration tests: full client ↔ TCP server ↔ broker flows, including
+//! label filtering across the network and failure handling.
+
+use std::time::Duration;
+
+use safeweb_broker::{Broker, BrokerServer, ClientError, EventClient};
+use safeweb_events::Event;
+use safeweb_labels::{Label, Policy};
+
+fn policy() -> Policy {
+    "
+    unit producer {
+        clearance label:conf:ecric.org.uk/*
+    }
+    unit mdt_a {
+        clearance label:conf:ecric.org.uk/mdt/a
+    }
+    unit nosy {
+    }
+    "
+    .parse()
+    .unwrap()
+}
+
+fn start_server() -> BrokerServer {
+    BrokerServer::bind("127.0.0.1:0", Broker::new(), policy()).unwrap()
+}
+
+#[test]
+fn end_to_end_publish_subscribe() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    let mut consumer = EventClient::connect(&addr, "mdt_a").unwrap();
+    consumer.subscribe("/patient_report", None).unwrap();
+    // Give the subscription time to register before publishing.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    let event = Event::new("/patient_report")
+        .unwrap()
+        .with_attr("type", "cancer")
+        .with_payload("record")
+        .with_labels([Label::conf("ecric.org.uk", "mdt/a")]);
+    producer.publish(&event).unwrap();
+
+    let delivery = consumer.next_delivery().unwrap();
+    assert_eq!(delivery.event.topic(), "/patient_report");
+    assert_eq!(delivery.event.attr("type"), Some("cancer"));
+    assert_eq!(delivery.event.event().payload(), Some("record"));
+    assert_eq!(
+        delivery.event.labels().to_wire(),
+        "label:conf:ecric.org.uk/mdt/a"
+    );
+}
+
+#[test]
+fn label_filtering_enforced_over_network() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    let mut nosy = EventClient::connect(&addr, "nosy").unwrap();
+    nosy.subscribe("/patient_report", None).unwrap();
+    let mut cleared = EventClient::connect(&addr, "mdt_a").unwrap();
+    cleared.subscribe("/patient_report", None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(
+            &Event::new("/patient_report")
+                .unwrap()
+                .with_labels([Label::conf("ecric.org.uk", "mdt/a")]),
+        )
+        .unwrap();
+
+    // The cleared client receives it; the nosy one times out.
+    assert!(cleared.next_delivery().is_ok());
+    let got = nosy.next_delivery_timeout(Duration::from_millis(200)).unwrap();
+    assert!(got.is_none(), "uncleared subscriber must not receive labelled events");
+}
+
+#[test]
+fn selector_filtering_over_network() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    let mut consumer = EventClient::connect(&addr, "producer").unwrap();
+    consumer
+        .subscribe("/patient_report", Some("type = 'cancer'"))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    for t in ["benign", "cancer"] {
+        producer
+            .publish(
+                &Event::new("/patient_report")
+                    .unwrap()
+                    .with_attr("type", t)
+                    .with_labels([]),
+            )
+            .unwrap();
+    }
+    let d = consumer.next_delivery().unwrap();
+    assert_eq!(d.event.attr("type"), Some("cancer"));
+}
+
+#[test]
+fn bad_selector_produces_broker_error() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let mut client = EventClient::connect(&addr, "producer").unwrap();
+    client.subscribe("/t", Some("type = = 'x'")).unwrap();
+    match client.next_delivery() {
+        Err(ClientError::Broker(msg)) => assert!(msg.contains("selector"), "{msg}"),
+        other => panic!("expected broker error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsubscribe_stops_flow() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let mut consumer = EventClient::connect(&addr, "producer").unwrap();
+    let sub = consumer.subscribe("/t", None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    consumer.unsubscribe(&sub).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(&Event::new("/t").unwrap().with_labels([]))
+        .unwrap();
+    let got = consumer
+        .next_delivery_timeout(Duration::from_millis(200))
+        .unwrap();
+    assert!(got.is_none());
+}
+
+#[test]
+fn disconnect_cleans_up_subscriptions() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let mut consumer = EventClient::connect(&addr, "mdt_a").unwrap();
+    consumer.subscribe("/t", None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.broker().subscription_count(), 1);
+    consumer.disconnect().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(server.broker().subscription_count(), 0);
+}
+
+#[test]
+fn multiple_subscriptions_are_disambiguated_by_id() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let mut consumer = EventClient::connect(&addr, "producer").unwrap();
+    let sub_a = consumer.subscribe("/a", None).unwrap();
+    let sub_b = consumer.subscribe("/b", None).unwrap();
+    assert_ne!(sub_a, sub_b);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(&Event::new("/b").unwrap().with_labels([]))
+        .unwrap();
+    let d = consumer.next_delivery().unwrap();
+    assert_eq!(d.subscription_id, sub_b);
+}

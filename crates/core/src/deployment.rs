@@ -1,0 +1,248 @@
+//! One-stop wiring of the full SafeWeb middleware (Figure 1): event broker
+//! + processing engine in the Intranet, application database replicated
+//! one-way into a read-only DMZ instance, and the enforcing web frontend
+//! on top.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use safeweb_broker::Broker;
+use safeweb_docstore::{DocStore, ReplicationHandle};
+use safeweb_engine::{Engine, EngineError, EngineHandle, EngineOptions, UnitSpec};
+use safeweb_http::HttpServer;
+use safeweb_labels::Policy;
+use safeweb_relstore::Database;
+use safeweb_web::{AuthConfig, SafeWebApp, UserStore};
+
+use crate::zones::{Zone, ZoneTopology};
+
+/// Builder for a complete SafeWeb deployment.
+///
+/// ```no_run
+/// use safeweb_core::SafeWebBuilder;
+/// use safeweb_engine::UnitSpec;
+///
+/// let deployment = SafeWebBuilder::new()
+///     .policy("unit importer {\n privileged \n}".parse()?)
+///     .unit(UnitSpec::new("importer"))
+///     .build()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SafeWebBuilder {
+    policy: Policy,
+    units: Vec<UnitSpec>,
+    deferred_units: Vec<Box<dyn FnOnce(DocStore) -> UnitSpec>>,
+    replication_interval: Duration,
+    auth_config: AuthConfig,
+    engine_options: EngineOptions,
+    app_views: Vec<(String, String)>,
+}
+
+impl Default for SafeWebBuilder {
+    fn default() -> SafeWebBuilder {
+        SafeWebBuilder::new()
+    }
+}
+
+impl SafeWebBuilder {
+    /// A builder with an empty policy and no units.
+    pub fn new() -> SafeWebBuilder {
+        SafeWebBuilder {
+            policy: Policy::new(),
+            units: Vec::new(),
+            deferred_units: Vec::new(),
+            replication_interval: Duration::from_millis(100),
+            auth_config: AuthConfig::default(),
+            engine_options: EngineOptions::default(),
+            app_views: Vec::new(),
+        }
+    }
+
+    /// Sets the data-flow policy (unit and user privileges).
+    pub fn policy(mut self, policy: Policy) -> SafeWebBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Adds an event-processing unit.
+    pub fn unit(mut self, unit: UnitSpec) -> SafeWebBuilder {
+        self.units.push(unit);
+        self
+    }
+
+    /// Adds a unit whose construction needs the Intranet application
+    /// database (typically the privileged storage unit, which persists
+    /// labelled results). The closure runs during [`SafeWebBuilder::build`]
+    /// once the database exists.
+    pub fn unit_with_app_db(
+        mut self,
+        make: impl FnOnce(DocStore) -> UnitSpec + 'static,
+    ) -> SafeWebBuilder {
+        self.deferred_units.push(Box::new(make));
+        self
+    }
+
+    /// Sets the Intranet→DMZ replication period (default 100 ms).
+    pub fn replication_interval(mut self, interval: Duration) -> SafeWebBuilder {
+        self.replication_interval = interval;
+        self
+    }
+
+    /// Sets the authentication configuration (hash cost).
+    pub fn auth_config(mut self, config: AuthConfig) -> SafeWebBuilder {
+        self.auth_config = config;
+        self
+    }
+
+    /// Sets engine options (baseline benchmarking only).
+    pub fn engine_options(mut self, options: EngineOptions) -> SafeWebBuilder {
+        self.engine_options = options;
+        self
+    }
+
+    /// Declares a view on the application database (replicated to the DMZ
+    /// replica as well), e.g. `("by_mid", "mdt_id")`.
+    pub fn app_view(mut self, view: &str, field: &str) -> SafeWebBuilder {
+        self.app_views.push((view.to_string(), field.to_string()));
+        self
+    }
+
+    /// Wires and starts everything: broker, engine (units subscribed),
+    /// application database + read-only DMZ replica + periodic replication,
+    /// and the web user store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if a unit cannot be wired to the broker.
+    pub fn build(self) -> Result<SafeWebDeployment, EngineError> {
+        let topology = ZoneTopology::ecric();
+        let broker = Broker::new();
+
+        // Application DB lives in the Intranet; replica in the DMZ.
+        let app_db = DocStore::new("app-intranet");
+        let dmz_db = DocStore::new("app-dmz");
+        dmz_db.set_read_only(true);
+        for (view, field) in &self.app_views {
+            app_db.create_view(view, field);
+            dmz_db.create_view(view, field);
+        }
+
+        // Replication pushes Intranet → DMZ; assert the firewall allows it.
+        topology
+            .check(Zone::Intranet, Zone::Dmz)
+            .expect("ECRIC topology always allows intranet→DMZ");
+        let replication =
+            ReplicationHandle::start(app_db.clone(), dmz_db.clone(), self.replication_interval);
+
+        let mut engine =
+            Engine::new(Arc::new(broker.clone()), self.policy.clone()).with_options(self.engine_options);
+        for unit in self.units {
+            engine.add_unit(unit)?;
+        }
+        for make in self.deferred_units {
+            engine.add_unit(make(app_db.clone()))?;
+        }
+        let engine_handle = engine.start()?;
+
+        let web_db = Database::new("web");
+        let users = UserStore::new(web_db, self.auth_config);
+
+        Ok(SafeWebDeployment {
+            topology,
+            broker,
+            engine_handle: Some(engine_handle),
+            app_db,
+            dmz_db,
+            replication: Some(replication),
+            users,
+            policy: self.policy,
+        })
+    }
+}
+
+/// A running SafeWeb deployment.
+pub struct SafeWebDeployment {
+    topology: ZoneTopology,
+    broker: Broker,
+    engine_handle: Option<EngineHandle>,
+    app_db: DocStore,
+    dmz_db: DocStore,
+    replication: Option<ReplicationHandle>,
+    users: UserStore,
+    policy: Policy,
+}
+
+impl SafeWebDeployment {
+    /// The firewall topology in force.
+    pub fn topology(&self) -> &ZoneTopology {
+        &self.topology
+    }
+
+    /// The embedded event broker (Intranet).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The Intranet application database (writable by the storage unit).
+    pub fn app_db(&self) -> &DocStore {
+        &self.app_db
+    }
+
+    /// The DMZ replica (read-only; what the frontend sees).
+    pub fn dmz_db(&self) -> &DocStore {
+        &self.dmz_db
+    }
+
+    /// The web user/privilege store.
+    pub fn users(&self) -> &UserStore {
+        &self.users
+    }
+
+    /// The deployment's policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Violations recorded by the engine so far.
+    pub fn engine_violations(&self) -> Vec<safeweb_engine::Violation> {
+        self.engine_handle
+            .as_ref()
+            .map(|h| h.violations())
+            .unwrap_or_default()
+    }
+
+    /// Creates a frontend application bound to the DMZ replica and the
+    /// user store; add routes, then pass to [`SafeWebDeployment::serve`].
+    pub fn new_frontend(&self) -> SafeWebApp {
+        // External users reach the DMZ; assert the direction is legal.
+        self.topology
+            .check(Zone::External, Zone::Dmz)
+            .expect("ECRIC topology always allows external→DMZ");
+        SafeWebApp::new(self.users.clone(), self.dmz_db.clone())
+    }
+
+    /// Serves a configured frontend over HTTP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn serve(&self, app: SafeWebApp, addr: &str) -> std::io::Result<HttpServer> {
+        HttpServer::bind(addr, Arc::new(app).into_handler())
+    }
+
+    /// Stops the engine and replication (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        if let Some(h) = self.engine_handle.take() {
+            h.stop();
+        }
+        if let Some(r) = self.replication.take() {
+            r.stop();
+        }
+    }
+}
+
+impl Drop for SafeWebDeployment {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,47 @@
+//! # safeweb-core
+//!
+//! The umbrella crate of the SafeWeb middleware — a Rust reproduction of
+//! *SafeWeb: A Middleware for Securing Ruby-Based Web Applications*
+//! (Hosek et al., Middleware 2011).
+//!
+//! SafeWeb is a "safety net" for multi-tier web applications handling
+//! confidential data: it decouples confidential-data processing (an
+//! event-driven backend) from request handling (a web frontend), tracks
+//! security labels end-to-end across both tiers, and checks them at every
+//! component boundary so that implementation bugs cannot disclose data.
+//!
+//! This crate wires the subsystem crates into the Figure 1/Figure 4
+//! topology:
+//!
+//! * [`safeweb_broker`] — the IFC-aware event broker,
+//! * [`safeweb_engine`] — the unit engine with the IFC jail,
+//! * [`safeweb_docstore`] — the application database with one-way
+//!   replication into a read-only DMZ replica (requirement S1),
+//! * [`safeweb_web`] + [`safeweb_taint`] — the enforcing frontend
+//!   (requirement S2),
+//! * [`ZoneTopology`] — the ECRIC firewall matrix.
+//!
+//! Use [`SafeWebBuilder`] to stand up a whole deployment; see
+//! `examples/mdt_portal.rs` for the complete MDT web portal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deployment;
+mod zones;
+
+pub use deployment::{SafeWebBuilder, SafeWebDeployment};
+pub use zones::{Zone, ZoneTopology, ZoneViolation};
+
+// Re-export the subsystem crates under one roof, so applications can
+// depend on `safeweb-core` alone.
+pub use safeweb_broker as broker;
+pub use safeweb_docstore as docstore;
+pub use safeweb_engine as engine;
+pub use safeweb_events as events;
+pub use safeweb_http as http;
+pub use safeweb_json as json;
+pub use safeweb_labels as labels;
+pub use safeweb_relstore as relstore;
+pub use safeweb_taint as taint;
+pub use safeweb_web as web;

@@ -1,0 +1,154 @@
+//! Documents: JSON bodies with id, MVCC revision and security labels.
+
+use safeweb_json::Value;
+use safeweb_labels::LabelSet;
+
+/// A revision identifier: `generation-hash`, CouchDB style. The generation
+/// counts writes; the hash is a deterministic digest of the body so that
+/// identical content produces identical revisions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Revision {
+    generation: u64,
+    digest: u64,
+}
+
+impl Revision {
+    pub(crate) fn first(body: &Value) -> Revision {
+        Revision {
+            generation: 1,
+            digest: fnv1a(body.to_json().as_bytes()),
+        }
+    }
+
+    pub(crate) fn next(&self, body: &Value) -> Revision {
+        Revision {
+            generation: self.generation + 1,
+            digest: fnv1a(body.to_json().as_bytes()),
+        }
+    }
+
+    /// The write generation (1 for a fresh document).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Parses the `generation-hash` form.
+    pub fn parse(s: &str) -> Option<Revision> {
+        let (g, d) = s.split_once('-')?;
+        Some(Revision {
+            generation: g.parse().ok()?,
+            digest: u64::from_str_radix(d, 16).ok()?,
+        })
+    }
+}
+
+impl std::fmt::Display for Revision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{:016x}", self.generation, self.digest)
+    }
+}
+
+/// FNV-1a: a small, deterministic digest. Revisions need *collision
+/// resistance against accidents*, not cryptographic strength (the paper's
+/// CouchDB uses MD5 for the same purpose).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A stored document: body plus middleware metadata (labels live *next to*
+/// the body, not inside it, so application code cannot silently strip
+/// them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    id: String,
+    rev: Revision,
+    labels: LabelSet,
+    body: Value,
+}
+
+impl Document {
+    pub(crate) fn new(id: String, rev: Revision, labels: LabelSet, body: Value) -> Document {
+        Document {
+            id,
+            rev,
+            labels,
+            body,
+        }
+    }
+
+    /// The document id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The current revision.
+    pub fn rev(&self) -> &Revision {
+        &self.rev
+    }
+
+    /// The security labels the storage unit attached.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// The JSON body.
+    pub fn body(&self) -> &Value {
+        &self.body
+    }
+
+    /// Consumes into `(id, rev, labels, body)`.
+    pub fn into_parts(self) -> (String, Revision, LabelSet, Value) {
+        (self.id, self.rev, self.labels, self.body)
+    }
+
+    /// Full wire form (used by replication): the body wrapped with `_id`,
+    /// `_rev` and `_labels` fields.
+    pub fn to_wire_json(&self) -> Value {
+        let mut v = self.body.clone();
+        if v.as_object().is_none() {
+            let mut wrapper = Value::object();
+            wrapper.set("_body", v);
+            v = wrapper;
+        }
+        v.set("_id", self.id.as_str());
+        v.set("_rev", self.rev.to_string());
+        v.set("_labels", self.labels.to_wire());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeweb_json::jobject;
+
+    #[test]
+    fn revision_is_deterministic_in_content() {
+        let a = Revision::first(&jobject! {"x" => 1});
+        let b = Revision::first(&jobject! {"x" => 1});
+        let c = Revision::first(&jobject! {"x" => 2});
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn revision_generation_increments() {
+        let body = jobject! {"x" => 1};
+        let r1 = Revision::first(&body);
+        let r2 = r1.next(&jobject! {"x" => 2});
+        assert_eq!(r1.generation(), 1);
+        assert_eq!(r2.generation(), 2);
+    }
+
+    #[test]
+    fn revision_string_roundtrip() {
+        let r = Revision::first(&jobject! {"x" => 1});
+        assert_eq!(Revision::parse(&r.to_string()), Some(r));
+        assert_eq!(Revision::parse("junk"), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # safeweb-docstore
+//!
+//! A CouchDB-like document database: the *application database* of the
+//! SafeWeb architecture (Figure 1). The backend's privileged storage unit
+//! writes processed, labelled result documents here; the web frontend
+//! reads them (labels included) to serve requests.
+//!
+//! Reproduces the CouchDB features the paper's deployment relies on:
+//!
+//! * JSON documents with `_id`/`_rev` MVCC conflict detection,
+//! * by-field views (CouchRest's `Records.by_mid` in Listing 2),
+//! * a changes feed and **one-way push replication** with checkpoints,
+//! * a **read-only mode** for the DMZ replica, enforcing requirement S1.
+//!
+//! Security labels are first-class document metadata (not body fields), so
+//! application code cannot accidentally strip them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod document;
+mod replication;
+mod store;
+
+pub use document::{Document, Revision};
+pub use replication::{ReplicationHandle, ReplicationReport, Replicator};
+pub use store::{Change, DocStore, StoreError};

@@ -1,0 +1,239 @@
+//! CouchDB-style push replication (Figure 4: "The application database is
+//! replicated periodically between the two instances using CouchDB push
+//! replication").
+//!
+//! Replication is strictly one-way (source → target), preserving the
+//! unidirectional data-flow requirement S1: the Intranet instance pushes
+//! into the DMZ replica; nothing ever flows back.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::store::DocStore;
+
+/// A one-way replicator with a persistent checkpoint, so repeated runs
+/// only transfer new changes.
+#[derive(Debug)]
+pub struct Replicator {
+    source: DocStore,
+    target: DocStore,
+    checkpoint: u64,
+}
+
+/// Summary of one replication run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationReport {
+    /// Documents written to the target.
+    pub docs_written: u64,
+    /// Deletions applied to the target.
+    pub docs_deleted: u64,
+    /// The checkpoint after the run.
+    pub checkpoint: u64,
+}
+
+impl Replicator {
+    /// Creates a replicator from `source` into `target`, starting from
+    /// sequence 0.
+    pub fn new(source: DocStore, target: DocStore) -> Replicator {
+        Replicator {
+            source,
+            target,
+            checkpoint: 0,
+        }
+    }
+
+    /// The current checkpoint sequence.
+    pub fn checkpoint(&self) -> u64 {
+        self.checkpoint
+    }
+
+    /// Pushes all changes since the checkpoint. Interrupted runs are safe
+    /// to retry: replication is idempotent (last write per id wins, and the
+    /// checkpoint only advances after the batch applies).
+    pub fn run_once(&mut self) -> ReplicationReport {
+        let changes = self.source.changes_since(self.checkpoint);
+        let mut report = ReplicationReport {
+            checkpoint: self.checkpoint,
+            ..ReplicationReport::default()
+        };
+        let mut max_seq = self.checkpoint;
+        for change in changes {
+            max_seq = max_seq.max(change.seq);
+            match change.rev {
+                Some(_) => {
+                    // Fetch the *current* version; intermediate revisions
+                    // may already be superseded.
+                    if let Some(doc) = self.source.get(&change.id) {
+                        self.target.apply_replicated(doc);
+                        report.docs_written += 1;
+                    }
+                }
+                None => {
+                    self.target.apply_replicated_delete(&change.id);
+                    report.docs_deleted += 1;
+                }
+            }
+        }
+        self.checkpoint = max_seq;
+        report.checkpoint = max_seq;
+        report
+    }
+}
+
+/// Periodic replication driver ("replicated periodically", §5.1).
+/// Dropping the handle stops the loop.
+#[derive(Debug)]
+pub struct ReplicationHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReplicationHandle {
+    /// Starts a background thread replicating `source` → `target` every
+    /// `interval`.
+    pub fn start(source: DocStore, target: DocStore, interval: Duration) -> ReplicationHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("safeweb-replication".to_string())
+            .spawn(move || {
+                let mut replicator = Replicator::new(source, target);
+                while !stop2.load(Ordering::SeqCst) {
+                    replicator.run_once();
+                    // Sleep in short slices so stop is responsive.
+                    let mut remaining = interval;
+                    while !stop2.load(Ordering::SeqCst) && remaining > Duration::ZERO {
+                        let slice = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn replication thread");
+        ReplicationHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplicationHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeweb_json::{jobject, Value};
+    use safeweb_labels::{Label, LabelSet};
+
+    fn labelled(p: &str) -> LabelSet {
+        LabelSet::singleton(Label::conf("e", p))
+    }
+
+    #[test]
+    fn push_replication_copies_documents_and_labels() {
+        let src = DocStore::new("intranet");
+        let dst = DocStore::new("dmz");
+        dst.set_read_only(true);
+
+        src.put("r1", jobject! {"x" => 1}, labelled("mdt/a"), None).unwrap();
+        src.put("r2", jobject! {"x" => 2}, labelled("mdt/b"), None).unwrap();
+
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let report = rep.run_once();
+        assert_eq!(report.docs_written, 2);
+        assert_eq!(dst.len(), 2);
+        let doc = dst.get("r1").unwrap();
+        assert!(doc.labels().contains(&Label::conf("e", "mdt/a")));
+        // Replication preserved the revision.
+        assert_eq!(doc.rev(), src.get("r1").unwrap().rev());
+    }
+
+    #[test]
+    fn checkpoint_makes_replication_incremental() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        assert_eq!(rep.run_once().docs_written, 1);
+        assert_eq!(rep.run_once().docs_written, 0);
+        src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        assert_eq!(rep.run_once().docs_written, 1);
+    }
+
+    #[test]
+    fn deletions_replicate() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let rev = src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        rep.run_once();
+        assert_eq!(dst.len(), 1);
+        src.delete("a", &rev).unwrap();
+        let report = rep.run_once();
+        assert_eq!(report.docs_deleted, 1);
+        assert!(dst.get("a").is_none());
+    }
+
+    #[test]
+    fn updates_converge_to_latest() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let r1 = src.put("a", jobject! {"v" => 1}, LabelSet::new(), None).unwrap();
+        src.put("a", jobject! {"v" => 2}, LabelSet::new(), Some(&r1)).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        rep.run_once();
+        assert_eq!(
+            dst.get("a").unwrap().body().get("v").and_then(Value::as_i64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn periodic_replication_runs_until_stopped() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let handle =
+            ReplicationHandle::start(src.clone(), dst.clone(), Duration::from_millis(10));
+        src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dst.is_empty() {
+            assert!(std::time::Instant::now() < deadline, "replication never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        // After stop, no further replication happens.
+        src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(dst.get("b").is_none());
+    }
+
+    #[test]
+    fn replication_is_one_way() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        // Write directly into the target; replication must never move it
+        // back into the source.
+        dst.put("only-dst", jobject! {}, LabelSet::new(), None).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        rep.run_once();
+        assert!(src.get("only-dst").is_none());
+    }
+}

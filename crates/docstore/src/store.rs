@@ -1,0 +1,418 @@
+//! The document store: MVCC puts, by-key views, a changes feed, and a
+//! read-only mode for DMZ replicas (§5.1: "The DMZ instance is read-only
+//! in order to prevent modifications by the web frontend, thus satisfying
+//! requirement S1").
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use safeweb_json::Value;
+use safeweb_labels::LabelSet;
+
+use crate::document::{Document, Revision};
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The supplied revision does not match the current one (concurrent
+    /// update).
+    Conflict {
+        /// The id of the conflicting document.
+        id: String,
+        /// The revision currently stored.
+        current: Option<Revision>,
+    },
+    /// The store is in read-only (DMZ replica) mode.
+    ReadOnly,
+    /// No view registered under this name.
+    UnknownView(String),
+    /// The document id is empty or contains control characters.
+    BadId(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Conflict { id, current } => match current {
+                Some(rev) => write!(f, "document conflict on {id:?} (current rev {rev})"),
+                None => write!(f, "document conflict on {id:?} (deleted or never existed)"),
+            },
+            StoreError::ReadOnly => write!(f, "store is read-only"),
+            StoreError::UnknownView(v) => write!(f, "unknown view {v:?}"),
+            StoreError::BadId(id) => write!(f, "invalid document id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One entry in the changes feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Change {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The changed document id.
+    pub id: String,
+    /// The revision after the change (`None` = deletion).
+    pub rev: Option<Revision>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    docs: BTreeMap<String, Document>,
+    seq: u64,
+    changes: Vec<Change>,
+    /// view name → body field the view indexes.
+    views: BTreeMap<String, String>,
+    read_only: bool,
+}
+
+/// A CouchDB-style document database. Cheap to clone (shared state).
+///
+/// ```
+/// use safeweb_docstore::DocStore;
+/// use safeweb_json::jobject;
+/// use safeweb_labels::{Label, LabelSet};
+///
+/// let store = DocStore::new("app");
+/// let labels = LabelSet::singleton(Label::conf("ecric.org.uk", "mdt/a"));
+/// let rev = store.put("rec-1", jobject!{"mdt" => "a"}, labels, None)?;
+/// let doc = store.get("rec-1").expect("stored");
+/// assert_eq!(doc.rev(), &rev);
+/// # Ok::<(), safeweb_docstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocStore {
+    name: String,
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl DocStore {
+    /// Creates an empty store named `name` (names appear in replication
+    /// diagnostics).
+    pub fn new(name: &str) -> DocStore {
+        DocStore {
+            name: name.to_string(),
+            inner: Arc::new(RwLock::new(Inner::default())),
+        }
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Switches read-only mode (the DMZ replica runs with `true`).
+    pub fn set_read_only(&self, read_only: bool) {
+        self.inner.write().read_only = read_only;
+    }
+
+    /// Whether the store rejects writes.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read().read_only
+    }
+
+    /// Creates or updates a document.
+    ///
+    /// `expected_rev` must be `None` for a fresh id and the current
+    /// revision for an update (MVCC).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Conflict`] on revision mismatch, [`StoreError::ReadOnly`]
+    /// in replica mode, [`StoreError::BadId`] for malformed ids.
+    pub fn put(
+        &self,
+        id: &str,
+        body: Value,
+        labels: LabelSet,
+        expected_rev: Option<&Revision>,
+    ) -> Result<Revision, StoreError> {
+        validate_id(id)?;
+        let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(StoreError::ReadOnly);
+        }
+        let new_rev = match (inner.docs.get(id), expected_rev) {
+            (None, None) => Revision::first(&body),
+            (Some(current), Some(expected)) if current.rev() == expected => {
+                current.rev().next(&body)
+            }
+            (current, _) => {
+                return Err(StoreError::Conflict {
+                    id: id.to_string(),
+                    current: current.map(|d| d.rev().clone()),
+                })
+            }
+        };
+        let doc = Document::new(id.to_string(), new_rev.clone(), labels, body);
+        inner.docs.insert(id.to_string(), doc);
+        inner.seq += 1;
+        let change = Change {
+            seq: inner.seq,
+            id: id.to_string(),
+            rev: Some(new_rev.clone()),
+        };
+        inner.changes.push(change);
+        Ok(new_rev)
+    }
+
+    /// Deletes a document (MVCC-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Conflict`] if the revision does not match,
+    /// [`StoreError::ReadOnly`] in replica mode.
+    pub fn delete(&self, id: &str, expected_rev: &Revision) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(StoreError::ReadOnly);
+        }
+        match inner.docs.get(id) {
+            Some(doc) if doc.rev() == expected_rev => {
+                inner.docs.remove(id);
+                inner.seq += 1;
+                let change = Change {
+                    seq: inner.seq,
+                    id: id.to_string(),
+                    rev: None,
+                };
+                inner.changes.push(change);
+                Ok(())
+            }
+            other => Err(StoreError::Conflict {
+                id: id.to_string(),
+                current: other.map(|d| d.rev().clone()),
+            }),
+        }
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: &str) -> Option<Document> {
+        self.inner.read().docs.get(id).cloned()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().docs.is_empty()
+    }
+
+    /// All document ids in order.
+    pub fn ids(&self) -> Vec<String> {
+        self.inner.read().docs.keys().cloned().collect()
+    }
+
+    /// Registers a view indexing `field` of document bodies, CouchRest's
+    /// `by_<field>` idiom (the paper's Listing 2 uses `Records.by_mid`).
+    pub fn create_view(&self, view: &str, field: &str) {
+        self.inner
+            .write()
+            .views
+            .insert(view.to_string(), field.to_string());
+    }
+
+    /// Queries a view: documents whose indexed field equals `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownView`] if the view was never created.
+    pub fn query_view(&self, view: &str, key: &Value) -> Result<Vec<Document>, StoreError> {
+        let inner = self.inner.read();
+        let field = inner
+            .views
+            .get(view)
+            .ok_or_else(|| StoreError::UnknownView(view.to_string()))?;
+        Ok(inner
+            .docs
+            .values()
+            .filter(|d| d.body().get(field) == Some(key))
+            .cloned()
+            .collect())
+    }
+
+    /// Scans all documents with a predicate over bodies.
+    pub fn scan(&self, mut predicate: impl FnMut(&Document) -> bool) -> Vec<Document> {
+        self.inner
+            .read()
+            .docs
+            .values()
+            .filter(|d| predicate(d))
+            .cloned()
+            .collect()
+    }
+
+    /// The current sequence number (grows with every write).
+    pub fn seq(&self) -> u64 {
+        self.inner.read().seq
+    }
+
+    /// Changes with `seq > since`, for replication.
+    pub fn changes_since(&self, since: u64) -> Vec<Change> {
+        self.inner
+            .read()
+            .changes
+            .iter()
+            .filter(|c| c.seq > since)
+            .cloned()
+            .collect()
+    }
+
+    /// Applies a replicated document directly, bypassing MVCC and the
+    /// read-only switch: replication is a *trusted, internal* data path —
+    /// the DMZ replica refuses writes from the web frontend but accepts
+    /// pushes from the Intranet instance (Figure 4).
+    pub(crate) fn apply_replicated(&self, doc: Document) {
+        let mut inner = self.inner.write();
+        let id = doc.id().to_string();
+        let rev = doc.rev().clone();
+        inner.docs.insert(id.clone(), doc);
+        inner.seq += 1;
+        let change = Change {
+            seq: inner.seq,
+            id,
+            rev: Some(rev),
+        };
+        inner.changes.push(change);
+    }
+
+    /// Applies a replicated deletion.
+    pub(crate) fn apply_replicated_delete(&self, id: &str) {
+        let mut inner = self.inner.write();
+        if inner.docs.remove(id).is_some() {
+            inner.seq += 1;
+            let change = Change {
+                seq: inner.seq,
+                id: id.to_string(),
+                rev: None,
+            };
+            inner.changes.push(change);
+        }
+    }
+}
+
+fn validate_id(id: &str) -> Result<(), StoreError> {
+    if id.is_empty() || id.chars().any(|c| c.is_control()) {
+        return Err(StoreError::BadId(id.to_string()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeweb_json::jobject;
+    use safeweb_labels::Label;
+
+    fn labels(p: &str) -> LabelSet {
+        LabelSet::singleton(Label::conf("e", p))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = DocStore::new("t");
+        let rev = store
+            .put("a", jobject! {"x" => 1}, labels("p/1"), None)
+            .unwrap();
+        let doc = store.get("a").unwrap();
+        assert_eq!(doc.rev(), &rev);
+        assert_eq!(doc.body().get("x").and_then(Value::as_i64), Some(1));
+        assert!(doc.labels().contains(&Label::conf("e", "p/1")));
+    }
+
+    #[test]
+    fn update_requires_current_rev() {
+        let store = DocStore::new("t");
+        let rev1 = store.put("a", jobject! {"x" => 1}, LabelSet::new(), None).unwrap();
+        // Fresh put on existing id: conflict.
+        assert!(matches!(
+            store.put("a", jobject! {"x" => 2}, LabelSet::new(), None),
+            Err(StoreError::Conflict { .. })
+        ));
+        let rev2 = store
+            .put("a", jobject! {"x" => 2}, LabelSet::new(), Some(&rev1))
+            .unwrap();
+        assert_eq!(rev2.generation(), 2);
+        // Stale rev: conflict.
+        assert!(matches!(
+            store.put("a", jobject! {"x" => 3}, LabelSet::new(), Some(&rev1)),
+            Err(StoreError::Conflict { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_is_mvcc_checked() {
+        let store = DocStore::new("t");
+        let rev = store.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let stale = Revision::first(&jobject! {"other" => 1});
+        assert!(store.delete("a", &stale).is_err());
+        store.delete("a", &rev).unwrap();
+        assert!(store.get("a").is_none());
+        assert!(store.delete("a", &rev).is_err());
+    }
+
+    #[test]
+    fn read_only_blocks_external_writes() {
+        let store = DocStore::new("dmz");
+        store.set_read_only(true);
+        assert_eq!(
+            store.put("a", jobject! {}, LabelSet::new(), None),
+            Err(StoreError::ReadOnly)
+        );
+        // Internal replication path still works.
+        let doc = Document::new(
+            "a".to_string(),
+            Revision::first(&jobject! {}),
+            LabelSet::new(),
+            jobject! {},
+        );
+        store.apply_replicated(doc);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn views_index_body_fields() {
+        let store = DocStore::new("t");
+        store.create_view("by_mid", "mdt_id");
+        store
+            .put("r1", jobject! {"mdt_id" => "a", "n" => 1}, LabelSet::new(), None)
+            .unwrap();
+        store
+            .put("r2", jobject! {"mdt_id" => "b", "n" => 2}, LabelSet::new(), None)
+            .unwrap();
+        store
+            .put("r3", jobject! {"mdt_id" => "a", "n" => 3}, LabelSet::new(), None)
+            .unwrap();
+        let hits = store.query_view("by_mid", &Value::from("a")).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(store.query_view("nonexistent", &Value::from("a")).is_err());
+    }
+
+    #[test]
+    fn changes_feed_tracks_writes_and_deletes() {
+        let store = DocStore::new("t");
+        let rev = store.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        store.delete("a", &rev).unwrap();
+        let all = store.changes_since(0);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].rev, None);
+        let tail = store.changes_since(2);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].id, "a");
+    }
+
+    #[test]
+    fn bad_ids_rejected() {
+        let store = DocStore::new("t");
+        assert!(store.put("", jobject! {}, LabelSet::new(), None).is_err());
+        assert!(store.put("a\nb", jobject! {}, LabelSet::new(), None).is_err());
+    }
+}

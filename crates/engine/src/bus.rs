@@ -1,0 +1,178 @@
+//! Abstraction over how the engine reaches the event broker: in-process
+//! (embedded [`Broker`]) or over the network (STOMP client).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+
+use safeweb_broker::{Broker, Delivery, EventClient};
+use safeweb_events::LabelledEvent;
+use safeweb_labels::PrivilegeSet;
+
+use crate::error::EngineError;
+
+/// The engine's view of the broker.
+pub trait EventBus: Send + Sync {
+    /// Registers a subscription; deliveries arrive on the returned channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Bus`] on transport failure.
+    fn subscribe(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<&str>,
+        clearance: PrivilegeSet,
+    ) -> Result<Receiver<Delivery>, EngineError>;
+
+    /// Publishes a labelled event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Bus`] on transport failure.
+    fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError>;
+}
+
+impl EventBus for Broker {
+    fn subscribe(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<&str>,
+        clearance: PrivilegeSet,
+    ) -> Result<Receiver<Delivery>, EngineError> {
+        let selector = match selector {
+            Some(src) => Some(
+                safeweb_selector::Selector::parse(src)
+                    .map_err(|e| EngineError::Bus(format!("bad selector: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(Broker::subscribe(
+            self,
+            client,
+            subscription_id,
+            topic,
+            selector,
+            clearance,
+        ))
+    }
+
+    fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError> {
+        Broker::publish(self, event);
+        Ok(())
+    }
+}
+
+struct RemoteBusInner {
+    publisher: Mutex<EventClient>,
+    subscriber: Mutex<EventClient>,
+    routes: Mutex<HashMap<String, crossbeam::channel::Sender<Delivery>>>,
+    reader_started: Mutex<bool>,
+}
+
+/// [`EventBus`] over a networked broker: one STOMP connection for
+/// publishing and one for subscriptions, with a reader thread dispatching
+/// `MESSAGE` frames to per-subscription channels by subscription id.
+///
+/// With a remote bus, clearance is assigned **server-side** from the
+/// broker's policy file based on the login; the `clearance` argument to
+/// [`EventBus::subscribe`] is ignored.
+#[derive(Clone)]
+pub struct RemoteBus {
+    inner: Arc<RemoteBusInner>,
+}
+
+impl RemoteBus {
+    /// Connects both legs to `addr`, logging in as `login`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Bus`] on connection failure.
+    pub fn connect(addr: &str, login: &str) -> Result<RemoteBus, EngineError> {
+        let publisher =
+            EventClient::connect(addr, login).map_err(|e| EngineError::Bus(e.to_string()))?;
+        let subscriber =
+            EventClient::connect(addr, login).map_err(|e| EngineError::Bus(e.to_string()))?;
+        Ok(RemoteBus {
+            inner: Arc::new(RemoteBusInner {
+                publisher: Mutex::new(publisher),
+                subscriber: Mutex::new(subscriber),
+                routes: Mutex::new(HashMap::new()),
+                reader_started: Mutex::new(false),
+            }),
+        })
+    }
+
+    fn ensure_reader(&self) {
+        let mut started = self.inner.reader_started.lock();
+        if *started {
+            return;
+        }
+        *started = true;
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name("safeweb-remote-bus-reader".to_string())
+            .spawn(move || loop {
+                // Lock only for one bounded receive so `subscribe` can
+                // interleave SUBSCRIBE frames on the same connection.
+                let next = {
+                    let mut client = inner.subscriber.lock();
+                    client.next_delivery_timeout(Duration::from_millis(50))
+                };
+                match next {
+                    Ok(Some(d)) => {
+                        let routes = inner.routes.lock();
+                        if let Some(tx) = routes.get(&d.subscription_id) {
+                            let _ = tx.send(Delivery {
+                                subscription_id: d.subscription_id,
+                                event: d.event,
+                            });
+                        }
+                    }
+                    Ok(None) => {
+                        // Timeout with no data: yield so writers can run.
+                        std::thread::yield_now();
+                    }
+                    Err(_) => break,
+                }
+            })
+            .expect("spawn remote bus reader");
+    }
+}
+
+impl EventBus for RemoteBus {
+    fn subscribe(
+        &self,
+        _client: &str,
+        _subscription_id: &str,
+        topic: &str,
+        selector: Option<&str>,
+        _clearance: PrivilegeSet,
+    ) -> Result<Receiver<Delivery>, EngineError> {
+        let (tx, rx) = unbounded();
+        let id = {
+            let mut client = self.inner.subscriber.lock();
+            client
+                .subscribe(topic, selector)
+                .map_err(|e| EngineError::Bus(e.to_string()))?
+        };
+        self.inner.routes.lock().insert(id, tx);
+        self.ensure_reader();
+        Ok(rx)
+    }
+
+    fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError> {
+        self.inner
+            .publisher
+            .lock()
+            .publish(event)
+            .map_err(|e| EngineError::Bus(e.to_string()))
+    }
+}

@@ -1,0 +1,382 @@
+//! The event processing engine (§4.3): configures, instantiates and runs
+//! units, wiring their subscriptions to the broker and executing their
+//! callbacks inside the IFC jail.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, tick, Receiver, Select};
+use parking_lot::Mutex;
+
+use safeweb_broker::Delivery;
+use safeweb_events::{Event, LabelledEvent};
+use safeweb_labels::{LabelSet, Policy, PrincipalKind};
+
+use crate::bus::EventBus;
+use crate::error::{EngineError, UnitError};
+use crate::jail::{Jail, LabelledStore, PublishSink};
+
+/// A unit callback: receives the jail and the event being processed.
+pub type Callback = Box<dyn FnMut(&mut Jail<'_>, &Event) -> Result<(), UnitError> + Send>;
+
+/// A timer callback for source units: receives only the jail (there is no
+/// triggering event; `$LABELS` starts empty).
+pub type TimerCallback = Box<dyn FnMut(&mut Jail<'_>) -> Result<(), UnitError> + Send>;
+
+/// Declarative description of one event-processing unit, mirroring the
+/// paper's Listing 1:
+///
+/// ```
+/// use safeweb_engine::{Relabel, UnitSpec};
+/// use safeweb_labels::Label;
+///
+/// let unit = UnitSpec::new("daily_list")
+///     .subscribe("/patient_report", Some("type = 'cancer'"), |jail, event| {
+///         let mut list = jail.get("patient_list").unwrap_or_default();
+///         list.push_str(event.attr("patient_id").unwrap_or(""));
+///         list.push(',');
+///         jail.set("patient_list", list, Relabel::keep())
+///     })
+///     .subscribe("/next_day", None, |jail, _event| {
+///         let list = jail.get("patient_list").unwrap_or_default();
+///         jail.publish(
+///             safeweb_events::Event::new("/daily_report").unwrap().with_payload(list),
+///             Relabel::keep()
+///                 .remove_all()
+///                 .add(Label::conf("ecric.org.uk", "patient_list")),
+///         )
+///     });
+/// assert_eq!(unit.name(), "daily_list");
+/// ```
+pub struct UnitSpec {
+    name: String,
+    subscriptions: Vec<(String, Option<String>, Callback)>,
+    timers: Vec<(Duration, TimerCallback)>,
+}
+
+impl UnitSpec {
+    /// Creates an empty unit description.
+    pub fn new(name: &str) -> UnitSpec {
+        UnitSpec {
+            name: name.to_string(),
+            subscriptions: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The unit's name (its principal in the policy file).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a subscription callback.
+    pub fn subscribe(
+        mut self,
+        topic: &str,
+        selector: Option<&str>,
+        callback: impl FnMut(&mut Jail<'_>, &Event) -> Result<(), UnitError> + Send + 'static,
+    ) -> UnitSpec {
+        self.subscriptions.push((
+            topic.to_string(),
+            selector.map(str::to_string),
+            Box::new(callback),
+        ));
+        self
+    }
+
+    /// Registers a timer-driven callback (for source units that import
+    /// data into the system, like the MDT data producer).
+    pub fn every(
+        mut self,
+        interval: Duration,
+        callback: impl FnMut(&mut Jail<'_>) -> Result<(), UnitError> + Send + 'static,
+    ) -> UnitSpec {
+        self.timers.push((interval, Box::new(callback)));
+        self
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// When `false`, all label bookkeeping is skipped. Exists **only** for
+    /// the paper's §5.3 baseline measurements; never disable in production.
+    pub label_tracking: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            label_tracking: true,
+        }
+    }
+}
+
+/// A policy violation observed at runtime: a unit attempted an operation
+/// the jail refused. These are the bugs SafeWeb exists to contain — the
+/// operation was suppressed; the record is for operators and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending unit.
+    pub unit: String,
+    /// What was refused.
+    pub error: UnitError,
+}
+
+/// The event processing engine. Construct with [`Engine::new`], add units,
+/// then [`Engine::start`].
+pub struct Engine {
+    bus: Arc<dyn EventBus>,
+    policy: Policy,
+    options: EngineOptions,
+    units: Vec<UnitSpec>,
+}
+
+impl Engine {
+    /// Creates an engine over `bus` with privileges assigned from
+    /// `policy`.
+    pub fn new(bus: Arc<dyn EventBus>, policy: Policy) -> Engine {
+        Engine {
+            bus,
+            policy,
+            options: EngineOptions::default(),
+            units: Vec::new(),
+        }
+    }
+
+    /// Overrides engine options (baseline benchmarking only).
+    pub fn with_options(mut self, options: EngineOptions) -> Engine {
+        self.options = options;
+        self
+    }
+
+    /// Adds a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateUnit`] if a unit with the same name
+    /// was already added.
+    pub fn add_unit(&mut self, unit: UnitSpec) -> Result<(), EngineError> {
+        if self.units.iter().any(|u| u.name == unit.name) {
+            return Err(EngineError::DuplicateUnit(unit.name));
+        }
+        self.units.push(unit);
+        Ok(())
+    }
+
+    /// Starts every unit on its own thread and returns a handle for
+    /// observing violations and stopping the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if any subscription cannot be established.
+    pub fn start(self) -> Result<EngineHandle, EngineError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        let mut stop_senders = Vec::new();
+
+        for unit in self.units {
+            let privileges = self
+                .policy
+                .privileges(PrincipalKind::Unit, &unit.name);
+            let privileged = self.policy.is_privileged_unit(&unit.name);
+
+            // Wire subscriptions before spawning so failures surface here.
+            let mut receivers: Vec<(Receiver<Delivery>, usize)> = Vec::new();
+            for (idx, (topic, selector, _)) in unit.subscriptions.iter().enumerate() {
+                let rx = self.bus.subscribe(
+                    &unit.name,
+                    &format!("{}-{idx}", unit.name),
+                    topic,
+                    selector.as_deref(),
+                    privileges.clone(),
+                )?;
+                receivers.push((rx, idx));
+            }
+
+            let (stop_tx, stop_rx) = bounded::<()>(0);
+            stop_senders.push(stop_tx);
+
+            let bus = Arc::clone(&self.bus);
+            let tracking = self.options.label_tracking;
+            let unit_violations = Arc::clone(&violations);
+            let thread = std::thread::Builder::new()
+                .name(format!("safeweb-unit-{}", unit.name))
+                .spawn(move || {
+                    run_unit(
+                        unit,
+                        privileges,
+                        privileged,
+                        receivers,
+                        stop_rx,
+                        bus,
+                        tracking,
+                        unit_violations,
+                    );
+                })
+                .map_err(|e| EngineError::Bus(format!("spawn failed: {e}")))?;
+            threads.push(thread);
+        }
+
+        Ok(EngineHandle {
+            stop,
+            stop_senders,
+            threads,
+            violations,
+        })
+    }
+}
+
+/// Handle to a running engine.
+pub struct EngineHandle {
+    stop: Arc<AtomicBool>,
+    stop_senders: Vec<crossbeam::channel::Sender<()>>,
+    threads: Vec<JoinHandle<()>>,
+    violations: Arc<Mutex<Vec<Violation>>>,
+}
+
+impl EngineHandle {
+    /// Policy violations observed so far (suppressed unit operations).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// Stops all units and joins their threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Dropping the senders closes the stop channels, waking selects.
+        self.stop_senders.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct BusSink<'a> {
+    bus: &'a dyn EventBus,
+    violations: &'a Mutex<Vec<Violation>>,
+    unit: &'a str,
+}
+
+impl PublishSink for BusSink<'_> {
+    fn deliver(&self, event: LabelledEvent) {
+        if let Err(e) = self.bus.publish(&event) {
+            self.violations.lock().push(Violation {
+                unit: self.unit.to_string(),
+                error: UnitError::Application(format!("publish failed: {e}")),
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    mut unit: UnitSpec,
+    privileges: safeweb_labels::PrivilegeSet,
+    privileged: bool,
+    receivers: Vec<(Receiver<Delivery>, usize)>,
+    stop_rx: Receiver<()>,
+    bus: Arc<dyn EventBus>,
+    tracking: bool,
+    violations: Arc<Mutex<Vec<Violation>>>,
+) {
+    let mut store = LabelledStore::new();
+    let tickers: Vec<Receiver<std::time::Instant>> = unit
+        .timers
+        .iter()
+        .map(|(interval, _)| tick(*interval))
+        .collect();
+
+    loop {
+        // Dynamic select over: stop, all subscriptions, all tickers.
+        let mut select = Select::new();
+        let stop_index = select.recv(&stop_rx);
+        let sub_base: Vec<usize> = receivers
+            .iter()
+            .map(|(rx, _)| select.recv(rx))
+            .collect();
+        let tick_base: Vec<usize> = tickers.iter().map(|rx| select.recv(rx)).collect();
+
+        let op = select.select();
+        let index = op.index();
+
+        if index == stop_index {
+            // Channel closed (or unit told to stop): finish.
+            let _ = op.recv(&stop_rx);
+            return;
+        }
+
+        if let Some(pos) = sub_base.iter().position(|&i| i == index) {
+            let (rx, cb_idx) = &receivers[pos];
+            match op.recv(rx) {
+                Ok(delivery) => {
+                    let (event, labels) = delivery.event.into_parts();
+                    let callback = &mut unit.subscriptions[*cb_idx].2;
+                    let sink = BusSink {
+                        bus: bus.as_ref(),
+                        violations: &violations,
+                        unit: &unit.name,
+                    };
+                    let initial = if tracking { labels } else { LabelSet::new() };
+                    let mut jail = Jail::new(
+                        &unit.name,
+                        initial,
+                        &privileges,
+                        privileged,
+                        &mut store,
+                        &sink,
+                        tracking,
+                    );
+                    if let Err(e) = callback(&mut jail, &event) {
+                        violations.lock().push(Violation {
+                            unit: unit.name.clone(),
+                            error: e,
+                        });
+                    }
+                }
+                Err(_) => return, // bus gone
+            }
+            continue;
+        }
+
+        if let Some(pos) = tick_base.iter().position(|&i| i == index) {
+            let _ = op.recv(&tickers[pos]);
+            let callback = &mut unit.timers[pos].1;
+            let sink = BusSink {
+                bus: bus.as_ref(),
+                violations: &violations,
+                unit: &unit.name,
+            };
+            let mut jail = Jail::new(
+                &unit.name,
+                LabelSet::new(),
+                &privileges,
+                privileged,
+                &mut store,
+                &sink,
+                tracking,
+            );
+            if let Err(e) = callback(&mut jail) {
+                violations.lock().push(Violation {
+                    unit: unit.name.clone(),
+                    error: e,
+                });
+            }
+        }
+    }
+}

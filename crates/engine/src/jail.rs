@@ -1,0 +1,488 @@
+//! The IFC jail (§4.3, Figure 2).
+//!
+//! In the paper, unit callbacks run in a thread with Ruby `$SAFE=4`: no
+//! I/O, no access to shared state except the engine-mediated channels. In
+//! Rust the equivalent is *capability discipline*: a callback receives only
+//! a [`Jail`] handle, and every effect it can perform — publishing events,
+//! reading/writing the unit's key-value store, I/O for privileged units —
+//! goes through that handle, where label bookkeeping is enforced:
+//!
+//! * The jail maintains the ambient label set `$LABELS`, initialised to the
+//!   labels of the event being processed.
+//! * Reading a key from the store folds the key's labels into `$LABELS`.
+//! * Publishing attaches `$LABELS` to the outgoing event; removing labels
+//!   requires the declassification privilege, adding integrity labels the
+//!   endorsement privilege. Adding confidentiality labels is always free.
+//! * Writing to the store labels the key with `$LABELS` (± the same
+//!   checked adjustments).
+
+use std::collections::BTreeMap;
+
+use safeweb_events::{Event, LabelledEvent};
+use safeweb_labels::{Label, LabelSet, PrivilegeSet};
+
+use crate::error::UnitError;
+
+/// Label adjustments a unit may request when publishing or storing,
+/// mirroring Listing 1's `:add => [...], :remove => $LABELS`.
+#[derive(Debug, Clone, Default)]
+pub struct Relabel {
+    add: Vec<Label>,
+    remove: RemoveSpec,
+}
+
+/// Which labels to remove from `$LABELS` on output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RemoveSpec {
+    /// Keep all labels (the default).
+    #[default]
+    None,
+    /// Remove every current label — Listing 1's `:remove => $LABELS`.
+    All,
+    /// Remove the listed labels.
+    Labels(Vec<Label>),
+}
+
+impl Relabel {
+    /// No adjustment: output carries `$LABELS` unchanged.
+    pub fn keep() -> Relabel {
+        Relabel::default()
+    }
+
+    /// Adds a label to the output (builder style).
+    pub fn add(mut self, label: Label) -> Relabel {
+        self.add.push(label);
+        self
+    }
+
+    /// Removes every ambient label (requires declassification for each
+    /// confidentiality label).
+    pub fn remove_all(mut self) -> Relabel {
+        self.remove = RemoveSpec::All;
+        self
+    }
+
+    /// Removes one label (requires declassification if confidentiality).
+    pub fn remove(mut self, label: Label) -> Relabel {
+        match &mut self.remove {
+            RemoveSpec::Labels(v) => v.push(label),
+            RemoveSpec::None => self.remove = RemoveSpec::Labels(vec![label]),
+            RemoveSpec::All => {}
+        }
+        self
+    }
+}
+
+/// The per-unit labelled key-value store (§4.3: "the engine provides a
+/// unit-specific key-value store with labels associated with keys").
+#[derive(Debug, Default)]
+pub struct LabelledStore {
+    entries: BTreeMap<String, (String, LabelSet)>,
+}
+
+impl LabelledStore {
+    /// Creates an empty store.
+    pub fn new() -> LabelledStore {
+        LabelledStore::default()
+    }
+
+    /// Raw read without label bookkeeping — only the engine uses this.
+    pub(crate) fn get_raw(&self, key: &str) -> Option<&(String, LabelSet)> {
+        self.entries.get(key)
+    }
+
+    pub(crate) fn set_raw(&mut self, key: &str, value: String, labels: LabelSet) {
+        self.entries.insert(key.to_string(), (value, labels));
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Destination for events a jail publishes; implemented by the engine to
+/// forward to the broker, and by tests to capture output.
+pub trait PublishSink {
+    /// Delivers a fully labelled event.
+    fn deliver(&self, event: LabelledEvent);
+}
+
+impl<F: Fn(LabelledEvent)> PublishSink for F {
+    fn deliver(&self, event: LabelledEvent) {
+        self(event)
+    }
+}
+
+/// Capability for raw I/O, handed only to privileged units (§4.3: "the
+/// engine allows privileged units to execute without isolation ... and,
+/// thus, access I/O facilities").
+///
+/// Holding an `IoCapability` is the *only* sanctioned way for a unit body
+/// to reach the outside world; its presence in a unit's code is the audit
+/// marker that the unit belongs to the trusted codebase (§5.2 counts these
+/// units' lines as audited code).
+#[derive(Debug, Clone, Copy)]
+pub struct IoCapability {
+    _private: (),
+}
+
+impl IoCapability {
+    pub(crate) fn new() -> IoCapability {
+        IoCapability { _private: () }
+    }
+}
+
+/// The jail handle passed to unit callbacks.
+pub struct Jail<'a> {
+    unit: &'a str,
+    labels: LabelSet,
+    privileges: &'a PrivilegeSet,
+    privileged: bool,
+    store: &'a mut LabelledStore,
+    sink: &'a dyn PublishSink,
+    /// When false (baseline benchmarking only), label bookkeeping is
+    /// skipped entirely.
+    tracking: bool,
+}
+
+impl<'a> Jail<'a> {
+    /// Creates a jail for one callback execution. `initial_labels` is the
+    /// label set of the event being processed (empty for timer callbacks).
+    pub(crate) fn new(
+        unit: &'a str,
+        initial_labels: LabelSet,
+        privileges: &'a PrivilegeSet,
+        privileged: bool,
+        store: &'a mut LabelledStore,
+        sink: &'a dyn PublishSink,
+        tracking: bool,
+    ) -> Jail<'a> {
+        Jail {
+            unit,
+            labels: initial_labels,
+            privileges,
+            privileged,
+            store,
+            sink,
+            tracking,
+        }
+    }
+
+    /// The unit this jail belongs to.
+    pub fn unit_name(&self) -> &str {
+        self.unit
+    }
+
+    /// The ambient label set `$LABELS`.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Whether this unit runs privileged (outside the jail's I/O
+    /// restrictions).
+    pub fn is_privileged(&self) -> bool {
+        self.privileged
+    }
+
+    /// Adds a confidentiality label to `$LABELS`. Always permitted — data
+    /// can freely become *more* restricted (§4.1: "it is always possible to
+    /// add extra confidentiality labels to events").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::EndorsementDenied`] when adding an integrity
+    /// label without the endorsement privilege.
+    pub fn add_label(&mut self, label: Label) -> Result<(), UnitError> {
+        if label.is_integrity() && !self.privileges.can_endorse(&label) && !self.privileged {
+            return Err(UnitError::EndorsementDenied(label));
+        }
+        self.labels.insert(label);
+        Ok(())
+    }
+
+    /// The I/O capability, available only to privileged units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::IoDenied`] for jailed units.
+    pub fn io(&self) -> Result<IoCapability, UnitError> {
+        if self.privileged {
+            Ok(IoCapability::new())
+        } else {
+            Err(UnitError::IoDenied)
+        }
+    }
+
+    /// Reads a value from the unit's key-value store, folding the key's
+    /// labels into `$LABELS` (§4.3: "when a value is read from the store,
+    /// `$LABELS` is updated to reflect its confidentiality").
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        let (value, labels) = self.store.get_raw(key)?.clone();
+        if self.tracking {
+            self.labels.extend(labels);
+        }
+        Some(value)
+    }
+
+    /// Writes a value to the store labelled with `$LABELS` adjusted by
+    /// `relabel` (checked like a publish).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if a removal lacks declassification or an
+    /// integrity add lacks endorsement.
+    pub fn set(&mut self, key: &str, value: impl Into<String>, relabel: Relabel) -> Result<(), UnitError> {
+        let labels = self.output_labels(relabel)?;
+        self.store.set_raw(key, value.into(), labels);
+        Ok(())
+    }
+
+    /// Publishes an event. The outgoing event carries `$LABELS` adjusted by
+    /// `relabel`; removals require declassification privileges, integrity
+    /// additions require endorsement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] when a label adjustment is not permitted — in
+    /// which case **nothing is published**.
+    pub fn publish(&mut self, event: Event, relabel: Relabel) -> Result<(), UnitError> {
+        let labels = self.output_labels(relabel)?;
+        self.sink.deliver(LabelledEvent::new(event, labels));
+        Ok(())
+    }
+
+    /// Computes output labels = (`$LABELS` − removals) ∪ additions with
+    /// privilege checks.
+    fn output_labels(&self, relabel: Relabel) -> Result<LabelSet, UnitError> {
+        if !self.tracking {
+            return Ok(LabelSet::new());
+        }
+        let mut labels = self.labels.clone();
+        match relabel.remove {
+            RemoveSpec::None => {}
+            RemoveSpec::All => {
+                for l in self.labels.iter() {
+                    self.check_removal(l)?;
+                }
+                labels = LabelSet::new();
+            }
+            RemoveSpec::Labels(ref to_remove) => {
+                for l in to_remove {
+                    if labels.contains(l) {
+                        self.check_removal(l)?;
+                        labels.remove_unchecked(l);
+                    }
+                }
+            }
+        }
+        for l in relabel.add {
+            if l.is_integrity() && !self.privileged && !self.privileges.can_endorse(&l) {
+                return Err(UnitError::EndorsementDenied(l));
+            }
+            labels.insert(l);
+        }
+        Ok(labels)
+    }
+
+    fn check_removal(&self, label: &Label) -> Result<(), UnitError> {
+        if self.privileged {
+            // Privileged units may declassify anything they received
+            // (§4.3); their power is limited by withholding clearance.
+            return Ok(());
+        }
+        if label.is_confidentiality() && !self.privileges.can_declassify(label) {
+            return Err(UnitError::DeclassificationDenied(label.clone()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use safeweb_labels::Privilege;
+
+    struct Capture(Mutex<Vec<LabelledEvent>>);
+
+    impl PublishSink for Capture {
+        fn deliver(&self, event: LabelledEvent) {
+            self.0.lock().push(event);
+        }
+    }
+
+    fn conf(p: &str) -> Label {
+        Label::conf("e", p)
+    }
+
+    fn run_jail<R>(
+        initial: &[Label],
+        privileges: PrivilegeSet,
+        privileged: bool,
+        f: impl FnOnce(&mut Jail<'_>) -> R,
+    ) -> (R, Vec<LabelledEvent>) {
+        let mut store = LabelledStore::new();
+        let capture = Capture(Mutex::new(Vec::new()));
+        let r = {
+            let mut jail = Jail::new(
+                "test",
+                initial.iter().cloned().collect(),
+                &privileges,
+                privileged,
+                &mut store,
+                &capture,
+                true,
+            );
+            f(&mut jail)
+        };
+        (r, capture.0.into_inner())
+    }
+
+    #[test]
+    fn publish_attaches_ambient_labels() {
+        let (_, events) = run_jail(&[conf("p/1")], PrivilegeSet::new(), false, |jail| {
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep())
+                .unwrap();
+        });
+        assert_eq!(events.len(), 1);
+        assert!(events[0].labels().contains(&conf("p/1")));
+    }
+
+    #[test]
+    fn adding_conf_labels_is_free() {
+        let (_, events) = run_jail(&[], PrivilegeSet::new(), false, |jail| {
+            jail.add_label(conf("extra")).unwrap();
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep().add(conf("more")))
+                .unwrap();
+        });
+        assert!(events[0].labels().contains(&conf("extra")));
+        assert!(events[0].labels().contains(&conf("more")));
+    }
+
+    #[test]
+    fn removal_requires_declassification() {
+        let (res, events) = run_jail(&[conf("p/1")], PrivilegeSet::new(), false, |jail| {
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep().remove_all())
+        });
+        assert_eq!(res, Err(UnitError::DeclassificationDenied(conf("p/1"))));
+        assert!(events.is_empty(), "denied publish must not emit anything");
+    }
+
+    #[test]
+    fn removal_with_privilege_succeeds() {
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::declassify(conf("p/1")));
+        let (res, events) = run_jail(&[conf("p/1")], privs, false, |jail| {
+            jail.publish(
+                Event::new("/out").unwrap(),
+                Relabel::keep().remove_all().add(conf("list")),
+            )
+        });
+        assert!(res.is_ok());
+        assert!(!events[0].labels().contains(&conf("p/1")));
+        assert!(events[0].labels().contains(&conf("list")));
+    }
+
+    #[test]
+    fn selective_removal() {
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::declassify(conf("p/1")));
+        let (res, events) = run_jail(&[conf("p/1"), conf("p/2")], privs, false, |jail| {
+            jail.publish(
+                Event::new("/out").unwrap(),
+                Relabel::keep().remove(conf("p/1")),
+            )
+        });
+        assert!(res.is_ok());
+        assert!(!events[0].labels().contains(&conf("p/1")));
+        assert!(events[0].labels().contains(&conf("p/2")));
+    }
+
+    #[test]
+    fn privileged_unit_may_declassify_anything() {
+        let (res, events) = run_jail(&[conf("p/1")], PrivilegeSet::new(), true, |jail| {
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep().remove_all())
+        });
+        assert!(res.is_ok());
+        assert!(events[0].labels().is_empty());
+    }
+
+    #[test]
+    fn io_capability_gated_on_privilege() {
+        let (res, _) = run_jail(&[], PrivilegeSet::new(), false, |jail| jail.io());
+        assert_eq!(res.unwrap_err(), UnitError::IoDenied);
+        let (res, _) = run_jail(&[], PrivilegeSet::new(), true, |jail| jail.io());
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn store_propagates_labels_through_state() {
+        // Callback 1 stores under labels {p/1}; callback 2 reads it with
+        // empty ambient labels and publishes — output must carry p/1.
+        let mut store = LabelledStore::new();
+        let capture = Capture(Mutex::new(Vec::new()));
+        let privs = PrivilegeSet::new();
+        {
+            let mut jail = Jail::new(
+                "u",
+                LabelSet::singleton(conf("p/1")),
+                &privs,
+                false,
+                &mut store,
+                &capture,
+                true,
+            );
+            jail.set("list", "patient-1", Relabel::keep()).unwrap();
+        }
+        {
+            let mut jail = Jail::new(
+                "u",
+                LabelSet::new(),
+                &privs,
+                false,
+                &mut store,
+                &capture,
+                true,
+            );
+            let v = jail.get("list").unwrap();
+            assert_eq!(v, "patient-1");
+            assert!(jail.labels().contains(&conf("p/1")), "read must taint $LABELS");
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep())
+                .unwrap();
+        }
+        let events = capture.0.into_inner();
+        assert!(events[0].labels().contains(&conf("p/1")));
+    }
+
+    #[test]
+    fn integrity_add_requires_endorsement() {
+        let int = Label::int("e", "mdt");
+        let (res, _) = run_jail(&[], PrivilegeSet::new(), false, |jail| {
+            jail.publish(
+                Event::new("/out").unwrap(),
+                Relabel::keep().add(int.clone()),
+            )
+        });
+        assert_eq!(res, Err(UnitError::EndorsementDenied(int.clone())));
+
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::endorse(int.clone()));
+        let (res, events) = run_jail(&[], privs, false, |jail| {
+            jail.publish(Event::new("/out").unwrap(), Relabel::keep().add(int.clone()))
+        });
+        assert!(res.is_ok());
+        assert!(events[0].labels().contains(&int));
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let (res, _) = run_jail(&[], PrivilegeSet::new(), false, |jail| jail.get("nope"));
+        assert!(res.is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! A small blocking HTTP/1.1 client (used by tests, examples and the
+//! benchmark harness to drive the SafeWeb frontend).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::message::{Headers, Method, Request, Response};
+
+/// A keep-alive client connection.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Opens a connection to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn open(addr: &str) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection { stream, reader })
+    }
+
+    /// Sends a request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or malformed responses surface as `InvalidData`.
+    pub fn send(&mut self, request: Request) -> io::Result<Response> {
+        let mut head = format!("{} {} HTTP/1.1\r\n", request.method(), target_of(&request));
+        for (k, v) in request.headers().iter() {
+            if k == "content-length" {
+                continue;
+            }
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", request.body().len()));
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(request.body())?;
+        self.stream.flush()?;
+        read_response(&mut self.reader, request.method() == Method::Head)
+    }
+}
+
+fn target_of(request: &Request) -> String {
+    if request.query_params().is_empty() {
+        request.path().to_string()
+    } else {
+        let qs: Vec<String> = request
+            .query_params()
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "{}={}",
+                    crate::message::url_encode(k),
+                    crate::message::url_encode(v)
+                )
+            })
+            .collect();
+        format!("{}?{}", request.path(), qs.join("&"))
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>, head_only: bool) -> io::Result<Response> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let _version = parts.next();
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut headers = Headers::new();
+    loop {
+        let mut hline = String::new();
+        let n = reader.read_line(&mut hline)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated response headers",
+            ));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = hline.split_once(':') {
+            headers.set(name.trim(), value.trim().to_string());
+        }
+    }
+
+    let mut response = Response::new(status);
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    for (k, v) in headers.iter() {
+        response = response.with_header(k, v.to_string());
+    }
+    if !head_only && content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        response = response.with_body(body);
+    }
+    Ok(response)
+}
+
+/// One-shot GET over a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn get(addr: &str, target: &str) -> io::Result<Response> {
+    send(addr, Request::new(Method::Get, target))
+}
+
+/// One-shot request over a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn send(addr: &str, request: Request) -> io::Result<Response> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(request)
+}

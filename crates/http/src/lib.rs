@@ -1,0 +1,23 @@
+//! # safeweb-http
+//!
+//! A minimal HTTP/1.1 server and client: the transport substrate under the
+//! SafeWeb web frontend (§4.4). The paper serves the MDT portal from a
+//! Sinatra application over HTTP basic authentication and TLS; this crate
+//! provides the HTTP layer (TLS is out of scope per DESIGN.md §5 — the IFC
+//! contribution is transport-agnostic), including:
+//!
+//! * request parsing with size bounds ([`server::MAX_HEAD`], [`server::MAX_BODY`]),
+//! * keep-alive connections,
+//! * HTTP basic authentication helpers (with an in-tree Base64),
+//! * a blocking client for tests and the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+pub mod client;
+mod message;
+pub mod server;
+
+pub use message::{url_decode, url_encode, Headers, Method, Request, Response};
+pub use server::{Handler, HttpServer};

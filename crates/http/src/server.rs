@@ -1,0 +1,328 @@
+//! A small threaded HTTP/1.1 server with keep-alive.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::message::{Headers, Method, Request, Response};
+
+/// Maximum accepted request body, bounding memory under hostile input.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Maximum accepted header section size.
+pub const MAX_HEAD: usize = 64 * 1024;
+/// Requests served per connection before it is closed.
+const MAX_KEEPALIVE_REQUESTS: usize = 1000;
+
+/// The application callback type.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server; dropping it stops the accept loop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (port 0 for ephemeral) and serves `handler` on a
+    /// thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, handler: Handler) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("safeweb-http-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { break };
+                    let handler = Arc::clone(&handler);
+                    std::thread::Builder::new()
+                        .name("safeweb-http-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, handler);
+                        })
+                        .expect("spawn http connection thread");
+                }
+            })
+            .expect("spawn http accept thread");
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: Handler) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+
+    for _ in 0..MAX_KEEPALIVE_REQUESTS {
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(ParseError::Bad(msg)) => {
+                let resp = Response::new(400).with_body(msg);
+                write_response(&mut stream, &resp, true)?;
+                return Ok(());
+            }
+            Err(ParseError::TooLarge) => {
+                let resp = Response::new(413);
+                write_response(&mut stream, &resp, true)?;
+                return Ok(());
+            }
+        };
+        let close = request
+            .headers()
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let head_only = request.method() == Method::Head;
+        let response = handler(request);
+        write_response_ex(&mut stream, &response, close, head_only)?;
+        if close {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+enum ParseError {
+    Io(io::Error),
+    Bad(String),
+    TooLarge,
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> ParseError {
+        ParseError::Io(e)
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ParseError> {
+    // Request line.
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err(ParseError::Bad("empty request line".to_string()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::from_keyword)
+        .ok_or_else(|| ParseError::Bad("bad method".to_string()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing target".to_string()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("unsupported HTTP version".to_string()));
+    }
+
+    // Headers.
+    let mut headers = Headers::new();
+    let mut head_size = line.len();
+    loop {
+        let mut hline = String::new();
+        let n = reader.read_line(&mut hline)?;
+        if n == 0 {
+            return Err(ParseError::Bad("truncated headers".to_string()));
+        }
+        head_size += n;
+        if head_size > MAX_HEAD {
+            return Err(ParseError::TooLarge);
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (name, value) = hline
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("malformed header {hline:?}")))?;
+        headers.set(name.trim(), value.trim().to_string());
+    }
+
+    // Body.
+    let body = match headers.get("content-length") {
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ParseError::Bad("bad content-length".to_string()))?;
+            if len > MAX_BODY {
+                return Err(ParseError::TooLarge);
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Some(Request::from_parts(method, &target, headers, body)))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
+    write_response_ex(stream, response, close, false)
+}
+
+fn write_response_ex(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+    head_only: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status(),
+        response.reason()
+    );
+    for (k, v) in response.headers().iter() {
+        if k == "content-length" || k == "connection" {
+            continue;
+        }
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n", response.body().len()));
+    head.push_str(if close {
+        "connection: close\r\n"
+    } else {
+        "connection: keep-alive\r\n"
+    });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(response.body())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| {
+                let body = format!(
+                    "{} {} q={} b={}",
+                    req.method(),
+                    req.path(),
+                    req.query("x").unwrap_or("-"),
+                    String::from_utf8_lossy(req.body()),
+                );
+                Response::text(body)
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let resp = client::get(&addr, "/hello?x=1").unwrap();
+        assert_eq!(resp.status(), 200);
+        assert_eq!(resp.body_str(), Some("GET /hello q=1 b="));
+
+        let resp = client::send(
+            &addr,
+            Request::new(Method::Post, "/submit").with_body("payload"),
+        )
+        .unwrap();
+        assert_eq!(resp.body_str(), Some("POST /submit q=- b=payload"));
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let mut conn = client::Connection::open(&addr).unwrap();
+        for i in 0..5 {
+            let resp = conn
+                .send(Request::new(Method::Get, &format!("/r{i}")))
+                .unwrap();
+            assert_eq!(resp.status(), 200);
+            assert!(resp.body_str().unwrap().contains(&format!("/r{i}")));
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(
+            format!(
+                "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
+    }
+
+    #[test]
+    fn head_omits_body() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let resp = client::send(&addr, Request::new(Method::Head, "/x")).unwrap();
+        assert_eq!(resp.status(), 200);
+        assert!(resp.body().is_empty());
+        // content-length still describes the would-be body.
+        assert_ne!(resp.headers().get("content-length"), Some("0"));
+    }
+}

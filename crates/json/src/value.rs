@@ -1,0 +1,348 @@
+//! The JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document node.
+///
+/// Objects use a [`BTreeMap`] so that serialisation is deterministic — the
+/// document store relies on byte-identical re-serialisation for revision
+/// hashing and replication comparison.
+///
+/// ```
+/// use safeweb_json::Value;
+///
+/// let v = Value::parse(r#"{"patient":"33812769","age":61}"#)?;
+/// assert_eq!(v.get("age").and_then(Value::as_i64), Some(61));
+/// # Ok::<(), safeweb_json::ParseJsonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The JSON `null` literal.
+    Null,
+    /// A JSON boolean.
+    Bool(bool),
+    /// A JSON number with no fractional part that fits in `i64`.
+    Int(i64),
+    /// Any other JSON number.
+    Float(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Shorthand for an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Shorthand for an empty array.
+    pub fn array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload; `Float` values with an exact integral value are
+    /// converted.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` for either number representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the array payload.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the object payload.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Mutable member lookup on objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|o| o.get_mut(key))
+    }
+
+    /// Element lookup on arrays; `None` for other variants or out-of-range
+    /// indices.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(index))
+    }
+
+    /// Inserts `key: value` into an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object; use [`Value::as_object_mut`] for a
+    /// fallible alternative.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Value {
+        match self {
+            Value::Object(o) => {
+                o.insert(key.to_string(), value.into());
+                self
+            }
+            other => panic!("Value::set on non-object {other:?}"),
+        }
+    }
+
+    /// Follows a `/`-separated path of object keys and array indices, e.g.
+    /// `"records/0/patient_id"`.
+    pub fn pointer(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('/') {
+            if seg.is_empty() {
+                continue;
+            }
+            cur = match cur {
+                Value::Object(o) => o.get(seg)?,
+                Value::Array(a) => a.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// The variant name, for diagnostics ("null", "bool", "number",
+    /// "string", "array", "object").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays the compact JSON encoding.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        match opt {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Value {
+        Value::Object(iter.into_iter().collect())
+    }
+}
+
+/// Builds a [`Value::Object`] from `key => value` pairs.
+///
+/// ```
+/// use safeweb_json::{jobject, Value};
+///
+/// let v = jobject! {
+///     "patient_id" => 33812769,
+///     "name" => "A. Patient",
+///     "metrics" => Value::Array(vec![Value::Int(1), Value::Int(2)]),
+/// };
+/// assert_eq!(v.get("patient_id").and_then(Value::as_i64), Some(33812769));
+/// ```
+#[macro_export]
+macro_rules! jobject {
+    () => { $crate::Value::object() };
+    ($($key:expr => $value:expr),+ $(,)?) => {{
+        let mut obj = ::std::collections::BTreeMap::new();
+        $(obj.insert(::std::string::String::from($key), $crate::Value::from($value));)+
+        $crate::Value::Object(obj)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = jobject! {
+            "a" => 1,
+            "b" => "two",
+            "c" => vec![1i64, 2, 3],
+            "d" => 2.5,
+            "e" => true,
+        };
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("two"));
+        assert_eq!(v.get("c").and_then(|c| c.at(2)).and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("d").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("e").and_then(Value::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn pointer_walks_nested_structure() {
+        let v = jobject! {
+            "records" => Value::Array(vec![jobject! {"id" => 7}]),
+        };
+        assert_eq!(v.pointer("records/0/id").and_then(Value::as_i64), Some(7));
+        assert!(v.pointer("records/1/id").is_none());
+        assert!(v.pointer("records/x").is_none());
+    }
+
+    #[test]
+    fn float_int_coercion() {
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn set_inserts_into_object() {
+        let mut v = Value::object();
+        v.set("x", 1).set("y", "z");
+        assert_eq!(v.get("x").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("y").and_then(Value::as_str), Some("z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_panics_on_array() {
+        Value::array().set("x", 1);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(Value::Int(1).kind(), "number");
+        assert_eq!(Value::Float(1.5).kind(), "number");
+        assert_eq!(Value::from("s").kind(), "string");
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for label and policy parsing.
+
+use std::fmt;
+
+/// Error produced when parsing a label URI, label set, pattern or privilege
+/// keyword fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLabelError {
+    message: String,
+}
+
+impl ParseLabelError {
+    pub(crate) fn new(message: impl Into<String>) -> ParseLabelError {
+        ParseLabelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseLabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseLabelError {}
+
+/// Error produced when parsing a policy file fails; carries the offending
+/// line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    line: usize,
+    message: String,
+}
+
+impl ParsePolicyError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParsePolicyError {
+        ParsePolicyError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}

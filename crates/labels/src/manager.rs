@@ -1,0 +1,369 @@
+//! Runtime privilege delegation — the paper's label manager (§4.1):
+//! "For more complex policies with dynamic privileges, a label manager
+//! could delegate privileges to units at runtime."
+//!
+//! The manager starts from a static [`Policy`] and lets principals
+//! delegate privileges they hold to other principals, with revocation.
+//! Two rules keep delegation sound:
+//!
+//! 1. **No amplification** — a principal can only delegate a privilege it
+//!    *effectively holds* (statically, as an authority owner, or through a
+//!    live delegation chain).
+//! 2. **Cascading revocation** — a delegation is only effective while its
+//!    grantor still holds the privilege, so revoking an upstream grant
+//!    silently disables every chain built on it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::policy::{Policy, PrincipalKind};
+use crate::privilege::{Privilege, PrivilegeSet};
+
+/// A principal as the manager names it: kind plus name.
+pub type Principal = (PrincipalKind, String);
+
+/// Identifier of a live delegation, for revocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DelegationId(u64);
+
+/// Why a delegation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DelegationError {
+    /// The grantor does not (effectively) hold the privilege.
+    NotHeld {
+        /// The grantor that attempted the delegation.
+        grantor: String,
+        /// The privilege that was not held.
+        privilege: Privilege,
+    },
+    /// Self-delegation is pointless and rejected to catch configuration
+    /// mistakes.
+    SelfDelegation,
+}
+
+impl fmt::Display for DelegationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelegationError::NotHeld { grantor, privilege } => {
+                write!(f, "{grantor} does not hold `{privilege}` and cannot delegate it")
+            }
+            DelegationError::SelfDelegation => write!(f, "cannot delegate to oneself"),
+        }
+    }
+}
+
+impl std::error::Error for DelegationError {}
+
+#[derive(Debug, Clone)]
+struct Delegation {
+    grantor: Principal,
+    grantee: Principal,
+    privilege: Privilege,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_id: u64,
+    delegations: BTreeMap<DelegationId, Delegation>,
+    /// authority → owning principal: owners hold every privilege over
+    /// their authority's labels (the paper's "original owner of the data").
+    owners: BTreeMap<String, Principal>,
+}
+
+/// The label manager: a static policy plus runtime delegations.
+///
+/// ```
+/// use safeweb_labels::{Label, LabelManager, Policy, Privilege, PrincipalKind};
+///
+/// let policy: Policy = "unit storage {\n declassify label:conf:e/mdt/*\n}".parse()?;
+/// let manager = LabelManager::new(policy);
+///
+/// // storage may delegate what it holds...
+/// let grant = manager.delegate(
+///     (PrincipalKind::Unit, "storage".into()),
+///     (PrincipalKind::Unit, "night_shift".into()),
+///     Privilege::declassify(Label::conf("e", "mdt/a")),
+/// )?;
+/// assert!(manager
+///     .privileges(PrincipalKind::Unit, "night_shift")
+///     .can_declassify(&Label::conf("e", "mdt/a")));
+///
+/// // ...and revoke it again.
+/// manager.revoke(grant);
+/// assert!(!manager
+///     .privileges(PrincipalKind::Unit, "night_shift")
+///     .can_declassify(&Label::conf("e", "mdt/a")));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LabelManager {
+    policy: Policy,
+    inner: Mutex<Inner>,
+}
+
+impl LabelManager {
+    /// Creates a manager over a static base policy.
+    pub fn new(policy: Policy) -> LabelManager {
+        LabelManager {
+            policy,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Declares `principal` the owner of `authority`: owners hold every
+    /// privilege over labels minted under that authority and are the root
+    /// of delegation chains (§3: "the original owner of the data can
+    /// restrict the data flow ... by assigning declassification
+    /// privileges").
+    pub fn set_owner(&self, authority: &str, principal: Principal) {
+        self.inner
+            .lock()
+            .expect("label manager lock")
+            .owners
+            .insert(authority.to_string(), principal);
+    }
+
+    /// Delegates `privilege` from `grantor` to `grantee`.
+    ///
+    /// # Errors
+    ///
+    /// [`DelegationError::NotHeld`] if the grantor does not effectively
+    /// hold the privilege; [`DelegationError::SelfDelegation`] for
+    /// self-grants.
+    pub fn delegate(
+        &self,
+        grantor: Principal,
+        grantee: Principal,
+        privilege: Privilege,
+    ) -> Result<DelegationId, DelegationError> {
+        if grantor == grantee {
+            return Err(DelegationError::SelfDelegation);
+        }
+        let mut inner = self.inner.lock().expect("label manager lock");
+        if !self.holds(&inner, &grantor, &privilege, &mut Vec::new()) {
+            return Err(DelegationError::NotHeld {
+                grantor: format!("{} {}", grantor.0, grantor.1),
+                privilege,
+            });
+        }
+        inner.next_id += 1;
+        let id = DelegationId(inner.next_id);
+        inner.delegations.insert(
+            id,
+            Delegation {
+                grantor,
+                grantee,
+                privilege,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Revokes a delegation. Chains built on it stop being effective
+    /// immediately. Returns whether the id was live.
+    pub fn revoke(&self, id: DelegationId) -> bool {
+        self.inner
+            .lock()
+            .expect("label manager lock")
+            .delegations
+            .remove(&id)
+            .is_some()
+    }
+
+    /// The effective privileges of a principal *right now*: static policy
+    /// ∪ ownership ∪ live, still-rooted delegations.
+    pub fn privileges(&self, kind: PrincipalKind, name: &str) -> PrivilegeSet {
+        let inner = self.inner.lock().expect("label manager lock");
+        let principal = (kind, name.to_string());
+        let mut set = self.policy.privileges(kind, name);
+        for delegation in inner.delegations.values() {
+            if delegation.grantee == principal
+                && self.holds(
+                    &inner,
+                    &delegation.grantor,
+                    &delegation.privilege,
+                    &mut Vec::new(),
+                )
+            {
+                set.grant(delegation.privilege.clone());
+            }
+        }
+        set
+    }
+
+    /// Whether `principal` effectively holds `privilege`: statically, as
+    /// an authority owner, or through a live chain of delegations whose
+    /// root holds it. `visiting` breaks delegation cycles.
+    fn holds(
+        &self,
+        inner: &Inner,
+        principal: &Principal,
+        privilege: &Privilege,
+        visiting: &mut Vec<Principal>,
+    ) -> bool {
+        // Statically granted? A broader static grant (e.g. a wildcard
+        // declassify over `mdt/*`) subsumes an exact delegated privilege.
+        let static_privs = self.policy.privileges(principal.0, &principal.1);
+        let statically_held = match privilege.pattern().exact_label() {
+            Some(label) => static_privs.permits(privilege.kind(), &label),
+            None => static_privs.iter().any(|p| p == privilege),
+        };
+        if statically_held {
+            return true;
+        }
+        // Authority owner? (Owners hold everything over their authority.)
+        if inner.owners.get(privilege.pattern().authority()) == Some(principal) {
+            return true;
+        }
+        // Through a live delegation whose grantor still holds it?
+        if visiting.contains(principal) {
+            return false; // cycle
+        }
+        visiting.push(principal.clone());
+        let held = inner.delegations.values().any(|d| {
+            d.grantee == *principal
+                && d.privilege == *privilege
+                && self.holds(inner, &d.grantor, privilege, visiting)
+        });
+        visiting.pop();
+        held
+    }
+
+    /// Number of live delegations.
+    pub fn delegation_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("label manager lock")
+            .delegations
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn unit(name: &str) -> Principal {
+        (PrincipalKind::Unit, name.to_string())
+    }
+
+    fn declassify_a() -> Privilege {
+        Privilege::declassify(Label::conf("e", "mdt/a"))
+    }
+
+    fn manager() -> LabelManager {
+        LabelManager::new(
+            "unit storage {\n declassify label:conf:e/mdt/a\n}"
+                .parse()
+                .expect("policy"),
+        )
+    }
+
+    #[test]
+    fn delegation_requires_holding() {
+        let m = manager();
+        // storage holds it → may delegate.
+        assert!(m.delegate(unit("storage"), unit("helper"), declassify_a()).is_ok());
+        // mallory holds nothing → may not.
+        let err = m
+            .delegate(unit("mallory"), unit("friend"), declassify_a())
+            .unwrap_err();
+        assert!(matches!(err, DelegationError::NotHeld { .. }));
+        assert!(err.to_string().contains("mallory"));
+    }
+
+    #[test]
+    fn delegation_grants_and_revocation_removes() {
+        let m = manager();
+        let id = m
+            .delegate(unit("storage"), unit("helper"), declassify_a())
+            .unwrap();
+        assert!(m
+            .privileges(PrincipalKind::Unit, "helper")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        assert!(m.revoke(id));
+        assert!(!m
+            .privileges(PrincipalKind::Unit, "helper")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        assert!(!m.revoke(id));
+    }
+
+    #[test]
+    fn chains_and_cascading_revocation() {
+        let m = manager();
+        let first = m
+            .delegate(unit("storage"), unit("helper"), declassify_a())
+            .unwrap();
+        // helper now holds it via the chain → may re-delegate.
+        let _second = m
+            .delegate(unit("helper"), unit("intern"), declassify_a())
+            .unwrap();
+        assert!(m
+            .privileges(PrincipalKind::Unit, "intern")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        // Revoking the upstream grant disables the whole chain.
+        m.revoke(first);
+        assert!(!m
+            .privileges(PrincipalKind::Unit, "helper")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        assert!(!m
+            .privileges(PrincipalKind::Unit, "intern")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+    }
+
+    #[test]
+    fn owners_hold_everything_over_their_authority() {
+        let m = LabelManager::new(Policy::new());
+        m.set_owner("e", unit("registry"));
+        // The owner can delegate arbitrary privileges over its authority…
+        assert!(m
+            .delegate(unit("registry"), unit("helper"), declassify_a())
+            .is_ok());
+        // …but not over someone else's.
+        let foreign = Privilege::declassify(Label::conf("other.org", "x"));
+        assert!(m.delegate(unit("registry"), unit("helper"), foreign).is_err());
+    }
+
+    #[test]
+    fn cycles_do_not_loop_or_grant() {
+        let m = manager();
+        let a_to_b = m
+            .delegate(unit("storage"), unit("b"), declassify_a())
+            .unwrap();
+        let _b_to_c = m.delegate(unit("b"), unit("c"), declassify_a()).unwrap();
+        let _c_to_b = m.delegate(unit("c"), unit("b"), declassify_a()).unwrap();
+        // Cut the root: b and c now only "hold" through each other — a
+        // cycle with no root — which must resolve to not-held, promptly.
+        m.revoke(a_to_b);
+        assert!(!m
+            .privileges(PrincipalKind::Unit, "b")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        assert!(!m
+            .privileges(PrincipalKind::Unit, "c")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+    }
+
+    #[test]
+    fn self_delegation_rejected() {
+        let m = manager();
+        assert_eq!(
+            m.delegate(unit("storage"), unit("storage"), declassify_a()),
+            Err(DelegationError::SelfDelegation)
+        );
+    }
+
+    #[test]
+    fn static_policy_unaffected_by_delegations() {
+        let m = manager();
+        m.delegate(unit("storage"), unit("helper"), declassify_a())
+            .unwrap();
+        // The underlying policy object is untouched; only effective
+        // privileges change.
+        assert!(m
+            .privileges(PrincipalKind::Unit, "storage")
+            .can_declassify(&Label::conf("e", "mdt/a")));
+        assert_eq!(m.delegation_count(), 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Sets of security labels with the composition semantics of §4.1.
+//!
+//! When data is derived from several labelled inputs, the resulting label set
+//! must preserve every flow restriction of the originals: confidentiality
+//! labels are combined by **union** (sticky) while integrity labels are
+//! combined by **intersection** (fragile).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseLabelError;
+use crate::label::{Label, LabelKind};
+use crate::privilege::PrivilegeSet;
+
+/// An immutable-by-default, ordered set of [`Label`]s.
+///
+/// ```
+/// use safeweb_labels::{Label, LabelSet};
+///
+/// let patient = Label::conf("ecric.org.uk", "patient/1");
+/// let mdt = Label::conf("ecric.org.uk", "mdt/addenbrookes");
+/// let set = LabelSet::from_iter([patient.clone(), mdt]);
+/// assert!(set.contains(&patient));
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet {
+    labels: BTreeSet<Label>,
+}
+
+impl LabelSet {
+    /// Creates an empty label set (public data).
+    pub fn new() -> LabelSet {
+        LabelSet::default()
+    }
+
+    /// Creates a set containing a single label.
+    pub fn singleton(label: Label) -> LabelSet {
+        let mut labels = BTreeSet::new();
+        labels.insert(label);
+        LabelSet { labels }
+    }
+
+    /// Whether the set contains no labels at all.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The number of labels in the set.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether `label` is a member of this set.
+    pub fn contains(&self, label: &Label) -> bool {
+        self.labels.contains(label)
+    }
+
+    /// Adds a label. Returns `true` if it was newly inserted.
+    ///
+    /// Adding confidentiality labels never requires privilege (it only makes
+    /// data *more* restricted); removing them does — see
+    /// [`LabelSet::declassify`].
+    pub fn insert(&mut self, label: Label) -> bool {
+        self.labels.insert(label)
+    }
+
+    /// Removes a label without any privilege check.
+    ///
+    /// This is a low-level operation used by the enforcement layers after
+    /// they have verified the caller's declassification (or, for integrity
+    /// labels, its endorsement-revocation) rights; application code should go
+    /// through [`LabelSet::declassify`] instead.
+    pub fn remove_unchecked(&mut self, label: &Label) -> bool {
+        self.labels.remove(label)
+    }
+
+    /// Iterates over the labels in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Label> {
+        self.labels.iter()
+    }
+
+    /// Returns only the confidentiality labels.
+    pub fn confidentiality(&self) -> LabelSet {
+        self.filter_kind(LabelKind::Confidentiality)
+    }
+
+    /// Returns only the integrity labels.
+    pub fn integrity(&self) -> LabelSet {
+        self.filter_kind(LabelKind::Integrity)
+    }
+
+    fn filter_kind(&self, kind: LabelKind) -> LabelSet {
+        LabelSet {
+            labels: self.labels.iter().filter(|l| l.kind() == kind).cloned().collect(),
+        }
+    }
+
+    /// Set union, irrespective of label kind.
+    pub fn union(&self, other: &LabelSet) -> LabelSet {
+        LabelSet {
+            labels: self.labels.union(&other.labels).cloned().collect(),
+        }
+    }
+
+    /// Set intersection, irrespective of label kind.
+    pub fn intersection(&self, other: &LabelSet) -> LabelSet {
+        LabelSet {
+            labels: self.labels.intersection(&other.labels).cloned().collect(),
+        }
+    }
+
+    /// Whether every label in `self` is also in `other`.
+    pub fn is_subset(&self, other: &LabelSet) -> bool {
+        self.labels.is_subset(&other.labels)
+    }
+
+    /// Combines the labels of two inputs into the label set of data derived
+    /// from both, per §4.1: confidentiality is sticky (union), integrity is
+    /// fragile (intersection).
+    ///
+    /// ```
+    /// use safeweb_labels::{Label, LabelSet};
+    ///
+    /// let a = LabelSet::from_iter([Label::conf("e", "p/1"), Label::int("e", "ok")]);
+    /// let b = LabelSet::from_iter([Label::conf("e", "p/2"), Label::int("e", "ok")]);
+    /// let c = a.combine(&b);
+    /// assert_eq!(c.confidentiality().len(), 2); // union
+    /// assert_eq!(c.integrity().len(), 1);       // intersection
+    /// ```
+    pub fn combine(&self, other: &LabelSet) -> LabelSet {
+        let conf = self.confidentiality().union(&other.confidentiality());
+        let int = self.integrity().intersection(&other.integrity());
+        conf.union(&int)
+    }
+
+    /// Whether data with this label set may flow to a principal holding
+    /// `privileges`: every confidentiality label must be covered by a
+    /// clearance privilege.
+    ///
+    /// Integrity labels never *block* a flow (they vouch for data rather than
+    /// restrict it), so they are ignored here; consumers that require a given
+    /// integrity label should check [`LabelSet::contains`] explicitly.
+    pub fn flows_to(&self, privileges: &PrivilegeSet) -> bool {
+        self.labels
+            .iter()
+            .filter(|l| l.is_confidentiality())
+            .all(|l| privileges.has_clearance(l))
+    }
+
+    /// The confidentiality labels in `self` that `privileges` does **not**
+    /// have clearance for — i.e. the reason a [`LabelSet::flows_to`] check
+    /// fails. Empty when the flow is permitted.
+    pub fn blocking_labels(&self, privileges: &PrivilegeSet) -> Vec<Label> {
+        self.labels
+            .iter()
+            .filter(|l| l.is_confidentiality() && !privileges.has_clearance(l))
+            .cloned()
+            .collect()
+    }
+
+    /// Removes `label` from the set if `privileges` grants declassification
+    /// (for confidentiality labels) over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeclassifyError`] if the privilege is missing. Removing a
+    /// label that is not present is a no-op and succeeds.
+    pub fn declassify(
+        &mut self,
+        label: &Label,
+        privileges: &PrivilegeSet,
+    ) -> Result<(), DeclassifyError> {
+        if !label.is_confidentiality() {
+            return Err(DeclassifyError::NotConfidentiality(label.clone()));
+        }
+        if !privileges.can_declassify(label) {
+            return Err(DeclassifyError::MissingPrivilege(label.clone()));
+        }
+        self.labels.remove(label);
+        Ok(())
+    }
+
+    /// Adds `label` as an integrity endorsement if `privileges` grants
+    /// endorsement over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndorseError`] if the privilege is missing or the label is
+    /// not an integrity label.
+    pub fn endorse(
+        &mut self,
+        label: &Label,
+        privileges: &PrivilegeSet,
+    ) -> Result<(), EndorseError> {
+        if !label.is_integrity() {
+            return Err(EndorseError::NotIntegrity(label.clone()));
+        }
+        if !privileges.can_endorse(label) {
+            return Err(EndorseError::MissingPrivilege(label.clone()));
+        }
+        self.labels.insert(label.clone());
+        Ok(())
+    }
+
+    /// Encodes the set as a comma-separated list of label URIs in sorted
+    /// order; the wire format used in STOMP headers and database documents.
+    /// Returns an empty string for the empty set.
+    pub fn to_wire(&self) -> String {
+        let parts: Vec<String> = self.labels.iter().map(|l| l.to_string()).collect();
+        parts.join(",")
+    }
+
+    /// Decodes a comma-separated list of label URIs, ignoring surrounding
+    /// whitespace around each element. The empty string decodes to the empty
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLabelError`] if any element is not a valid label URI.
+    pub fn from_wire(s: &str) -> Result<LabelSet, ParseLabelError> {
+        let mut set = LabelSet::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            set.insert(part.parse()?);
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> LabelSet {
+        LabelSet {
+            labels: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Label> for LabelSet {
+    fn extend<I: IntoIterator<Item = Label>>(&mut self, iter: I) {
+        self.labels.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a LabelSet {
+    type Item = &'a Label;
+    type IntoIter = std::collections::btree_set::Iter<'a, Label>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.labels.iter()
+    }
+}
+
+impl IntoIterator for LabelSet {
+    type Item = Label;
+    type IntoIter = std::collections::btree_set::IntoIter<Label>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.labels.into_iter()
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.to_wire())
+    }
+}
+
+impl FromStr for LabelSet {
+    type Err = ParseLabelError;
+
+    fn from_str(s: &str) -> Result<LabelSet, ParseLabelError> {
+        LabelSet::from_wire(s)
+    }
+}
+
+/// Error returned by [`LabelSet::declassify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclassifyError {
+    /// The caller lacks the declassification privilege for this label.
+    MissingPrivilege(Label),
+    /// Declassification only applies to confidentiality labels.
+    NotConfidentiality(Label),
+}
+
+impl fmt::Display for DeclassifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclassifyError::MissingPrivilege(l) => {
+                write!(f, "missing declassification privilege for {l}")
+            }
+            DeclassifyError::NotConfidentiality(l) => {
+                write!(f, "cannot declassify non-confidentiality label {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeclassifyError {}
+
+/// Error returned by [`LabelSet::endorse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndorseError {
+    /// The caller lacks the endorsement privilege for this label.
+    MissingPrivilege(Label),
+    /// Endorsement only applies to integrity labels.
+    NotIntegrity(Label),
+}
+
+impl fmt::Display for EndorseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndorseError::MissingPrivilege(l) => {
+                write!(f, "missing endorsement privilege for {l}")
+            }
+            EndorseError::NotIntegrity(l) => {
+                write!(f, "cannot endorse non-integrity label {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EndorseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privilege::Privilege;
+
+    fn conf(p: &str) -> Label {
+        Label::conf("ecric.org.uk", p)
+    }
+
+    fn int(p: &str) -> Label {
+        Label::int("ecric.org.uk", p)
+    }
+
+    #[test]
+    fn combine_is_sticky_for_confidentiality() {
+        let a = LabelSet::singleton(conf("patient/1"));
+        let b = LabelSet::singleton(conf("patient/2"));
+        let c = a.combine(&b);
+        assert!(c.contains(&conf("patient/1")));
+        assert!(c.contains(&conf("patient/2")));
+    }
+
+    #[test]
+    fn combine_is_fragile_for_integrity() {
+        let a = LabelSet::from_iter([int("mdt"), int("lab")]);
+        let b = LabelSet::from_iter([int("mdt")]);
+        let c = a.combine(&b);
+        assert!(c.contains(&int("mdt")));
+        assert!(!c.contains(&int("lab")));
+    }
+
+    #[test]
+    fn empty_set_flows_anywhere() {
+        assert!(LabelSet::new().flows_to(&PrivilegeSet::new()));
+    }
+
+    #[test]
+    fn flow_requires_clearance_for_all_conf_labels() {
+        let set = LabelSet::from_iter([conf("patient/1"), conf("patient/2")]);
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::clearance(conf("patient/1")));
+        assert!(!set.flows_to(&privs));
+        assert_eq!(set.blocking_labels(&privs), vec![conf("patient/2")]);
+        privs.grant(Privilege::clearance(conf("patient/2")));
+        assert!(set.flows_to(&privs));
+        assert!(set.blocking_labels(&privs).is_empty());
+    }
+
+    #[test]
+    fn integrity_labels_do_not_block_flow() {
+        let set = LabelSet::singleton(int("mdt"));
+        assert!(set.flows_to(&PrivilegeSet::new()));
+    }
+
+    #[test]
+    fn declassify_requires_privilege() {
+        let mut set = LabelSet::singleton(conf("patient/1"));
+        let err = set
+            .declassify(&conf("patient/1"), &PrivilegeSet::new())
+            .unwrap_err();
+        assert!(matches!(err, DeclassifyError::MissingPrivilege(_)));
+        assert!(set.contains(&conf("patient/1")));
+
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::declassify(conf("patient/1")));
+        set.declassify(&conf("patient/1"), &privs).unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn declassify_rejects_integrity_labels() {
+        let mut set = LabelSet::singleton(int("mdt"));
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::declassify(conf("x")));
+        assert!(matches!(
+            set.declassify(&int("mdt"), &privs),
+            Err(DeclassifyError::NotConfidentiality(_))
+        ));
+    }
+
+    #[test]
+    fn endorse_requires_privilege() {
+        let mut set = LabelSet::new();
+        assert!(matches!(
+            set.endorse(&int("mdt"), &PrivilegeSet::new()),
+            Err(EndorseError::MissingPrivilege(_))
+        ));
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::endorse(int("mdt")));
+        set.endorse(&int("mdt"), &privs).unwrap();
+        assert!(set.contains(&int("mdt")));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let set = LabelSet::from_iter([conf("patient/1"), int("mdt"), conf("mdt/a")]);
+        let wire = set.to_wire();
+        let back = LabelSet::from_wire(&wire).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn wire_empty() {
+        assert_eq!(LabelSet::new().to_wire(), "");
+        assert_eq!(LabelSet::from_wire("").unwrap(), LabelSet::new());
+        assert_eq!(LabelSet::from_wire("  ,  ").unwrap(), LabelSet::new());
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(LabelSet::from_wire("label:conf:a,nonsense").is_err());
+    }
+}

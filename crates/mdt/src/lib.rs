@@ -1,0 +1,37 @@
+//! # safeweb-mdt
+//!
+//! The **MDT web portal** — the real-world application the SafeWeb paper
+//! builds and evaluates (§2.1, §5.1): a portal giving hospital
+//! Multidisciplinary Teams (MDTs) access to the cancer-registry data of
+//! the patients they treat, with ECRIC's security policy **P1** enforced
+//! end-to-end by the SafeWeb middleware:
+//!
+//! > Details about patients can be consulted only by members of the MDT
+//! > that treats them. MDT-level aggregates can be consulted by all MDTs
+//! > in the same region. Regional-level aggregates can be seen by all
+//! > MDTs.
+//!
+//! Contents:
+//!
+//! * [`registry`] — a synthetic ECRIC cancer registry (schema +
+//!   deterministic generator);
+//! * [`labels`] — the application's label vocabulary and P1 privilege
+//!   assignment;
+//! * [`units`] — the data-producer / data-aggregator / data-storage units
+//!   of Figure 4;
+//! * [`MdtPortal`] — builds the full deployment (registry → events →
+//!   application DB → DMZ replica → web frontend);
+//! * [`vuln`] — the §5.2 security study: four injected CVE-style bug
+//!   classes, each shown to be contained by SafeWeb.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labels;
+mod portal;
+pub mod registry;
+pub mod units;
+pub mod vuln;
+
+pub use portal::{mdt_policy, password_for, MdtPortal, PortalConfig};
+pub use vuln::{run_experiment, run_security_study, StudyResult, VulnClass, VulnConfig};

@@ -1,0 +1,461 @@
+//! The MDT web portal: routes, templates and the end-to-end builder that
+//! stands up the full Figure 4 deployment (registry → units → application
+//! database → DMZ replica → enforcing web frontend).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use safeweb_core::{SafeWebBuilder, SafeWebDeployment};
+use safeweb_engine::EngineOptions;
+use safeweb_labels::Policy;
+use safeweb_relstore::{ColumnDef, ColumnType, Database, Schema};
+use safeweb_taint::{SStr, SValue};
+use safeweb_web::{
+    AuthConfig, Ctx, FrontendOptions, SResponse, SafeWebApp, TContext, TValue, Template,
+};
+
+use crate::labels::mdt_user_privileges;
+use crate::registry::{self, MdtInfo, RegistryConfig};
+use crate::units::{data_aggregator, data_producer, data_storage, AggregatorConfig, ProducerConfig};
+use crate::vuln::VulnConfig;
+
+/// Password convention for generated MDT users (tests and examples).
+pub fn password_for(mdt_name: &str) -> String {
+    format!("pw-{mdt_name}")
+}
+
+/// Portal-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PortalConfig {
+    /// Synthetic registry sizing.
+    pub registry: RegistryConfig,
+    /// Producer batching.
+    pub producer: ProducerConfig,
+    /// Injected vulnerabilities (§5.2); all off by default.
+    pub vuln: VulnConfig,
+    /// Password-hash cost (lower it in tests).
+    pub auth_iterations: u32,
+    /// Intranet→DMZ replication period.
+    pub replication_interval: Duration,
+    /// When `false`, runs the paper's no-tracking baseline (§5.3 only).
+    pub label_tracking: bool,
+}
+
+impl Default for PortalConfig {
+    fn default() -> PortalConfig {
+        PortalConfig {
+            registry: RegistryConfig::default(),
+            producer: ProducerConfig::default(),
+            vuln: VulnConfig::default(),
+            auth_iterations: AuthConfig::default().hash_iterations,
+            replication_interval: Duration::from_millis(50),
+            label_tracking: true,
+        }
+    }
+}
+
+/// The policy file of the MDT application (§4.1): generated from the MDT
+/// list, it is part of the audited TCB.
+pub fn mdt_policy(mdts: &[MdtInfo]) -> Policy {
+    let mut text = String::new();
+    text.push_str(
+        "unit data_producer {\n    privileged\n}\n\
+         unit data_aggregator {\n    clearance label:conf:ecric.org.uk/mdt/*\n    declassify label:conf:ecric.org.uk/mdt/*\n}\n\
+         unit data_storage {\n    privileged\n    clearance label:conf:ecric.org.uk/*\n}\n",
+    );
+    let _ = mdts; // privileges are wildcard-based; users are per-MDT in the web DB
+    text.parse().expect("generated policy is well-formed")
+}
+
+/// A running MDT portal.
+pub struct MdtPortal {
+    deployment: SafeWebDeployment,
+    registry_db: Database,
+    mdts: Vec<MdtInfo>,
+    expected_records: usize,
+}
+
+impl MdtPortal {
+    /// Builds and starts the full pipeline.
+    pub fn build(config: PortalConfig) -> MdtPortal {
+        let registry_db = registry::generate(&config.registry);
+        let mdts = registry::list_mdts(&registry_db);
+        let expected_records = registry_db.count("patients").expect("patients table");
+
+        let deployment = SafeWebBuilder::new()
+            .policy(mdt_policy(&mdts))
+            .replication_interval(config.replication_interval)
+            .auth_config(AuthConfig {
+                hash_iterations: config.auth_iterations,
+            })
+            .engine_options(EngineOptions {
+                label_tracking: config.label_tracking,
+            })
+            .app_view("by_mid", "mdt_id")
+            .app_view("by_kind", "kind")
+            .app_view("metrics_by_region", "region_id")
+            .unit(data_aggregator(AggregatorConfig {
+                mix_hospitals: config.vuln.aggregator_mixes_hospitals,
+            }))
+            .unit(data_producer(
+                registry_db.clone(),
+                mdts.clone(),
+                config.producer,
+            ))
+            .unit_with_app_db(data_storage)
+            .build()
+            .expect("deployment starts");
+
+        // Provision web users: one account per MDT plus an admin.
+        for mdt in &mdts {
+            deployment
+                .users()
+                .create_user(
+                    &mdt.name,
+                    &password_for(&mdt.name),
+                    &mdt_user_privileges(&mdt.name, mdt.region_id),
+                    false,
+                )
+                .expect("fresh usernames");
+        }
+        deployment
+            .users()
+            .create_user("admin", "admin-pw", &admin_privileges(&mdts), true)
+            .expect("fresh admin");
+
+        // The application-level privileges table used by check_privileges
+        // (the paper's Listing 3).
+        let web_db = deployment.users().database().clone();
+        create_app_privileges(&web_db, &mdts);
+
+        MdtPortal {
+            deployment,
+            registry_db,
+            mdts,
+            expected_records,
+        }
+    }
+
+    /// The underlying deployment.
+    pub fn deployment(&self) -> &SafeWebDeployment {
+        &self.deployment
+    }
+
+    /// The synthetic registry.
+    pub fn registry(&self) -> &Database {
+        &self.registry_db
+    }
+
+    /// MDTs in the registry.
+    pub fn mdts(&self) -> &[MdtInfo] {
+        &self.mdts
+    }
+
+    /// Blocks until the pipeline has produced and replicated a record for
+    /// every patient (or panics after `timeout`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline does not settle within `timeout`.
+    pub fn wait_for_pipeline(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let records = self
+                .deployment
+                .dmz_db()
+                .scan(|d| d.id().starts_with("record-"))
+                .len();
+            if records >= self.expected_records {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pipeline did not settle: {records}/{} records in DMZ",
+                self.expected_records
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Builds the portal's web application (routes + vulnerability
+    /// injection per `vuln`).
+    pub fn frontend(&self, vuln: &VulnConfig) -> SafeWebApp {
+        let mut app = self
+            .deployment
+            .new_frontend()
+            .with_options(FrontendOptions {
+                label_checking: true,
+            });
+        install_routes(&mut app, &self.mdts, self.deployment.users().database(), vuln);
+        app
+    }
+}
+
+fn admin_privileges(mdts: &[MdtInfo]) -> safeweb_labels::PrivilegeSet {
+    use safeweb_labels::{LabelPattern, Privilege, PrivilegeKind};
+    let mut privs = safeweb_labels::PrivilegeSet::new();
+    let everything: LabelPattern = "label:conf:ecric.org.uk/*".parse().expect("valid pattern");
+    privs.grant(Privilege::new(PrivilegeKind::Clearance, everything));
+    let _ = mdts;
+    privs
+}
+
+fn create_app_privileges(web_db: &Database, mdts: &[MdtInfo]) {
+    let _ = web_db.create_table(
+        "app_privileges",
+        Schema::new(
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("username", ColumnType::Text),
+                ColumnDef::new("hospital_id", ColumnType::Int),
+                ColumnDef::new("clinic", ColumnType::Text),
+            ],
+            "id",
+        ),
+    );
+    for (i, mdt) in mdts.iter().enumerate() {
+        web_db
+            .insert(
+                "app_privileges",
+                vec![
+                    (i as i64).into(),
+                    mdt.name.clone().into(),
+                    mdt.hospital_id.into(),
+                    mdt.clinic.clone().into(),
+                ],
+            )
+            .expect("fresh app privilege rows");
+    }
+}
+
+/// The paper's Listing 3: the application-level access check the MDT
+/// portal performs *before* fetching records. SafeWeb's point is that
+/// bugs here (or its complete omission) cannot disclose data — the label
+/// check is the safety net.
+fn check_privileges(
+    web_db: &Database,
+    username: &str,
+    is_admin: bool,
+    mdt: &MdtInfo,
+    vuln: &VulnConfig,
+) -> bool {
+    if is_admin {
+        return true;
+    }
+    let rows = web_db
+        .select("app_privileges", |row| {
+            let name_matches = if vuln.case_insensitive_lookup {
+                // E7 injection point (Listing 3 line 5): `User.find_by_name`
+                // made case-insensitive, so `MDT1` inherits the membership
+                // rows of `mdt1`.
+                row.text("username")
+                    .is_some_and(|u| u.eq_ignore_ascii_case(username))
+            } else {
+                row.text("username") == Some(username)
+            };
+            name_matches
+                && row.int("hospital_id") == Some(mdt.hospital_id)
+                // E8 injection point (Listing 3 line 7): the correct check
+                // also matches the clinic; dropping it lets any MDT of the
+                // same hospital through the *application* check.
+                && (vuln.inappropriate_check || row.text("clinic") == Some(mdt.clinic.as_str()))
+        })
+        .unwrap_or_default();
+    !rows.is_empty()
+}
+
+const FRONT_PAGE_TEMPLATE: &str = "<!doctype html>\n<html><head><title>MDT <%= mdt %></title></head>\n<body>\n<h1>MDT <%= mdt %> — patient records</h1>\n<p>Average completeness: <%= avg_completeness %>% over <%= cases %> cases</p>\n<table>\n<tr><th>Case</th><th>Name</th><th>Born</th><th>Site</th><th>Stage</th><th>Treatment</th><th>Completeness</th></tr>\n<% for r in records %><tr><td><%= r.case_id %></td><td><%= r.name %></td><td><%= r.birth_year %></td><td><%= r.site %></td><td><%= r.stage %></td><td><%= r.treatment %></td><td><%= r.completeness %></td></tr>\n<% end %></table>\n</body></html>\n";
+
+const COMPARE_TEMPLATE: &str = "<!doctype html>\n<html><head><title>Compare <%= mdt %></title></head>\n<body>\n<h1>MDT <%= mdt %> in context (region <%= region %>)</h1>\n<table>\n<tr><th>MDT</th><th>Cases</th><th>Avg completeness</th></tr>\n<% for m in peers %><tr><td><%= m.mdt_id %></td><td><%= m.cases %></td><td><%= m.avg_completeness %></td></tr>\n<% end %></table>\n<p>Regional average: <%= regional_avg %>% over <%= regional_cases %> cases</p>\n</body></html>\n";
+
+fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vuln: &VulnConfig) {
+    let mdt_index: Arc<BTreeMap<String, MdtInfo>> = Arc::new(
+        mdts.iter()
+            .map(|m| (m.name.clone(), m.clone()))
+            .collect(),
+    );
+    let front_template = Arc::new(Template::parse(FRONT_PAGE_TEMPLATE).expect("valid template"));
+    let compare_template = Arc::new(Template::parse(COMPARE_TEMPLATE).expect("valid template"));
+
+    // --- GET /records/:mid — the paper's Listing 2 -----------------------
+    let idx = Arc::clone(&mdt_index);
+    let db = web_db.clone();
+    let vuln_records = *vuln;
+    app.get("/records/:mid", move |ctx: &Ctx<'_>| {
+        let mid = ctx.param_raw("mid").unwrap_or("").to_string();
+        let Some(mdt) = idx.get(&mid) else {
+            return SResponse::not_found();
+        };
+        // E6 injection point: `return nil if !check_privileges(...)`.
+        if !vuln_records.omitted_access_check
+            && !check_privileges(&db, &ctx.user().username, ctx.user().is_admin, mdt, &vuln_records)
+        {
+            return SResponse::error(403, "not a member of this MDT");
+        }
+        let records = ctx.records_by("by_mid", &mid);
+        let json_parts: Vec<SStr> = records.iter().map(SValue::to_json_sstr).collect();
+        let mut body = SStr::public("[");
+        body.push_sstr(&SStr::join(json_parts.iter(), ","));
+        body.push_str("]");
+        SResponse::json(body)
+    });
+
+    // --- GET /mdt/:mid — the HTML front page (benchmark E1) --------------
+    let idx = Arc::clone(&mdt_index);
+    let db = web_db.clone();
+    let vuln_page = *vuln;
+    let template = Arc::clone(&front_template);
+    app.get("/mdt/:mid", move |ctx: &Ctx<'_>| {
+        let mid = ctx.param_raw("mid").unwrap_or("").to_string();
+        let Some(mdt) = idx.get(&mid) else {
+            return SResponse::not_found();
+        };
+        if !vuln_page.omitted_access_check
+            && !check_privileges(&db, &ctx.user().username, ctx.user().is_admin, mdt, &vuln_page)
+        {
+            return SResponse::error(403, "not a member of this MDT");
+        }
+        let records = ctx.records_by("by_mid", &mid);
+        let rows: Vec<TContext> = records
+            .iter()
+            .map(|r| {
+                let field = |name: &str| -> TValue {
+                    r.get(name)
+                        .and_then(|v| {
+                            v.as_sstr()
+                                .or_else(|| v.as_snum().map(|n| n.to_sstr()))
+                                .or_else(|| v.value().as_f64().map(|f| {
+                                    SStr::with_label_set(format!("{f}"), v.labels().clone())
+                                }))
+                        })
+                        .map(TValue::Str)
+                        .unwrap_or_else(|| TValue::Str(SStr::public("—")))
+                };
+                TContext::new()
+                    .bind("case_id", field("case_id"))
+                    .bind("name", field("name"))
+                    .bind("birth_year", field("birth_year"))
+                    .bind("site", field("site"))
+                    .bind("stage", field("stage"))
+                    .bind("treatment", field("treatment"))
+                    .bind("completeness", field("completeness"))
+            })
+            .collect();
+        let metrics = ctx.record(&format!("metrics-{mid}"));
+        let metric_field = |name: &str| -> TValue {
+            metrics
+                .as_ref()
+                .and_then(|m| m.get(name))
+                .and_then(|v| {
+                    v.as_sstr()
+                        .or_else(|| v.as_snum().map(|n| n.to_sstr()))
+                        .or_else(|| {
+                            v.value()
+                                .as_f64()
+                                .map(|f| SStr::with_label_set(format!("{f}"), v.labels().clone()))
+                        })
+                })
+                .map(TValue::Str)
+                .unwrap_or_else(|| TValue::Str(SStr::public("—")))
+        };
+        let tctx = TContext::new()
+            .bind("mdt", SStr::public(mid.clone()))
+            .bind("records", TValue::List(rows))
+            .bind("avg_completeness", metric_field("avg_completeness"))
+            .bind("cases", metric_field("cases"));
+        match template.render(&tctx) {
+            Ok(body) => SResponse::html(body),
+            Err(e) => SResponse::error(500, &format!("template error: {e}")),
+        }
+    });
+
+    // --- GET /metrics/:mid — per-MDT aggregates (F2/F3) ------------------
+    let idx = Arc::clone(&mdt_index);
+    app.get("/metrics/:mid", move |ctx: &Ctx<'_>| {
+        let mid = ctx.param_raw("mid").unwrap_or("").to_string();
+        if !idx.contains_key(&mid) {
+            return SResponse::not_found();
+        }
+        match ctx.record(&format!("metrics-{mid}")) {
+            Some(doc) => SResponse::json(doc.to_json_sstr()),
+            None => SResponse::error(404, "no metrics yet"),
+        }
+    });
+
+    // --- GET /compare/:mid — region comparison page (F3) -----------------
+    let idx = Arc::clone(&mdt_index);
+    let template = Arc::clone(&compare_template);
+    app.get("/compare/:mid", move |ctx: &Ctx<'_>| {
+        let mid = ctx.param_raw("mid").unwrap_or("").to_string();
+        let Some(mdt) = idx.get(&mid) else {
+            return SResponse::not_found();
+        };
+        let region = mdt.region_id.to_string();
+        let peers = ctx.records_by("metrics_by_region", &region);
+        let peer_rows: Vec<TContext> = peers
+            .iter()
+            .filter(|p| {
+                p.get("kind").and_then(|k| k.as_sstr()).map(|s| s.as_str().to_string())
+                    == Some("mdt_metrics".to_string())
+            })
+            .map(|p| {
+                let f = |name: &str| -> TValue {
+                    p.get(name)
+                        .and_then(|v| {
+                            v.as_sstr()
+                                .or_else(|| v.as_snum().map(|n| n.to_sstr()))
+                                .or_else(|| {
+                                    v.value().as_f64().map(|x| {
+                                        SStr::with_label_set(format!("{x}"), v.labels().clone())
+                                    })
+                                })
+                        })
+                        .map(TValue::Str)
+                        .unwrap_or_else(|| TValue::Str(SStr::public("—")))
+                };
+                TContext::new()
+                    .bind("mdt_id", f("mdt_id"))
+                    .bind("cases", f("cases"))
+                    .bind("avg_completeness", f("avg_completeness"))
+            })
+            .collect();
+        let regional = ctx.record(&format!("regional-{region}"));
+        let rf = |name: &str| -> TValue {
+            regional
+                .as_ref()
+                .and_then(|m| m.get(name))
+                .and_then(|v| {
+                    v.as_sstr()
+                        .or_else(|| v.as_snum().map(|n| n.to_sstr()))
+                        .or_else(|| {
+                            v.value()
+                                .as_f64()
+                                .map(|x| SStr::with_label_set(format!("{x}"), v.labels().clone()))
+                        })
+                })
+                .map(TValue::Str)
+                .unwrap_or_else(|| TValue::Str(SStr::public("—")))
+        };
+        let tctx = TContext::new()
+            .bind("mdt", SStr::public(mid.clone()))
+            .bind("region", SStr::public(region.clone()))
+            .bind("peers", TValue::List(peer_rows))
+            .bind("regional_avg", rf("avg_completeness"))
+            .bind("regional_cases", rf("cases"));
+        match template.render(&tctx) {
+            Ok(body) => SResponse::html(body),
+            Err(e) => SResponse::error(500, &format!("template error: {e}")),
+        }
+    });
+
+    // --- GET /aggregates/regional — visible to every MDT (P1) ------------
+    app.get("/aggregates/regional", move |ctx: &Ctx<'_>| {
+        let docs = ctx.records_by("by_kind", "regional_metrics");
+        let parts: Vec<SStr> = docs.iter().map(SValue::to_json_sstr).collect();
+        let mut body = SStr::public("[");
+        body.push_sstr(&SStr::join(parts.iter(), ","));
+        body.push_str("]");
+        SResponse::json(body)
+    });
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests of the MDT portal: the full pipeline (registry →
+//! producer → broker → aggregator → storage → replication → DMZ → HTTP
+//! frontend) and the P1 policy matrix.
+
+use std::time::Duration;
+
+use safeweb_http::{Method, Request};
+use safeweb_mdt::registry::RegistryConfig;
+use safeweb_mdt::{password_for, MdtPortal, PortalConfig, VulnConfig};
+
+fn small_portal() -> MdtPortal {
+    let portal = MdtPortal::build(PortalConfig {
+        registry: RegistryConfig {
+            regions: 2,
+            hospitals_per_region: 1,
+            mdts_per_hospital: 2,
+            patients_per_mdt: 4,
+            seed: 11,
+        },
+        auth_iterations: 500,
+        replication_interval: Duration::from_millis(20),
+        ..PortalConfig::default()
+    });
+    portal.wait_for_pipeline(Duration::from_secs(30));
+    portal
+}
+
+fn get(app: &safeweb_web::SafeWebApp, path: &str, user: &str) -> (u16, String) {
+    let resp = app.handle(
+        &Request::new(Method::Get, path).with_basic_auth(user, &password_for(user)),
+    );
+    (resp.status(), resp.body_str().unwrap_or_default().to_string())
+}
+
+#[test]
+fn pipeline_delivers_labelled_records_to_dmz() {
+    let portal = small_portal();
+    // Every patient produced a record in the DMZ replica, with labels.
+    let records = portal
+        .deployment()
+        .dmz_db()
+        .scan(|d| d.id().starts_with("record-"));
+    assert_eq!(records.len(), 16);
+    for doc in &records {
+        assert!(
+            !doc.labels().is_empty(),
+            "stored record {} lost its labels",
+            doc.id()
+        );
+    }
+    // Metrics and regional aggregates exist too.
+    assert!(!portal
+        .deployment()
+        .dmz_db()
+        .scan(|d| d.id().starts_with("metrics-"))
+        .is_empty());
+    assert!(!portal
+        .deployment()
+        .dmz_db()
+        .scan(|d| d.id().starts_with("regional-"))
+        .is_empty());
+    // No unit violated policy.
+    assert!(portal.deployment().engine_violations().is_empty());
+}
+
+#[test]
+fn p1_policy_matrix_over_http_pipeline() {
+    let portal = small_portal();
+    let app = portal.frontend(&VulnConfig::default());
+    let mdts = portal.mdts().to_vec();
+    // Layout with this config: mdts[0], mdts[1] share hospital in region
+    // 0; mdts[2], mdts[3] in region 1.
+    let (a, b, c) = (&mdts[0].name, &mdts[1].name, &mdts[2].name);
+    assert_eq!(mdts[0].region_id, 0);
+    assert_eq!(mdts[2].region_id, 1);
+
+    // Own patient details: allowed.
+    let (status, body) = get(&app, &format!("/records/{a}"), a);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"case_id\""));
+
+    // Another MDT's details: denied (application check, and the label
+    // check behind it).
+    let (status, _) = get(&app, &format!("/records/{a}"), b);
+    assert_eq!(status, 403);
+    let (status, _) = get(&app, &format!("/records/{a}"), c);
+    assert_eq!(status, 403);
+
+    // Front page renders for the owner.
+    let (status, body) = get(&app, &format!("/mdt/{a}"), a);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("patient records"));
+
+    // MDT-level aggregates: same-region MDT may read them...
+    let (status, _) = get(&app, &format!("/metrics/{a}"), b);
+    assert_eq!(status, 200);
+    // ...an other-region MDT may not.
+    let (status, _) = get(&app, &format!("/metrics/{a}"), c);
+    assert_eq!(status, 403);
+
+    // Regional aggregates: everyone.
+    for user in [a, b, c] {
+        let (status, body) = get(&app, "/aggregates/regional", user);
+        assert_eq!(status, 200);
+        assert!(body.contains("regional_metrics"));
+    }
+
+    // The comparison page (F3) renders for a member using same-region data.
+    let (status, body) = get(&app, &format!("/compare/{a}"), a);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("Regional average"));
+
+    // Unknown MDT 404s; unauthenticated requests 401.
+    let (status, _) = get(&app, "/records/mdt-9-9-9", a);
+    assert_eq!(status, 404);
+    let resp = app.handle(&Request::new(Method::Get, &format!("/records/{a}")));
+    assert_eq!(resp.status(), 401);
+}
+
+#[test]
+fn admin_sees_everything() {
+    let portal = small_portal();
+    let app = portal.frontend(&VulnConfig::default());
+    let a = &portal.mdts()[0].name;
+    let resp = app.handle(
+        &Request::new(Method::Get, &format!("/records/{a}")).with_basic_auth("admin", "admin-pw"),
+    );
+    assert_eq!(resp.status(), 200);
+}
+
+#[test]
+fn served_over_real_http() {
+    let portal = small_portal();
+    let app = portal.frontend(&VulnConfig::default());
+    let server = portal
+        .deployment()
+        .serve(app, "127.0.0.1:0")
+        .expect("bind frontend");
+    let addr = server.addr().to_string();
+    let a = &portal.mdts()[0].name;
+    let resp = safeweb_http::client::send(
+        &addr,
+        Request::new(Method::Get, &format!("/mdt/{a}")).with_basic_auth(a, &password_for(a)),
+    )
+    .expect("request");
+    assert_eq!(resp.status(), 200);
+    assert!(resp.body_str().unwrap().contains("patient records"));
+}

@@ -1,0 +1,117 @@
+//! Character classes: `[a-z0-9_]`, negation, and the named escapes
+//! `\d \w \s` (and their negations).
+
+/// A set of characters, stored as sorted inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    ranges: Vec<(char, char)>,
+    negated: bool,
+}
+
+impl CharClass {
+    /// Creates an empty, non-negated class.
+    pub fn new() -> CharClass {
+        CharClass {
+            ranges: Vec::new(),
+            negated: false,
+        }
+    }
+
+    /// Adds a single character.
+    pub fn push_char(&mut self, c: char) {
+        self.ranges.push((c, c));
+    }
+
+    /// Adds an inclusive range. Ranges may overlap; matching is a linear
+    /// scan over the (small) range list.
+    pub fn push_range(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    /// Marks the class as negated (`[^...]`).
+    pub fn negate(&mut self) {
+        self.negated = !self.negated;
+    }
+
+    /// Whether the class is negated.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// The `\d` class: ASCII digits.
+    pub fn digit() -> CharClass {
+        let mut c = CharClass::new();
+        c.push_range('0', '9');
+        c
+    }
+
+    /// The `\w` class: ASCII alphanumerics plus underscore.
+    pub fn word() -> CharClass {
+        let mut c = CharClass::new();
+        c.push_range('a', 'z');
+        c.push_range('A', 'Z');
+        c.push_range('0', '9');
+        c.push_char('_');
+        c
+    }
+
+    /// The `\s` class: ASCII whitespace.
+    pub fn space() -> CharClass {
+        let mut c = CharClass::new();
+        for ch in [' ', '\t', '\n', '\r', '\u{000B}', '\u{000C}'] {
+            c.push_char(ch);
+        }
+        c
+    }
+
+    /// Extends this class with all ranges of `other` (ignoring `other`'s
+    /// negation flag — used to splice `\d` etc. into bracket expressions).
+    pub fn extend_ranges(&mut self, other: &CharClass) {
+        self.ranges.extend_from_slice(&other.ranges);
+    }
+
+    /// Whether `c` is matched by this class.
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+impl Default for CharClass {
+    fn default() -> CharClass {
+        CharClass::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranges() {
+        let mut c = CharClass::new();
+        c.push_range('a', 'f');
+        c.push_char('z');
+        assert!(c.matches('a'));
+        assert!(c.matches('f'));
+        assert!(c.matches('z'));
+        assert!(!c.matches('g'));
+    }
+
+    #[test]
+    fn negation() {
+        let mut c = CharClass::digit();
+        c.negate();
+        assert!(!c.matches('5'));
+        assert!(c.matches('x'));
+    }
+
+    #[test]
+    fn named_classes() {
+        assert!(CharClass::word().matches('_'));
+        assert!(CharClass::word().matches('Q'));
+        assert!(!CharClass::word().matches('-'));
+        assert!(CharClass::space().matches('\t'));
+        assert!(!CharClass::space().matches('x'));
+    }
+}

@@ -1,0 +1,471 @@
+//! # safeweb-regex
+//!
+//! A small backtracking regular-expression engine with capture groups.
+//!
+//! SafeWeb's taint-tracking library must label the results of regular
+//! expression operations — the paper (§4.4) specifically chose the Rubinius
+//! runtime because it exposes the regex variables (`$~`, `$1`, ...) needed
+//! to propagate labels through matches. This crate is the substrate for
+//! that: `safeweb-taint` wraps [`Regex::captures`] and labels every
+//! extracted group with the subject string's labels. It is implemented
+//! in-tree because the reproduction's dependency allow-list has no regex
+//! crate.
+//!
+//! Supported syntax: literals, `.`, classes `[a-z0-9_]`/`[^...]` (with
+//! `\d \w \s` shorthands), escapes, anchors `^` `$`, capturing `(...)` and
+//! non-capturing `(?:...)` groups, alternation, and quantifiers
+//! `* + ? {m} {m,} {m,n}` each with an optional lazy `?` suffix.
+//!
+//! ```
+//! use safeweb_regex::Regex;
+//!
+//! let re = Regex::new(r"(\d{4})-(\d{2})")?;
+//! let caps = re.captures("report 2011-09 final").expect("match");
+//! assert_eq!(caps.get(1).map(|m| m.as_str()), Some("2011"));
+//! assert_eq!(caps.get(2).map(|m| m.as_str()), Some("09"));
+//! # Ok::<(), safeweb_regex::ParseRegexError>(())
+//! ```
+//!
+//! The matcher has a fixed backtracking step budget (1M steps); inputs that
+//! exceed it report "no match" instead of hanging. This is acceptable for
+//! SafeWeb's use (application-authored patterns over short strings) and is
+//! the same trade-off Ruby's own backtracking engine makes in spirit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod parse;
+mod vm;
+
+pub use class::CharClass;
+pub use parse::ParseRegexError;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: vm::Program,
+    pattern: String,
+}
+
+/// A single match: its location within the subject and the matched text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    text: &'t str,
+    /// Byte offsets into the subject.
+    start: usize,
+    end: usize,
+}
+
+impl<'t> Match<'t> {
+    /// Start of the match, as a byte offset.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// End of the match (exclusive), as a byte offset.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The matched text.
+    pub fn as_str(&self) -> &'t str {
+        &self.text[self.start..self.end]
+    }
+
+    /// Whether the match is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Length of the match in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The capture groups of a successful match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    text: &'t str,
+    /// Byte-offset spans per group; `None` for unparticipating groups.
+    spans: Vec<Option<(usize, usize)>>,
+}
+
+impl<'t> Captures<'t> {
+    /// The `i`-th group (0 = whole match), if it participated in the match.
+    pub fn get(&self, i: usize) -> Option<Match<'t>> {
+        let (start, end) = (*self.spans.get(i)?)?;
+        Some(Match {
+            text: self.text,
+            start,
+            end,
+        })
+    }
+
+    /// Number of groups, including group 0.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Captures always contain at least group 0.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all groups in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<Match<'t>>> + '_ {
+        (0..self.spans.len()).map(|i| self.get(i))
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] when the pattern is syntactically
+    /// invalid or uses unsupported constructs (backreferences, lookaround,
+    /// named groups).
+    pub fn new(pattern: &str) -> Result<Regex, ParseRegexError> {
+        let parsed = parse::parse(pattern)?;
+        Ok(Regex {
+            program: vm::compile(&parsed.node, parsed.group_count),
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capturing groups (excluding group 0).
+    pub fn group_count(&self) -> usize {
+        self.program.group_count as usize
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        vm::search(&self.program, &chars, 0).is_some()
+    }
+
+    /// The first match in `text`, if any.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        self.captures(text).and_then(|c| c.get(0))
+    }
+
+    /// The first match with all capture groups.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        let chars: Vec<char> = text.chars().collect();
+        let byte_of = byte_offsets(text, &chars);
+        let saves = vm::search(&self.program, &chars, 0)?;
+        Some(self.captures_from_saves(text, &byte_of, &saves))
+    }
+
+    fn captures_from_saves<'t>(
+        &self,
+        text: &'t str,
+        byte_of: &[usize],
+        saves: &[Option<usize>],
+    ) -> Captures<'t> {
+        let groups = self.program.group_count as usize + 1;
+        let mut spans = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let span = match (saves.get(g * 2).copied().flatten(), saves.get(g * 2 + 1).copied().flatten()) {
+                (Some(s), Some(e)) if s <= e => Some((byte_of[s], byte_of[e])),
+                _ => None,
+            };
+            spans.push(span);
+        }
+        Captures { text, spans }
+    }
+
+    /// Iterates over all non-overlapping matches, left to right.
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
+        FindIter {
+            regex: self,
+            text,
+            chars: text.chars().collect(),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Replaces every non-overlapping match with `replacement`
+    /// (`$0`..`$9` in the replacement refer to capture groups; `$$` is a
+    /// literal dollar).
+    pub fn replace_all(&self, text: &str, replacement: &str) -> String {
+        let chars: Vec<char> = text.chars().collect();
+        let byte_of = byte_offsets(text, &chars);
+        let mut out = String::new();
+        let mut pos = 0usize; // char index
+        loop {
+            let Some(saves) = vm::search(&self.program, &chars, pos) else {
+                break;
+            };
+            let caps = self.captures_from_saves(text, &byte_of, &saves);
+            let m = caps.get(0).expect("group 0 present");
+            out.push_str(&text[byte_of[pos]..m.start()]);
+            expand_replacement(replacement, &caps, &mut out);
+            let match_end_char = char_index_of(&byte_of, m.end());
+            if match_end_char == pos && m.is_empty() {
+                // Empty match: emit one char and advance to avoid looping.
+                if pos < chars.len() {
+                    out.push(chars[pos]);
+                }
+                pos += 1;
+                if pos > chars.len() {
+                    break;
+                }
+            } else {
+                pos = match_end_char;
+            }
+        }
+        if pos <= chars.len() {
+            out.push_str(&text[byte_of[pos.min(chars.len())]..]);
+        }
+        out
+    }
+
+    /// Splits `text` around every match of the pattern.
+    pub fn split<'t>(&self, text: &'t str) -> Vec<&'t str> {
+        let mut parts = Vec::new();
+        let mut last = 0usize;
+        for m in self.find_iter(text) {
+            parts.push(&text[last..m.start()]);
+            last = m.end();
+        }
+        parts.push(&text[last..]);
+        parts
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+impl FromStr for Regex {
+    type Err = ParseRegexError;
+
+    fn from_str(s: &str) -> Result<Regex, ParseRegexError> {
+        Regex::new(s)
+    }
+}
+
+/// Iterator over non-overlapping matches; see [`Regex::find_iter`].
+#[derive(Debug)]
+pub struct FindIter<'r, 't> {
+    regex: &'r Regex,
+    text: &'t str,
+    chars: Vec<char>,
+    pos: usize, // char index
+    done: bool,
+}
+
+impl<'r, 't> Iterator for FindIter<'r, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Match<'t>> {
+        if self.done || self.pos > self.chars.len() {
+            return None;
+        }
+        let byte_of = byte_offsets(self.text, &self.chars);
+        let saves = vm::search(&self.regex.program, &self.chars, self.pos)?;
+        let (s, e) = (saves[0]?, saves[1]?);
+        let m = Match {
+            text: self.text,
+            start: byte_of[s],
+            end: byte_of[e],
+        };
+        if s == e {
+            // Empty match: advance one char to guarantee progress.
+            self.pos = e + 1;
+        } else {
+            self.pos = e;
+        }
+        if self.pos > self.chars.len() {
+            self.done = true;
+        }
+        Some(m)
+    }
+}
+
+/// Maps char index → byte offset (with a final sentinel = text.len()).
+fn byte_offsets(text: &str, chars: &[char]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0;
+    for c in chars {
+        offsets.push(b);
+        b += c.len_utf8();
+    }
+    offsets.push(text.len());
+    offsets
+}
+
+fn char_index_of(byte_of: &[usize], byte: usize) -> usize {
+    byte_of
+        .iter()
+        .position(|&b| b == byte)
+        .expect("byte offset on char boundary")
+}
+
+fn expand_replacement(replacement: &str, caps: &Captures<'_>, out: &mut String) {
+    let mut it = replacement.chars().peekable();
+    while let Some(c) = it.next() {
+        if c == '$' {
+            match it.peek() {
+                Some('$') => {
+                    it.next();
+                    out.push('$');
+                }
+                Some(d) if d.is_ascii_digit() => {
+                    let idx = d.to_digit(10).expect("digit") as usize;
+                    it.next();
+                    if let Some(m) = caps.get(idx) {
+                        out.push_str(m.as_str());
+                    }
+                }
+                _ => out.push('$'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let re = Regex::new("cancer").unwrap();
+        assert!(re.is_match("breast cancer registry"));
+        assert!(!re.is_match("benign"));
+        let m = re.find("breast cancer").unwrap();
+        assert_eq!((m.start(), m.end()), (7, 13));
+        assert_eq!(m.as_str(), "cancer");
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(Regex::new("^ab$").unwrap().is_match("ab"));
+        assert!(!Regex::new("^ab$").unwrap().is_match("xab"));
+        assert!(!Regex::new("^ab$").unwrap().is_match("abx"));
+    }
+
+    #[test]
+    fn quantifiers_greedy_and_lazy() {
+        let greedy = Regex::new("a.*b").unwrap();
+        assert_eq!(greedy.find("aXbYb").unwrap().as_str(), "aXbYb");
+        let lazy = Regex::new("a.*?b").unwrap();
+        assert_eq!(lazy.find("aXbYb").unwrap().as_str(), "aXb");
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let re = Regex::new(r"^\d{2,4}$").unwrap();
+        assert!(!re.is_match("1"));
+        assert!(re.is_match("12"));
+        assert!(re.is_match("1234"));
+        assert!(!re.is_match("12345"));
+    }
+
+    #[test]
+    fn alternation_prefers_left() {
+        let re = Regex::new("ab|a").unwrap();
+        assert_eq!(re.find("ab").unwrap().as_str(), "ab");
+    }
+
+    #[test]
+    fn captures_nested_groups() {
+        let re = Regex::new(r"(\w+)@((\w+)\.org)").unwrap();
+        let caps = re.captures("mail bob@nhs.org now").unwrap();
+        assert_eq!(caps.get(0).unwrap().as_str(), "bob@nhs.org");
+        assert_eq!(caps.get(1).unwrap().as_str(), "bob");
+        assert_eq!(caps.get(2).unwrap().as_str(), "nhs.org");
+        assert_eq!(caps.get(3).unwrap().as_str(), "nhs");
+        assert_eq!(caps.len(), 4);
+    }
+
+    #[test]
+    fn unparticipating_group_is_none() {
+        let re = Regex::new("(a)|(b)").unwrap();
+        let caps = re.captures("b").unwrap();
+        assert!(caps.get(1).is_none());
+        assert_eq!(caps.get(2).unwrap().as_str(), "b");
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        let all: Vec<&str> = re.find_iter("a1b22c333").map(|m| m.as_str()).collect();
+        assert_eq!(all, vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn find_iter_with_empty_matches_terminates() {
+        let re = Regex::new("a*").unwrap();
+        let all: Vec<usize> = re.find_iter("baa b").map(|m| m.len()).collect();
+        assert!(!all.is_empty());
+    }
+
+    #[test]
+    fn replace_all_with_groups() {
+        let re = Regex::new(r"(\d{4})-(\d{2})-(\d{2})").unwrap();
+        let out = re.replace_all("born 2011-09-05.", "$3/$2/$1");
+        assert_eq!(out, "born 05/09/2011.");
+    }
+
+    #[test]
+    fn replace_all_literal_dollar() {
+        let re = Regex::new("x").unwrap();
+        assert_eq!(re.replace_all("axa", "$$"), "a$a");
+    }
+
+    #[test]
+    fn split_on_pattern() {
+        let re = Regex::new(r",\s*").unwrap();
+        assert_eq!(re.split("a, b,c"), vec!["a", "b", "c"]);
+        assert_eq!(re.split("abc"), vec!["abc"]);
+    }
+
+    #[test]
+    fn unicode_subjects() {
+        let re = Regex::new("é+").unwrap();
+        let m = re.find("caféé!").unwrap();
+        assert_eq!(m.as_str(), "éé");
+        // Byte offsets respect UTF-8.
+        assert_eq!(&"caféé!"[m.start()..m.end()], "éé");
+    }
+
+    #[test]
+    fn classes_and_shorthands() {
+        assert!(Regex::new(r"^\w+$").unwrap().is_match("ab_1"));
+        assert!(!Regex::new(r"^\w+$").unwrap().is_match("a b"));
+        assert!(Regex::new(r"^[^x]+$").unwrap().is_match("abc"));
+        assert!(!Regex::new(r"^[^x]+$").unwrap().is_match("axc"));
+        assert!(Regex::new(r"^\S+$").unwrap().is_match("abc"));
+    }
+
+    #[test]
+    fn pathological_pattern_does_not_hang() {
+        // (a+)+b against aaaa...c is the classic catastrophic case; the
+        // step budget turns it into a "no match".
+        let re = Regex::new("(a+)+b").unwrap();
+        let subject = "a".repeat(60) + "c";
+        assert!(!re.is_match(&subject));
+    }
+
+    #[test]
+    fn group_count_exposed() {
+        assert_eq!(Regex::new("(a)(?:b)(c)").unwrap().group_count(), 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! Regex pattern parser producing the AST consumed by the compiler.
+//!
+//! Supported syntax: literals, `.`, bracket classes (`[a-z]`, `[^...]`,
+//! with `\d \w \s` usable inside), escapes, anchors `^ $`, grouping
+//! `( )` / non-capturing `(?: )`, alternation `|`, and quantifiers
+//! `* + ? {m} {m,} {m,n}` with optional lazy suffix `?`.
+
+use std::fmt;
+
+use crate::class::CharClass;
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    position: usize,
+    message: String,
+}
+
+impl ParseRegexError {
+    fn new(position: usize, message: impl Into<String>) -> ParseRegexError {
+        ParseRegexError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    /// Character offset in the pattern where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// Regex AST node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Matches the empty string.
+    Empty,
+    /// A literal character.
+    Char(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class.
+    Class(CharClass),
+    /// `^` — start of input.
+    Start,
+    /// `$` — end of input.
+    End,
+    /// Sequence of nodes.
+    Concat(Vec<Node>),
+    /// Alternation between branches.
+    Alt(Vec<Node>),
+    /// A quantified node.
+    Repeat {
+        /// The repeated sub-expression.
+        node: Box<Node>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+        /// Greedy (`true`) or lazy (`false`).
+        greedy: bool,
+    },
+    /// A group; `index` is `Some(n)` for capturing groups (1-based).
+    Group {
+        /// Capture index, if capturing.
+        index: Option<u32>,
+        /// The grouped sub-expression.
+        node: Box<Node>,
+    },
+}
+
+pub(crate) struct ParsedPattern {
+    pub node: Node,
+    /// Number of capturing groups (not counting group 0 / whole match).
+    pub group_count: u32,
+}
+
+pub(crate) fn parse(pattern: &str) -> Result<ParsedPattern, ParseRegexError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars,
+        pos: 0,
+        next_group: 1,
+    };
+    let node = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unbalanced `)`"));
+    }
+    Ok(ParsedPattern {
+        node,
+        group_count: p.next_group - 1,
+    })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    next_group: u32,
+}
+
+/// Cap on `{m,n}` bounds so compiled programs stay small.
+const MAX_REPEAT: u32 = 1000;
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseRegexError {
+        ParseRegexError::new(self.pos, message)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn alternation(&mut self) -> Result<Node, ParseRegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Node, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.quantified()?);
+        }
+        match parts.len() {
+            0 => Ok(Node::Empty),
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Ok(Node::Concat(parts)),
+        }
+    }
+
+    fn quantified(&mut self) -> Result<Node, ParseRegexError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                // `{` only begins a quantifier if it parses as one;
+                // otherwise it is a literal.
+                if let Some(q) = self.try_brace_quantifier()? {
+                    q
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Node::Start | Node::End) {
+            return Err(self.err("cannot quantify an anchor"));
+        }
+        let greedy = if self.peek() == Some('?') {
+            self.pos += 1;
+            false
+        } else {
+            true
+        };
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    fn try_brace_quantifier(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseRegexError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = self.number();
+        let result = match (min, self.peek()) {
+            (Some(m), Some('}')) => {
+                self.pos += 1;
+                Some((m, Some(m)))
+            }
+            (Some(m), Some(',')) => {
+                self.pos += 1;
+                match (self.number(), self.peek()) {
+                    (Some(n), Some('}')) => {
+                        self.pos += 1;
+                        if n < m {
+                            return Err(self.err("quantifier range is reversed"));
+                        }
+                        Some((m, Some(n)))
+                    }
+                    (None, Some('}')) => {
+                        self.pos += 1;
+                        Some((m, None))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match result {
+            Some((m, n)) => {
+                if m > MAX_REPEAT || n.is_some_and(|n| n > MAX_REPEAT) {
+                    return Err(self.err(format!("repeat bound exceeds {MAX_REPEAT}")));
+                }
+                Ok(Some((m, n)))
+            }
+            None => {
+                // Not a quantifier: rewind and treat `{` as a literal.
+                self.pos = start;
+                Ok(None)
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().ok()
+    }
+
+    fn atom(&mut self) -> Result<Node, ParseRegexError> {
+        match self.bump() {
+            Some('(') => {
+                let index = if self.peek() == Some('?') {
+                    // Only `(?:` is supported.
+                    self.pos += 1;
+                    if self.bump() != Some(':') {
+                        return Err(self.err("only (?: non-capturing groups are supported"));
+                    }
+                    None
+                } else {
+                    let idx = self.next_group;
+                    self.next_group += 1;
+                    Some(idx)
+                };
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("missing `)`"));
+                }
+                Ok(Node::Group {
+                    index,
+                    node: Box::new(inner),
+                })
+            }
+            Some('[') => self.bracket_class().map(Node::Class),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('\\') => self.escape(false),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling quantifier `{c}`"))),
+            Some(')') => Err(self.err("unmatched `)`")),
+            Some(c) => Ok(Node::Char(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    /// Parses an escape. In class context (`in_class`), anchors and class
+    /// shorthands behave slightly differently (handled by the caller).
+    fn escape(&mut self, in_class: bool) -> Result<Node, ParseRegexError> {
+        match self.bump() {
+            Some('d') => Ok(Node::Class(CharClass::digit())),
+            Some('D') => {
+                let mut c = CharClass::digit();
+                c.negate();
+                Ok(Node::Class(c))
+            }
+            Some('w') => Ok(Node::Class(CharClass::word())),
+            Some('W') => {
+                let mut c = CharClass::word();
+                c.negate();
+                Ok(Node::Class(c))
+            }
+            Some('s') => Ok(Node::Class(CharClass::space())),
+            Some('S') => {
+                let mut c = CharClass::space();
+                c.negate();
+                Ok(Node::Class(c))
+            }
+            Some('n') => Ok(Node::Char('\n')),
+            Some('r') => Ok(Node::Char('\r')),
+            Some('t') => Ok(Node::Char('\t')),
+            Some('0') => Ok(Node::Char('\0')),
+            Some(c) if !c.is_ascii_alphanumeric() => Ok(Node::Char(c)),
+            Some(c) => {
+                let _ = in_class;
+                Err(self.err(format!("unsupported escape `\\{c}`")))
+            }
+            None => Err(self.err("dangling `\\`")),
+        }
+    }
+
+    fn bracket_class(&mut self) -> Result<CharClass, ParseRegexError> {
+        let mut class = CharClass::new();
+        if self.peek() == Some('^') {
+            self.pos += 1;
+            class.negate();
+        }
+        // A `]` immediately after `[` or `[^` is a literal.
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            class.push_char(']');
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') => return Ok(class),
+                Some('\\') => match self.escape(true)? {
+                    Node::Char(c) => self.maybe_range(&mut class, c)?,
+                    Node::Class(sub) => {
+                        if sub.is_negated() {
+                            return Err(self.err(
+                                "negated shorthand (\\D, \\W, \\S) not supported inside [...]",
+                            ));
+                        }
+                        class.extend_ranges(&sub);
+                    }
+                    _ => return Err(self.err("invalid escape in character class")),
+                },
+                Some(c) => self.maybe_range(&mut class, c)?,
+            }
+        }
+    }
+
+    fn maybe_range(&mut self, class: &mut CharClass, lo: char) -> Result<(), ParseRegexError> {
+        if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']') {
+            self.pos += 1; // consume '-'
+            let hi = match self.bump() {
+                Some('\\') => match self.escape(true)? {
+                    Node::Char(c) => c,
+                    _ => return Err(self.err("invalid range endpoint")),
+                },
+                Some(c) => c,
+                None => return Err(self.err("unterminated character class")),
+            };
+            if hi < lo {
+                return Err(self.err(format!("invalid range {lo}-{hi}")));
+            }
+            class.push_range(lo, hi);
+        } else {
+            class.push_char(lo);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_groups() {
+        let p = parse("ab(c|d)e").unwrap();
+        assert_eq!(p.group_count, 1);
+        match p.node {
+            Node::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_groups() {
+        assert_eq!(parse("(a)(b(c))").unwrap().group_count, 3);
+        assert_eq!(parse("(?:a)(b)").unwrap().group_count, 1);
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        for (pat, min, max, greedy) in [
+            ("a*", 0, None, true),
+            ("a+", 1, None, true),
+            ("a?", 0, Some(1), true),
+            ("a*?", 0, None, false),
+            ("a{3}", 3, Some(3), true),
+            ("a{2,}", 2, None, true),
+            ("a{2,5}", 2, Some(5), true),
+        ] {
+            match parse(pat).unwrap().node {
+                Node::Repeat {
+                    min: m,
+                    max: x,
+                    greedy: g,
+                    ..
+                } => {
+                    assert_eq!((m, x, g), (min, max, greedy), "{pat}");
+                }
+                other => panic!("{pat}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn literal_brace_when_not_quantifier() {
+        // `{x}` is not a quantifier, so it parses as literal characters.
+        assert!(parse("a{x}").is_ok());
+        assert!(parse("a{,3}").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["(", ")", "a)", "[a", "*a", "a{3,1}", "\\", "(?<x>a)", "a{2000}"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_range_and_shorthand() {
+        let p = parse(r"[a-f\d_]").unwrap();
+        match p.node {
+            Node::Class(c) => {
+                assert!(c.matches('b'));
+                assert!(c.matches('7'));
+                assert!(c.matches('_'));
+                assert!(!c.matches('g'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal() {
+        let p = parse(r"[]a]").unwrap();
+        match p.node {
+            Node::Class(c) => {
+                assert!(c.matches(']'));
+                assert!(c.matches('a'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Compilation to a backtracking VM and execution.
+//!
+//! The AST compiles to a classic instruction set (`Char`, `Split`, `Jmp`,
+//! `Save`, ...). Execution is an explicit-stack backtracking interpreter
+//! with a step budget so that pathological patterns cannot hang the
+//! process; exceeding the budget reports "no match" and is documented on
+//! [`crate::Regex`].
+
+use crate::class::CharClass;
+use crate::parse::Node;
+
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    Char(char),
+    Any,
+    Class(CharClass),
+    Start,
+    End,
+    /// Try `a` first (preferred), then `b`.
+    Split(usize, usize),
+    Jmp(usize),
+    Save(usize),
+    Match,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    pub insts: Vec<Inst>,
+    pub group_count: u32,
+}
+
+pub(crate) fn compile(node: &Node, group_count: u32) -> Program {
+    let mut insts = Vec::new();
+    // Slot 0/1: whole-match bounds.
+    insts.push(Inst::Save(0));
+    emit(node, &mut insts);
+    insts.push(Inst::Save(1));
+    insts.push(Inst::Match);
+    Program { insts, group_count }
+}
+
+fn emit(node: &Node, out: &mut Vec<Inst>) {
+    match node {
+        Node::Empty => {}
+        Node::Char(c) => out.push(Inst::Char(*c)),
+        Node::AnyChar => out.push(Inst::Any),
+        Node::Class(c) => out.push(Inst::Class(c.clone())),
+        Node::Start => out.push(Inst::Start),
+        Node::End => out.push(Inst::End),
+        Node::Concat(parts) => {
+            for p in parts {
+                emit(p, out);
+            }
+        }
+        Node::Alt(branches) => emit_alt(branches, out),
+        Node::Group { index, node } => {
+            if let Some(i) = index {
+                out.push(Inst::Save((*i as usize) * 2));
+                emit(node, out);
+                out.push(Inst::Save((*i as usize) * 2 + 1));
+            } else {
+                emit(node, out);
+            }
+        }
+        Node::Repeat {
+            node,
+            min,
+            max,
+            greedy,
+        } => emit_repeat(node, *min, *max, *greedy, out),
+    }
+}
+
+fn emit_alt(branches: &[Node], out: &mut Vec<Inst>) {
+    // split b1, next; b1; jmp end; next: split b2, ...; ...; end:
+    let mut jmp_ends = Vec::new();
+    for (i, branch) in branches.iter().enumerate() {
+        if i + 1 < branches.len() {
+            let split_at = out.len();
+            out.push(Inst::Jmp(0)); // placeholder for Split
+            emit(branch, out);
+            jmp_ends.push(out.len());
+            out.push(Inst::Jmp(0)); // placeholder for Jmp to end
+            let next = out.len();
+            out[split_at] = Inst::Split(split_at + 1, next);
+        } else {
+            emit(branch, out);
+        }
+    }
+    let end = out.len();
+    for j in jmp_ends {
+        out[j] = Inst::Jmp(end);
+    }
+}
+
+fn emit_repeat(node: &Node, min: u32, max: Option<u32>, greedy: bool, out: &mut Vec<Inst>) {
+    // Mandatory copies.
+    for _ in 0..min {
+        emit(node, out);
+    }
+    match max {
+        None => {
+            // node* : L1: split L2, L3 ; L2: node ; jmp L1 ; L3:
+            let l1 = out.len();
+            out.push(Inst::Jmp(0)); // placeholder
+            emit(node, out);
+            out.push(Inst::Jmp(l1));
+            let l3 = out.len();
+            out[l1] = if greedy {
+                Inst::Split(l1 + 1, l3)
+            } else {
+                Inst::Split(l3, l1 + 1)
+            };
+        }
+        Some(max) => {
+            // (max - min) optional copies: split L1, END ; L1: node ; ...
+            let mut splits = Vec::new();
+            for _ in min..max {
+                let s = out.len();
+                out.push(Inst::Jmp(0)); // placeholder
+                splits.push(s);
+                emit(node, out);
+            }
+            let end = out.len();
+            for s in splits {
+                out[s] = if greedy {
+                    Inst::Split(s + 1, end)
+                } else {
+                    Inst::Split(end, s + 1)
+                };
+            }
+        }
+    }
+}
+
+/// Budget on backtracking steps; beyond this the engine gives up and
+/// reports no match rather than hanging.
+const STEP_BUDGET: usize = 1_000_000;
+
+/// Attempts to match `prog` against `input` starting exactly at char index
+/// `start`. On success returns the capture slot array (char indices).
+pub(crate) fn exec_at(prog: &Program, input: &[char], start: usize) -> Option<Vec<Option<usize>>> {
+    let nslots = (prog.group_count as usize + 1) * 2;
+    let mut saves: Vec<Option<usize>> = vec![None; nslots];
+    // Backtrack stack: (pc, string position, saves snapshot).
+    let mut stack: Vec<(usize, usize, Vec<Option<usize>>)> = Vec::new();
+    let mut pc = 0usize;
+    let mut sp = start;
+    let mut steps = 0usize;
+
+    loop {
+        steps += 1;
+        if steps > STEP_BUDGET {
+            return None;
+        }
+        let inst = &prog.insts[pc];
+        let ok = match inst {
+            Inst::Char(c) => {
+                if input.get(sp) == Some(c) {
+                    sp += 1;
+                    pc += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::Any => {
+                if sp < input.len() && input[sp] != '\n' {
+                    sp += 1;
+                    pc += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::Class(class) => {
+                if sp < input.len() && class.matches(input[sp]) {
+                    sp += 1;
+                    pc += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::Start => {
+                if sp == 0 {
+                    pc += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::End => {
+                if sp == input.len() {
+                    pc += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inst::Split(a, b) => {
+                stack.push((*b, sp, saves.clone()));
+                pc = *a;
+                true
+            }
+            Inst::Jmp(t) => {
+                pc = *t;
+                true
+            }
+            Inst::Save(slot) => {
+                saves[*slot] = Some(sp);
+                pc += 1;
+                true
+            }
+            Inst::Match => return Some(saves),
+        };
+        if !ok {
+            match stack.pop() {
+                Some((bpc, bsp, bsaves)) => {
+                    pc = bpc;
+                    sp = bsp;
+                    saves = bsaves;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Unanchored search: tries every start position left to right.
+pub(crate) fn search(prog: &Program, input: &[char], from: usize) -> Option<Vec<Option<usize>>> {
+    for start in from..=input.len() {
+        if let Some(saves) = exec_at(prog, input, start) {
+            return Some(saves);
+        }
+    }
+    None
+}

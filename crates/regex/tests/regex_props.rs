@@ -1,0 +1,121 @@
+//! Property tests: the engine agrees with a naive reference matcher on a
+//! restricted pattern family, and never panics on arbitrary patterns.
+
+use proptest::prelude::*;
+use safeweb_regex::Regex;
+
+/// Reference matcher for patterns made of literal chars, `.` and `X*`:
+/// returns whether the pattern matches the whole text (anchored).
+fn naive_full_match(pat: &[PatItem], text: &[char]) -> bool {
+    match pat.split_first() {
+        None => text.is_empty(),
+        Some((PatItem::Lit(c), rest)) => {
+            !text.is_empty() && text[0] == *c && naive_full_match(rest, &text[1..])
+        }
+        Some((PatItem::Dot, rest)) => !text.is_empty() && naive_full_match(rest, &text[1..]),
+        Some((PatItem::Star(c), rest)) => {
+            // Try consuming 0..n copies of c.
+            let mut i = 0;
+            loop {
+                if naive_full_match(rest, &text[i..]) {
+                    return true;
+                }
+                if i < text.len() && (*c == '.' || text[i] == *c) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PatItem {
+    Lit(char),
+    Dot,
+    Star(char), // char or '.' meaning any
+}
+
+fn render(pat: &[PatItem]) -> String {
+    let mut s = String::from("^");
+    for item in pat {
+        match item {
+            PatItem::Lit(c) => s.push(*c),
+            PatItem::Dot => s.push('.'),
+            PatItem::Star(c) => {
+                s.push(*c);
+                s.push('*');
+            }
+        }
+    }
+    s.push('$');
+    s
+}
+
+fn arb_item() -> impl Strategy<Value = PatItem> {
+    prop_oneof![
+        proptest::char::range('a', 'c').prop_map(PatItem::Lit),
+        Just(PatItem::Dot),
+        proptest::char::range('a', 'c').prop_map(PatItem::Star),
+        Just(PatItem::Star('.')),
+    ]
+}
+
+proptest! {
+    /// Agreement with the naive reference on literal/dot/star patterns.
+    #[test]
+    fn agrees_with_reference(
+        pat in proptest::collection::vec(arb_item(), 0..6),
+        text in "[abc]{0,8}",
+    ) {
+        let re = Regex::new(&render(&pat)).unwrap();
+        let chars: Vec<char> = text.chars().collect();
+        let expected = naive_full_match(&pat, &chars);
+        prop_assert_eq!(re.is_match(&text), expected,
+            "pattern {} on {:?}", render(&pat), text);
+    }
+
+    /// The compiler never panics on arbitrary pattern strings.
+    #[test]
+    fn compile_total_on_garbage(pat in "\\PC{0,24}") {
+        let _ = Regex::new(&pat);
+    }
+
+    /// Matching never panics on arbitrary subjects.
+    #[test]
+    fn match_total(pat in "[abc.()|*+?\\[\\]{}0-9,^$]{0,12}", text in "\\PC{0,16}") {
+        if let Ok(re) = Regex::new(&pat) {
+            let _ = re.is_match(&text);
+            let _ = re.captures(&text);
+        }
+    }
+
+    /// find()'s span actually bounds a matching substring: re-running the
+    /// anchored pattern on the extracted slice must succeed.
+    #[test]
+    fn find_span_is_self_consistent(text in "[ab]{0,10}") {
+        let re = Regex::new("a[ab]*b").unwrap();
+        if let Some(m) = re.find(&text) {
+            let sub = &text[m.start()..m.end()];
+            let anchored = Regex::new("^a[ab]*b$").unwrap();
+            prop_assert!(anchored.is_match(sub));
+        }
+    }
+
+    /// replace_all with the identity replacement returns the input.
+    #[test]
+    fn replace_identity(text in "[abc ]{0,16}") {
+        let re = Regex::new("[abc]").unwrap();
+        prop_assert_eq!(re.replace_all(&text, "$0"), text);
+    }
+
+    /// split then join with a fixed separator inverts (for non-empty separators).
+    #[test]
+    fn split_rejoin(parts in proptest::collection::vec("[ab]{0,4}", 0..5)) {
+        let text = parts.join(",");
+        let re = Regex::new(",").unwrap();
+        let split = re.split(&text);
+        prop_assert_eq!(split.join(","), text);
+    }
+}

@@ -1,0 +1,21 @@
+//! # safeweb-relstore
+//!
+//! A small embedded relational store with typed columns, primary keys and
+//! predicate queries. It stands in for two databases of the paper's
+//! deployment (Figure 4):
+//!
+//! * the **main cancer registration database** inside the ECRIC Intranet,
+//!   from which the data-producer unit periodically reads patient records
+//!   (the paper's is NHS-internal; the MDT crate generates a synthetic one
+//!   with the same schema — see DESIGN.md §5), and
+//! * the **web database** (SQLite in the paper) holding the frontend's
+//!   user accounts, privileges and session state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod types;
+
+pub use db::{Database, RelError, Row};
+pub use types::{CellValue, ColumnDef, ColumnType, Schema};

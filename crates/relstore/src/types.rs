@@ -1,0 +1,326 @@
+//! Cell values, column types and table schemas.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Real(f64),
+    /// Text value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl CellValue {
+    /// Whether this value inhabits `ty` (NULL inhabits every type).
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (CellValue::Null, _)
+                | (CellValue::Int(_), ColumnType::Int)
+                | (CellValue::Real(_), ColumnType::Real)
+                | (CellValue::Text(_), ColumnType::Text)
+                | (CellValue::Bool(_), ColumnType::Bool)
+        )
+    }
+
+    /// Integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CellValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float payload (integers widen).
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            CellValue::Real(f) => Some(*f),
+            CellValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Text payload.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CellValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            CellValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, CellValue::Null)
+    }
+}
+
+impl Eq for CellValue {}
+
+impl Ord for CellValue {
+    /// Total order across variants (NULL < Bool < Int/Real < Text), with
+    /// floats ordered by total ordering of bits for NaN safety. Used for
+    /// primary-key storage.
+    fn cmp(&self, other: &CellValue) -> Ordering {
+        fn rank(v: &CellValue) -> u8 {
+            match v {
+                CellValue::Null => 0,
+                CellValue::Bool(_) => 1,
+                CellValue::Int(_) | CellValue::Real(_) => 2,
+                CellValue::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (CellValue::Null, CellValue::Null) => Ordering::Equal,
+            (CellValue::Bool(a), CellValue::Bool(b)) => a.cmp(b),
+            (CellValue::Int(a), CellValue::Int(b)) => a.cmp(b),
+            (CellValue::Real(a), CellValue::Real(b)) => a.total_cmp(b),
+            (CellValue::Int(a), CellValue::Real(b)) => (*a as f64).total_cmp(b),
+            (CellValue::Real(a), CellValue::Int(b)) => a.total_cmp(&(*b as f64)),
+            (CellValue::Text(a), CellValue::Text(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for CellValue {
+    fn partial_cmp(&self, other: &CellValue) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for CellValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            CellValue::Null => 0u8.hash(state),
+            CellValue::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            CellValue::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            CellValue::Real(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            CellValue::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Null => write!(f, "NULL"),
+            CellValue::Int(i) => write!(f, "{i}"),
+            CellValue::Real(r) => write!(f, "{r}"),
+            CellValue::Text(s) => write!(f, "{s}"),
+            CellValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for CellValue {
+    fn from(v: i64) -> CellValue {
+        CellValue::Int(v)
+    }
+}
+
+impl From<f64> for CellValue {
+    fn from(v: f64) -> CellValue {
+        CellValue::Real(v)
+    }
+}
+
+impl From<&str> for CellValue {
+    fn from(v: &str) -> CellValue {
+        CellValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(v: String) -> CellValue {
+        CellValue::Text(v)
+    }
+}
+
+impl From<bool> for CellValue {
+    fn from(v: bool) -> CellValue {
+        CellValue::Bool(v)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    name: String,
+    ty: ColumnType,
+    nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn new(name: &str, ty: ColumnType) -> ColumnDef {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: ColumnType) -> ColumnDef {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column type.
+    pub fn ty(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Whether NULL is allowed.
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+}
+
+/// A table schema: ordered columns plus the primary-key column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    primary_key: String,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primary_key` names no column, a column name repeats, or
+    /// the key column is nullable — schema definitions are compile-time
+    /// artefacts of the application, so this fails fast.
+    pub fn new(columns: Vec<ColumnDef>, primary_key: &str) -> Schema {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            assert!(seen.insert(c.name.clone()), "duplicate column {}", c.name);
+        }
+        let pk = columns
+            .iter()
+            .find(|c| c.name == primary_key)
+            .unwrap_or_else(|| panic!("primary key {primary_key:?} not in columns"));
+        assert!(!pk.nullable, "primary key must not be nullable");
+        Schema {
+            columns,
+            primary_key: primary_key.to_string(),
+        }
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The primary-key column name.
+    pub fn primary_key(&self) -> &str {
+        &self.primary_key
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_type_checks() {
+        assert!(CellValue::Int(1).fits(ColumnType::Int));
+        assert!(!CellValue::Int(1).fits(ColumnType::Text));
+        assert!(CellValue::Null.fits(ColumnType::Text));
+        assert!(CellValue::Bool(true).fits(ColumnType::Bool));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            CellValue::Text("b".into()),
+            CellValue::Int(5),
+            CellValue::Null,
+            CellValue::Real(2.5),
+            CellValue::Bool(false),
+            CellValue::Text("a".into()),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], CellValue::Null);
+        assert_eq!(vals.last().unwrap().as_text(), Some("b"));
+    }
+
+    #[test]
+    fn numeric_cross_type_ordering() {
+        assert!(CellValue::Int(1) < CellValue::Real(1.5));
+        assert!(CellValue::Real(0.5) < CellValue::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "primary key")]
+    fn schema_requires_existing_pk() {
+        Schema::new(vec![ColumnDef::new("a", ColumnType::Int)], "missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn schema_rejects_duplicates() {
+        Schema::new(
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Text),
+            ],
+            "a",
+        );
+    }
+}

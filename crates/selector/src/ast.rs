@@ -1,0 +1,182 @@
+//! Abstract syntax tree for selector expressions.
+
+use std::fmt;
+
+/// A selector expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to an event attribute by name.
+    Ident(String),
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `NOT e`
+    Not(Box<Expr>),
+    /// `a AND b`
+    And(Box<Expr>, Box<Expr>),
+    /// `a OR b`
+    Or(Box<Expr>, Box<Expr>),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `e LIKE 'pattern' [ESCAPE 'c']`, possibly negated.
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// SQL LIKE pattern (`%` any run, `_` any single character).
+        pattern: String,
+        /// Optional escape character.
+        escape: Option<char>,
+        /// Whether written as `NOT LIKE`.
+        negated: bool,
+    },
+    /// `e IN ('a', 'b', ...)`, possibly negated.
+    In {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Candidate string values.
+        items: Vec<String>,
+        /// Whether written as `NOT IN`.
+        negated: bool,
+    },
+    /// `e BETWEEN lo AND hi`, possibly negated.
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// Whether written as `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `e IS NULL`, possibly `IS NOT NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Whether written as `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression back to (fully parenthesised) selector syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Ident(name) => write!(f, "{name}"),
+            Expr::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Bool(true) => write!(f, "TRUE"),
+            Expr::Bool(false) => write!(f, "FALSE"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} LIKE '{}'", pattern.replace('\'', "''"))?;
+                if let Some(c) = escape {
+                    write!(f, " ESCAPE '{c}'")?;
+                }
+                write!(f, ")")
+            }
+            Expr::In {
+                expr,
+                items,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                let list: Vec<String> = items
+                    .iter()
+                    .map(|s| format!("'{}'", s.replace('\'', "''")))
+                    .collect();
+                write!(f, "({expr}{not} IN ({}))", list.join(", "))
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let not = if *negated { " NOT" } else { "" };
+                write!(f, "({expr}{not} BETWEEN {lo} AND {hi})")
+            }
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "({expr} IS NOT NULL)")
+                } else {
+                    write!(f, "({expr} IS NULL)")
+                }
+            }
+        }
+    }
+}

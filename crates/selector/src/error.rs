@@ -1,0 +1,34 @@
+//! Error type for selector parsing.
+
+use std::fmt;
+
+/// Error produced when a selector expression fails to tokenise or parse.
+/// Carries the approximate position (byte offset during lexing, token index
+/// during parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSelectorError {
+    position: usize,
+    message: String,
+}
+
+impl ParseSelectorError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> ParseSelectorError {
+        ParseSelectorError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    /// The position where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseSelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "selector error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseSelectorError {}

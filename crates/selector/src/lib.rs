@@ -1,0 +1,98 @@
+//! # safeweb-selector
+//!
+//! The SQL-92 content-filtering language used by SafeWeb's event broker
+//! (§4.2 of the paper): STOMP `SUBSCRIBE` frames may carry a `selector`
+//! header such as `type = 'cancer' AND age > 50`, and the broker delivers
+//! only events whose attributes satisfy it.
+//!
+//! The dialect follows JMS message selectors: identifiers name event
+//! attributes, comparisons, `AND`/`OR`/`NOT` with three-valued logic,
+//! `LIKE` (with `ESCAPE`), `IN`, `BETWEEN`, `IS [NOT] NULL` and arithmetic.
+//! Because SafeWeb event attributes are untyped strings, comparisons coerce
+//! numerically when both operands look numeric.
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use safeweb_selector::Selector;
+//!
+//! let sel = Selector::parse("type = 'cancer' AND age BETWEEN 50 AND 70")?;
+//! let mut attrs = BTreeMap::new();
+//! attrs.insert("type".to_string(), "cancer".to_string());
+//! attrs.insert("age".to_string(), "61".to_string());
+//! assert!(sel.matches(&attrs));
+//! # Ok::<(), safeweb_selector::ParseSelectorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod eval;
+mod parser;
+mod token;
+
+pub use ast::{ArithOp, CmpOp, Expr};
+pub use error::ParseSelectorError;
+pub use eval::{AttributeSource, Truth};
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed, reusable selector expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selector {
+    expr: Expr,
+    source: String,
+}
+
+impl Selector {
+    /// Parses a selector expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSelectorError`] when the expression is not valid
+    /// selector syntax.
+    pub fn parse(input: &str) -> Result<Selector, ParseSelectorError> {
+        let expr = parser::parse(input)?;
+        Ok(Selector {
+            expr,
+            source: input.to_string(),
+        })
+    }
+
+    /// Whether the attributes satisfy this selector (evaluates to definite
+    /// `TRUE`; `UNKNOWN` — e.g. from missing attributes — does not match).
+    pub fn matches<S: AttributeSource>(&self, source: &S) -> bool {
+        self.evaluate(source) == Truth::True
+    }
+
+    /// Full three-valued evaluation result.
+    pub fn evaluate<S: AttributeSource>(&self, source: &S) -> Truth {
+        eval::eval_truth(&self.expr, source)
+    }
+
+    /// The parsed expression tree.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl FromStr for Selector {
+    type Err = ParseSelectorError;
+
+    fn from_str(s: &str) -> Result<Selector, ParseSelectorError> {
+        Selector::parse(s)
+    }
+}

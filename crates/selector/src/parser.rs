@@ -1,0 +1,338 @@
+//! Recursive-descent parser for the selector grammar.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! or      := and (OR and)*
+//! and     := not (AND not)*
+//! not     := NOT not | predicate
+//! predicate := sum ( cmp sum
+//!                  | [NOT] LIKE str [ESCAPE str]
+//!                  | [NOT] IN '(' str (',' str)* ')'
+//!                  | [NOT] BETWEEN sum AND sum
+//!                  | IS [NOT] NULL )?
+//! sum     := product (('+'|'-') product)*
+//! product := unary (('*'|'/') unary)*
+//! unary   := '-' unary | atom
+//! atom    := ident | string | number | TRUE | FALSE | '(' or ')'
+//! ```
+
+use crate::ast::{ArithOp, CmpOp, Expr};
+use crate::error::ParseSelectorError;
+use crate::token::{tokenize, Token};
+
+pub(crate) fn parse(input: &str) -> Result<Expr, ParseSelectorError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseSelectorError::new(
+            p.pos,
+            format!("unexpected trailing token `{}`", p.tokens[p.pos]),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseSelectorError {
+        ParseSelectorError::new(self.pos, message)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseSelectorError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{token}`, found {}",
+                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+            )))
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseSelectorError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseSelectorError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseSelectorError> {
+        if self.eat(&Token::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr, ParseSelectorError> {
+        let lhs = self.sum()?;
+
+        let negated = if self.peek() == Some(&Token::Not)
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Like | Token::In | Token::Between)
+            ) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+
+        match self.peek() {
+            Some(Token::Eq) => self.cmp_rest(CmpOp::Eq, lhs),
+            Some(Token::Ne) => self.cmp_rest(CmpOp::Ne, lhs),
+            Some(Token::Lt) => self.cmp_rest(CmpOp::Lt, lhs),
+            Some(Token::Le) => self.cmp_rest(CmpOp::Le, lhs),
+            Some(Token::Gt) => self.cmp_rest(CmpOp::Gt, lhs),
+            Some(Token::Ge) => self.cmp_rest(CmpOp::Ge, lhs),
+            Some(Token::Like) => {
+                self.pos += 1;
+                let pattern = match self.bump() {
+                    Some(Token::Str(s)) => s,
+                    _ => return Err(self.err("LIKE requires a string pattern")),
+                };
+                let escape = if self.eat(&Token::Escape) {
+                    match self.bump() {
+                        Some(Token::Str(s)) if s.chars().count() == 1 => s.chars().next(),
+                        _ => return Err(self.err("ESCAPE requires a single-character string")),
+                    }
+                } else {
+                    None
+                };
+                Ok(Expr::Like {
+                    expr: Box::new(lhs),
+                    pattern,
+                    escape,
+                    negated,
+                })
+            }
+            Some(Token::In) => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let mut items = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Token::Str(s)) => items.push(s),
+                        _ => return Err(self.err("IN list elements must be string literals")),
+                    }
+                    if self.eat(&Token::Comma) {
+                        continue;
+                    }
+                    self.expect(&Token::RParen)?;
+                    break;
+                }
+                Ok(Expr::In {
+                    expr: Box::new(lhs),
+                    items,
+                    negated,
+                })
+            }
+            Some(Token::Between) => {
+                self.pos += 1;
+                let lo = self.sum()?;
+                self.expect(&Token::And)?;
+                let hi = self.sum()?;
+                Ok(Expr::Between {
+                    expr: Box::new(lhs),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                })
+            }
+            Some(Token::Is) => {
+                self.pos += 1;
+                let negated = self.eat(&Token::Not);
+                self.expect(&Token::Null)?;
+                Ok(Expr::IsNull {
+                    expr: Box::new(lhs),
+                    negated,
+                })
+            }
+            _ if negated => Err(self.err("expected LIKE, IN or BETWEEN after NOT")),
+            _ => Ok(lhs),
+        }
+    }
+
+    fn cmp_rest(&mut self, op: CmpOp, lhs: Expr) -> Result<Expr, ParseSelectorError> {
+        self.pos += 1;
+        let rhs = self.sum()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseSelectorError> {
+        let mut lhs = self.product()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.product()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn product(&mut self) -> Result<Expr, ParseSelectorError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseSelectorError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseSelectorError> {
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(Expr::Ident(name)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Num(n)) => Ok(Expr::Num(n)),
+            Some(Token::True) => Ok(Expr::Bool(true)),
+            Some(Token::False) => Ok(Expr::Bool(false)),
+            Some(Token::LParen) => {
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(other) => Err(self.err(format!("unexpected token `{other}`"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = p("a = '1' OR b = '2' AND c = '3'");
+        match e {
+            Expr::Or(_, rhs) => assert!(matches!(*rhs, Expr::And(_, _))),
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = p("a + 2 * 3 = 7");
+        match e {
+            Expr::Cmp(CmpOp::Eq, lhs, _) => match *lhs {
+                Expr::Arith(ArithOp::Add, _, rhs) => {
+                    assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, _, _)))
+                }
+                other => panic!("expected Add, got {other:?}"),
+            },
+            other => panic!("expected Cmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_like_in_between() {
+        assert!(matches!(p("a NOT LIKE 'x%'"), Expr::Like { negated: true, .. }));
+        assert!(matches!(p("a NOT IN ('x','y')"), Expr::In { negated: true, .. }));
+        assert!(matches!(
+            p("a NOT BETWEEN 1 AND 5"),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(p("a IS NOT NULL"), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_escape_clause() {
+        match p("a LIKE '10!%' ESCAPE '!'") {
+            Expr::Like { escape, .. } => assert_eq!(escape, Some('!')),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_expressions() {
+        let e = p("(a = '1' OR b = '2') AND c = '3'");
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "a =", "= 1", "a LIKE 5", "a IN (1)", "a IN ()", "a BETWEEN 1", "a IS",
+            "a b", "(a = '1'", "a NOT 5", "a LIKE 'x' ESCAPE 'ab'",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        for src in [
+            "a = '1' OR b = '2' AND NOT c = '3'",
+            "price * 1.2 <= limit + 5",
+            "name NOT LIKE 'J_n%' ESCAPE '!'",
+            "mdt IN ('a', 'b', 'c')",
+            "age BETWEEN 40 AND 60",
+            "x IS NOT NULL AND -y < 3",
+        ] {
+            let e = p(src);
+            let printed = e.to_string();
+            assert_eq!(p(&printed), e, "roundtrip of {src}");
+        }
+    }
+}

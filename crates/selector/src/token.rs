@@ -1,0 +1,309 @@
+//! Lexer for the SQL-92 selector subset.
+
+use std::fmt;
+
+use crate::error::ParseSelectorError;
+
+/// A lexical token in a selector expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An attribute identifier, e.g. `type` or `patient_id`.
+    Ident(String),
+    /// A single-quoted string literal with `''` escapes.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// `TRUE` keyword.
+    True,
+    /// `FALSE` keyword.
+    False,
+    /// `AND` keyword.
+    And,
+    /// `OR` keyword.
+    Or,
+    /// `NOT` keyword.
+    Not,
+    /// `LIKE` keyword.
+    Like,
+    /// `ESCAPE` keyword.
+    Escape,
+    /// `IN` keyword.
+    In,
+    /// `BETWEEN` keyword.
+    Between,
+    /// `IS` keyword.
+    Is,
+    /// `NULL` keyword.
+    Null,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::True => write!(f, "TRUE"),
+            Token::False => write!(f, "FALSE"),
+            Token::And => write!(f, "AND"),
+            Token::Or => write!(f, "OR"),
+            Token::Not => write!(f, "NOT"),
+            Token::Like => write!(f, "LIKE"),
+            Token::Escape => write!(f, "ESCAPE"),
+            Token::In => write!(f, "IN"),
+            Token::Between => write!(f, "BETWEEN"),
+            Token::Is => write!(f, "IS"),
+            Token::Null => write!(f, "NULL"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+        }
+    }
+}
+
+/// Tokenises a selector expression.
+///
+/// # Errors
+///
+/// Returns [`ParseSelectorError`] on unterminated string literals, malformed
+/// numbers or unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseSelectorError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseSelectorError::new(i, "unterminated string literal"))
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Track UTF-8 boundaries via the source string.
+                            let ch_start = i;
+                            let ch = input[ch_start..]
+                                .chars()
+                                .next()
+                                .expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i - 1), Some(b'e' | b'E'))))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseSelectorError::new(start, format!("invalid number {text:?}")))?;
+                tokens.push(Token::Num(n));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                tokens.push(keyword_or_ident(word));
+            }
+            other => {
+                return Err(ParseSelectorError::new(
+                    i,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_uppercase().as_str() {
+        "TRUE" => Token::True,
+        "FALSE" => Token::False,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        "LIKE" => Token::Like,
+        "ESCAPE" => Token::Escape,
+        "IN" => Token::In,
+        "BETWEEN" => Token::Between,
+        "IS" => Token::Is,
+        "NULL" => Token::Null,
+        _ => Token::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_comparison() {
+        let t = tokenize("type = 'cancer' AND age >= 50").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("type".into()),
+                Token::Eq,
+                Token::Str("cancer".into()),
+                Token::And,
+                Token::Ident("age".into()),
+                Token::Ge,
+                Token::Num(50.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("name = 'O''Brien'").unwrap();
+        assert_eq!(t[2], Token::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("a like 'x' and b is not null").unwrap();
+        assert!(t.contains(&Token::Like));
+        assert!(t.contains(&Token::And));
+        assert!(t.contains(&Token::Is));
+        assert!(t.contains(&Token::Not));
+        assert!(t.contains(&Token::Null));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("1.5").unwrap(), vec![Token::Num(1.5)]);
+        assert_eq!(tokenize("2e3").unwrap(), vec![Token::Num(2000.0)]);
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(tokenize("a = 'unterminated").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = tokenize("x = 'héllo✓'").unwrap();
+        assert_eq!(t[2], Token::Str("héllo✓".into()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the selector language: printing round-trips, the
+//! evaluator is total, and three-valued logic laws hold.
+
+use proptest::prelude::*;
+use safeweb_selector::{Selector, Truth};
+use std::collections::BTreeMap;
+
+fn arb_attrs() -> impl Strategy<Value = BTreeMap<String, String>> {
+    proptest::collection::btree_map(
+        prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())],
+        prop_oneof![
+            "[0-9]{1,3}".prop_map(|s| s),
+            "[a-z]{0,6}".prop_map(|s| s),
+        ],
+        0..3,
+    )
+}
+
+/// A generator of syntactically valid selector source strings.
+fn arb_selector_src() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("a = 'x'".to_string()),
+        Just("b <> '3'".to_string()),
+        Just("c > 10".to_string()),
+        Just("a LIKE '%x_'".to_string()),
+        Just("b IN ('1','2','3')".to_string()),
+        Just("c BETWEEN 2 AND 30".to_string()),
+        Just("a IS NULL".to_string()),
+        Just("b IS NOT NULL".to_string()),
+        Just("c + 1 * 2 <= 20".to_string()),
+        Just("TRUE".to_string()),
+        Just("FALSE".to_string()),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(l, r)| {
+            prop_oneof![
+                Just(format!("({l}) AND ({r})")),
+                Just(format!("({l}) OR ({r})")),
+                Just(format!("NOT ({l})")),
+            ]
+        })
+    })
+}
+
+proptest! {
+    /// Pretty-printing a parsed selector re-parses to the same AST.
+    #[test]
+    fn display_roundtrip(src in arb_selector_src()) {
+        let sel = Selector::parse(&src).unwrap();
+        let printed = sel.expr().to_string();
+        let again = Selector::parse(&printed).unwrap();
+        prop_assert_eq!(again.expr(), sel.expr());
+    }
+
+    /// Evaluation is total (never panics) for valid selectors.
+    #[test]
+    fn eval_total(src in arb_selector_src(), attrs in arb_attrs()) {
+        let sel = Selector::parse(&src).unwrap();
+        let _ = sel.evaluate(&attrs);
+    }
+
+    /// Double negation preserves the three-valued result.
+    #[test]
+    fn double_negation(src in arb_selector_src(), attrs in arb_attrs()) {
+        let sel = Selector::parse(&src).unwrap();
+        let double = Selector::parse(&format!("NOT (NOT ({src}))")).unwrap();
+        prop_assert_eq!(sel.evaluate(&attrs), double.evaluate(&attrs));
+    }
+
+    /// De Morgan: NOT (a AND b) === (NOT a) OR (NOT b).
+    #[test]
+    fn de_morgan(a in arb_selector_src(), b in arb_selector_src(), attrs in arb_attrs()) {
+        let lhs = Selector::parse(&format!("NOT (({a}) AND ({b}))")).unwrap();
+        let rhs = Selector::parse(&format!("(NOT ({a})) OR (NOT ({b}))")).unwrap();
+        prop_assert_eq!(lhs.evaluate(&attrs), rhs.evaluate(&attrs));
+    }
+
+    /// AND with TRUE is identity; AND with FALSE is FALSE.
+    #[test]
+    fn and_identity(src in arb_selector_src(), attrs in arb_attrs()) {
+        let sel = Selector::parse(&src).unwrap();
+        let with_true = Selector::parse(&format!("({src}) AND TRUE")).unwrap();
+        let with_false = Selector::parse(&format!("({src}) AND FALSE")).unwrap();
+        prop_assert_eq!(with_true.evaluate(&attrs), sel.evaluate(&attrs));
+        prop_assert_eq!(with_false.evaluate(&attrs), Truth::False);
+    }
+
+    /// The lexer/parser never panic on arbitrary garbage.
+    #[test]
+    fn parser_total_on_garbage(s in "\\PC{0,48}") {
+        let _ = Selector::parse(&s);
+    }
+}

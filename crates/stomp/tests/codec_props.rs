@@ -1,0 +1,103 @@
+//! Property tests: STOMP encode/decode round-trips for arbitrary frames,
+//! including adversarial header content and chunked delivery.
+
+use proptest::prelude::*;
+use safeweb_stomp::codec::{encode, Decoder};
+use safeweb_stomp::{Command, Frame};
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        Just(Command::Connect),
+        Just(Command::Connected),
+        Just(Command::Send),
+        Just(Command::Subscribe),
+        Just(Command::Unsubscribe),
+        Just(Command::Message),
+        Just(Command::Receipt),
+        Just(Command::Error),
+        Just(Command::Disconnect),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        arb_command(),
+        proptest::collection::vec(("[a-zA-Z-]{1,10}", "\\PC{0,20}"), 0..6),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(cmd, headers, body)| {
+            let mut f = Frame::new(cmd);
+            for (k, v) in headers {
+                if k != "content-length" {
+                    f.push_header(k, v);
+                }
+            }
+            f.set_body(body);
+            f
+        })
+}
+
+proptest! {
+    /// encode → decode returns an equivalent frame (plus the synthesised
+    /// content-length header).
+    #[test]
+    fn roundtrip(frame in arb_frame()) {
+        let bytes = encode(&frame);
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        let back = d.next_frame().unwrap().expect("complete frame");
+        prop_assert_eq!(back.command(), frame.command());
+        prop_assert_eq!(back.body(), frame.body());
+        for (k, _) in frame.headers() {
+            prop_assert_eq!(back.header(k), frame.header(k), "header {}", k);
+        }
+        prop_assert!(d.next_frame().unwrap().is_none());
+    }
+
+    /// Chunked delivery (1..7-byte chunks) decodes identically.
+    #[test]
+    fn chunked_roundtrip(frame in arb_frame(), chunk in 1usize..7) {
+        let bytes = encode(&frame);
+        let mut d = Decoder::new();
+        let mut out = None;
+        for c in bytes.chunks(chunk) {
+            d.feed(c);
+            if out.is_none() {
+                out = d.next_frame().unwrap();
+            }
+        }
+        if out.is_none() {
+            out = d.next_frame().unwrap();
+        }
+        let back = out.expect("complete frame");
+        prop_assert_eq!(back.command(), frame.command());
+        prop_assert_eq!(back.body(), frame.body());
+    }
+
+    /// Multiple concatenated frames all decode, in order.
+    #[test]
+    fn sequence_roundtrip(frames in proptest::collection::vec(arb_frame(), 0..5)) {
+        let mut d = Decoder::new();
+        for f in &frames {
+            d.feed(&encode(f));
+        }
+        for f in &frames {
+            let back = d.next_frame().unwrap().expect("frame");
+            prop_assert_eq!(back.command(), f.command());
+            prop_assert_eq!(back.body(), f.body());
+        }
+        prop_assert!(d.next_frame().unwrap().is_none());
+    }
+
+    /// The decoder is total on garbage: it errors or waits, never panics.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        for _ in 0..4 {
+            if d.next_frame().is_err() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Labelled JSON values: the frontend fetches documents from the
+//! application database and SafeWeb "transparently adds the labels produced
+//! by units in the backend to the data fetched" (§4.4 step 2). [`SValue`]
+//! is that fetched-and-labelled document.
+
+use std::sync::Arc;
+
+use safeweb_json::Value;
+use safeweb_labels::{Label, LabelSet, PrivilegeSet};
+
+use crate::sstr::{ReleaseError, SStr};
+
+/// A JSON value carrying a label set (document granularity — a whole
+/// record from the application database shares one label set, matching how
+/// the storage unit labels whole result documents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SValue {
+    value: Value,
+    labels: Arc<LabelSet>,
+}
+
+impl SValue {
+    /// A public (unlabelled) value.
+    pub fn public(value: Value) -> SValue {
+        SValue {
+            value,
+            labels: crate::sstr::empty_labels(),
+        }
+    }
+
+    /// A labelled value.
+    pub fn labelled(value: Value, labels: impl IntoIterator<Item = Label>) -> SValue {
+        SValue {
+            value,
+            labels: Arc::new(labels.into_iter().collect()),
+        }
+    }
+
+    /// A value with an existing label set.
+    pub fn with_label_set(value: Value, labels: LabelSet) -> SValue {
+        SValue {
+            value,
+            labels: Arc::new(labels),
+        }
+    }
+
+    /// The raw JSON (inspection, not release).
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// The labels attached.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Adds a label.
+    pub fn add_label(&mut self, label: Label) {
+        Arc::make_mut(&mut self.labels).insert(label);
+    }
+
+    /// Member access on objects; the field inherits the document's labels.
+    pub fn get(&self, key: &str) -> Option<SValue> {
+        self.value.get(key).map(|v| SValue {
+            value: v.clone(),
+            labels: Arc::clone(&self.labels),
+        })
+    }
+
+    /// Element access on arrays; the element inherits the labels.
+    pub fn at(&self, index: usize) -> Option<SValue> {
+        self.value.at(index).map(|v| SValue {
+            value: v.clone(),
+            labels: Arc::clone(&self.labels),
+        })
+    }
+
+    /// Array length, if this is an array.
+    pub fn array_len(&self) -> Option<usize> {
+        self.value.as_array().map(|a| a.len())
+    }
+
+    /// String payload as a labelled string.
+    pub fn as_sstr(&self) -> Option<SStr> {
+        self.value
+            .as_str()
+            .map(|s| SStr::with_shared_labels(s.to_string(), Arc::clone(&self.labels)))
+    }
+
+    /// Integer payload as a labelled number.
+    pub fn as_snum(&self) -> Option<crate::snum::SNum> {
+        self.value
+            .as_i64()
+            .map(|n| crate::snum::SNum::with_label_set(n, LabelSet::clone(&self.labels)))
+    }
+
+    /// Serialises to compact JSON **as a labelled string** — the paper's
+    /// Listing 2 `r.to_json` whose taint made the omitted-check bug
+    /// harmless.
+    pub fn to_json_sstr(&self) -> SStr {
+        SStr::with_shared_labels(self.value.to_json(), Arc::clone(&self.labels))
+    }
+
+    /// Combines two labelled values into an array entry-style merge,
+    /// unioning labels (used when aggregating records).
+    pub fn merge_labels_from(&mut self, other: &SValue) {
+        let mut acc = Arc::clone(&self.labels);
+        crate::sstr::merge_labels(&mut acc, &other.labels);
+        self.labels = acc;
+    }
+
+    /// Boundary check on the serialised form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReleaseError`] naming the blocking labels.
+    pub fn check_release(&self, privileges: &PrivilegeSet) -> Result<String, ReleaseError> {
+        let s = self.to_json_sstr();
+        s.check_release(privileges)?;
+        Ok(s.as_str().to_string())
+    }
+}
+
+impl From<Value> for SValue {
+    fn from(v: Value) -> SValue {
+        SValue::public(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeweb_json::jobject;
+    use safeweb_labels::Privilege;
+
+    fn patient() -> Label {
+        Label::conf("e", "patient/1")
+    }
+
+    #[test]
+    fn fields_inherit_document_labels() {
+        let doc = SValue::labelled(
+            jobject! {"name" => "A. Patient", "age" => 61},
+            [patient()],
+        );
+        let name = doc.get("name").unwrap().as_sstr().unwrap();
+        assert_eq!(name.as_str(), "A. Patient");
+        assert!(name.labels().contains(&patient()));
+        let age = doc.get("age").unwrap().as_snum().unwrap();
+        assert_eq!(age.value(), 61);
+        assert!(age.labels().contains(&patient()));
+    }
+
+    #[test]
+    fn to_json_sstr_is_labelled() {
+        let doc = SValue::labelled(jobject! {"x" => 1}, [patient()]);
+        let json = doc.to_json_sstr();
+        assert_eq!(json.as_str(), r#"{"x":1}"#);
+        assert!(json.labels().contains(&patient()));
+        assert!(json.check_release(&PrivilegeSet::new()).is_err());
+    }
+
+    #[test]
+    fn release_with_clearance() {
+        let doc = SValue::labelled(jobject! {"x" => 1}, [patient()]);
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::clearance(patient()));
+        assert_eq!(doc.check_release(&privs).unwrap(), r#"{"x":1}"#);
+    }
+
+    #[test]
+    fn array_access() {
+        let doc = SValue::labelled(
+            safeweb_json::Value::Array(vec![jobject! {"id" => 1}, jobject! {"id" => 2}]),
+            [patient()],
+        );
+        assert_eq!(doc.array_len(), Some(2));
+        let first = doc.at(0).unwrap();
+        assert!(first.labels().contains(&patient()));
+        assert_eq!(first.get("id").unwrap().as_snum().unwrap().value(), 1);
+    }
+
+    #[test]
+    fn merge_labels() {
+        let mut a = SValue::labelled(jobject! {}, [patient()]);
+        let b = SValue::labelled(jobject! {}, [Label::conf("e", "mdt/a")]);
+        a.merge_labels_from(&b);
+        assert_eq!(a.labels().len(), 2);
+    }
+}

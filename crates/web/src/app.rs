@@ -1,0 +1,484 @@
+//! The SafeWeb web frontend (§4.4, Figure 3): a Sinatra-like application
+//! wrapper that authenticates every request, fetches the user's privileges
+//! from the web database, runs the route handler over labelled data, and
+//! **checks the response's labels against the user's privileges before
+//! anything leaves the server**.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use safeweb_docstore::DocStore;
+use safeweb_http::{Method, Request, Response};
+use safeweb_labels::PrivilegeSet;
+use safeweb_relstore::{CellValue, Database, Row};
+use safeweb_taint::{SStr, SValue};
+
+use crate::auth::{AuthenticatedUser, UserStore};
+use crate::router::Router;
+
+/// A labelled response produced by a route handler.
+#[derive(Debug, Clone)]
+pub struct SResponse {
+    status: u16,
+    content_type: String,
+    body: SStr,
+}
+
+impl SResponse {
+    /// 200 text/html.
+    pub fn html(body: SStr) -> SResponse {
+        SResponse {
+            status: 200,
+            content_type: "text/html; charset=utf-8".to_string(),
+            body,
+        }
+    }
+
+    /// 200 application/json.
+    pub fn json(body: SStr) -> SResponse {
+        SResponse {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body,
+        }
+    }
+
+    /// 200 text/plain.
+    pub fn text(body: SStr) -> SResponse {
+        SResponse {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body,
+        }
+    }
+
+    /// A public (unlabelled) error page with the given status.
+    pub fn error(status: u16, message: &str) -> SResponse {
+        SResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: SStr::public(message),
+        }
+    }
+
+    /// 404.
+    pub fn not_found() -> SResponse {
+        SResponse::error(404, "not found")
+    }
+
+    /// Overrides the status code.
+    pub fn with_status(mut self, status: u16) -> SResponse {
+        self.status = status;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The labelled body.
+    pub fn body(&self) -> &SStr {
+        &self.body
+    }
+}
+
+/// Request context handed to route handlers.
+pub struct Ctx<'a> {
+    request: &'a Request,
+    params: BTreeMap<String, String>,
+    user: &'a AuthenticatedUser,
+    records: &'a DocStore,
+}
+
+impl<'a> Ctx<'a> {
+    /// The raw HTTP request.
+    pub fn request(&self) -> &Request {
+        self.request
+    }
+
+    /// A path parameter as a **user-tainted** labelled string: route
+    /// parameters are user input and must be sanitised before echoing.
+    pub fn param(&self, name: &str) -> Option<SStr> {
+        self.params.get(name).map(|v| SStr::from_user(v.clone()))
+    }
+
+    /// A path parameter as a plain string, for use as a lookup key.
+    pub fn param_raw(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// A query parameter as a user-tainted labelled string.
+    pub fn query(&self, name: &str) -> Option<SStr> {
+        self.request.query(name).map(SStr::from_user)
+    }
+
+    /// The authenticated user.
+    pub fn user(&self) -> &AuthenticatedUser {
+        self.user
+    }
+
+    /// The user's privileges (fetched from the web database in step 1).
+    pub fn privileges(&self) -> &PrivilegeSet {
+        &self.user.privileges
+    }
+
+    /// Queries a view of the application database, returning **labelled**
+    /// documents: this is §4.4 step 2, where "SafeWeb's taint tracking
+    /// library transparently adds the labels produced by units in the
+    /// backend to the data fetched from the application database".
+    pub fn records_by(&self, view: &str, key: &str) -> Vec<SValue> {
+        self.records
+            .query_view(view, &safeweb_json::Value::from(key))
+            .unwrap_or_default()
+            .into_iter()
+            .map(|doc| {
+                let (_, _, labels, body) = doc.into_parts();
+                SValue::with_label_set(body, labels)
+            })
+            .collect()
+    }
+
+    /// Fetches one labelled document by id.
+    pub fn record(&self, id: &str) -> Option<SValue> {
+        self.records.get(id).map(|doc| {
+            let (_, _, labels, body) = doc.into_parts();
+            SValue::with_label_set(body, labels)
+        })
+    }
+}
+
+/// A route handler.
+pub type RouteHandler = Arc<dyn Fn(&Ctx<'_>) -> SResponse + Send + Sync>;
+
+/// Frontend options.
+#[derive(Debug, Clone)]
+pub struct FrontendOptions {
+    /// When `false`, the response label check is skipped — the paper's
+    /// §5.3 "without taint tracking" baseline. Never disable in production.
+    pub label_checking: bool,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> FrontendOptions {
+        FrontendOptions {
+            label_checking: true,
+        }
+    }
+}
+
+/// Cumulative per-phase timing counters (nanoseconds), reproducing the
+/// Figure 5 frontend breakdown.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    requests: AtomicU64,
+    auth_ns: AtomicU64,
+    privilege_fetch_ns: AtomicU64,
+    handler_ns: AtomicU64,
+    label_check_ns: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl FrontendStats {
+    /// Requests served (after routing).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total time verifying passwords.
+    pub fn auth_ns(&self) -> u64 {
+        self.auth_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total time fetching users/privileges from the web database.
+    pub fn privilege_fetch_ns(&self) -> u64 {
+        self.privilege_fetch_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total time in route handlers (template rendering etc.).
+    pub fn handler_ns(&self) -> u64 {
+        self.handler_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total time checking response labels.
+    pub fn label_check_ns(&self) -> u64 {
+        self.label_check_ns.load(Ordering::Relaxed)
+    }
+
+    /// Responses aborted by the label check — each one is a contained
+    /// policy violation.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+}
+
+type AuthLookup = Arc<dyn Fn(&Database, &str) -> Option<Row> + Send + Sync>;
+
+/// The SafeWeb application: routes plus the enforcement middleware.
+pub struct SafeWebApp {
+    router: Router,
+    handlers: Vec<RouteHandler>,
+    users: UserStore,
+    records: DocStore,
+    options: FrontendOptions,
+    stats: Arc<FrontendStats>,
+    auth_lookup: AuthLookup,
+}
+
+impl SafeWebApp {
+    /// Creates an application over the given user store and application
+    /// database (the read-only DMZ replica in the deployed topology).
+    pub fn new(users: UserStore, records: DocStore) -> SafeWebApp {
+        SafeWebApp {
+            router: Router::new(),
+            handlers: Vec::new(),
+            users,
+            records,
+            options: FrontendOptions::default(),
+            stats: Arc::new(FrontendStats::default()),
+            auth_lookup: Arc::new(|db, name| db.get("users", &CellValue::from(name)).ok().flatten()),
+        }
+    }
+
+    /// Overrides options (baseline benchmarking only).
+    pub fn with_options(mut self, options: FrontendOptions) -> SafeWebApp {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the user-lookup function — the hook used by the §5.2
+    /// "errors in access checks" experiment to inject a case-insensitive
+    /// username bug.
+    pub fn with_auth_lookup(
+        mut self,
+        lookup: impl Fn(&Database, &str) -> Option<Row> + Send + Sync + 'static,
+    ) -> SafeWebApp {
+        self.auth_lookup = Arc::new(lookup);
+        self
+    }
+
+    /// Registers a GET route.
+    pub fn get(&mut self, pattern: &str, handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static) {
+        self.add_route(Method::Get, pattern, handler);
+    }
+
+    /// Registers a POST route.
+    pub fn post(&mut self, pattern: &str, handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static) {
+        self.add_route(Method::Post, pattern, handler);
+    }
+
+    fn add_route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static,
+    ) {
+        let idx = self.handlers.len();
+        self.handlers.push(Arc::new(handler));
+        self.router.add(method, pattern, idx);
+    }
+
+    /// Per-phase timing counters.
+    pub fn stats(&self) -> Arc<FrontendStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Serves one request through the full middleware pipeline
+    /// (Figure 3 steps 1–4).
+    pub fn handle(&self, request: &Request) -> Response {
+        // Route first: unknown paths 404 without burning auth time.
+        let Some((handler_idx, params)) = self.router.route(request.method(), request.path())
+        else {
+            return Response::new(404).with_body("not found");
+        };
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Step 1: authenticate and fetch privileges.
+        let Some((username, password)) = request.basic_auth() else {
+            return Response::new(401)
+                .with_header("www-authenticate", "Basic realm=\"SafeWeb\"")
+                .with_body("authentication required");
+        };
+        let fetch_start = Instant::now();
+        let row = (self.auth_lookup)(self.users.database(), &username);
+        self.stats
+            .privilege_fetch_ns
+            .fetch_add(fetch_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        let auth_start = Instant::now();
+        let user = row.and_then(|row| self.users.verify_row(&row, &password));
+        self.stats
+            .auth_ns
+            .fetch_add(auth_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let Some(user) = user else {
+            return Response::new(401)
+                .with_header("www-authenticate", "Basic realm=\"SafeWeb\"")
+                .with_body("bad credentials");
+        };
+
+        // Steps 2–3: run the handler over labelled data.
+        let ctx = Ctx {
+            request,
+            params,
+            user: &user,
+            records: &self.records,
+        };
+        let handler_start = Instant::now();
+        let sresponse = (self.handlers[handler_idx])(&ctx);
+        self.stats
+            .handler_ns
+            .fetch_add(handler_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Step 4: the label check at the boundary.
+        let check_start = Instant::now();
+        let released = if self.options.label_checking {
+            if sresponse.body.is_user_tainted() {
+                self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .label_check_ns
+                    .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return Response::new(500)
+                    .with_body("response contains unsanitised user input");
+            }
+            match sresponse.body.check_release(&user.privileges) {
+                Ok(s) => s.to_string(),
+                Err(e) => {
+                    self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .label_check_ns
+                        .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // The error page must not leak which labels blocked.
+                    let _ = e;
+                    return Response::new(403)
+                        .with_body("access denied by security policy");
+                }
+            }
+        } else {
+            sresponse.body.as_str().to_string()
+        };
+        self.stats
+            .label_check_ns
+            .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        Response::new(sresponse.status)
+            .with_header("content-type", sresponse.content_type.clone())
+            .with_body(released)
+    }
+
+    /// Adapts the app into an [`safeweb_http::Handler`] for serving.
+    pub fn into_handler(self: Arc<SafeWebApp>) -> safeweb_http::Handler {
+        Arc::new(move |request: Request| self.handle(&request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use safeweb_json::jobject;
+    use safeweb_labels::{Label, LabelSet, Privilege};
+
+    fn setup() -> (SafeWebApp, DocStore) {
+        let users = UserStore::new(Database::new("web"), AuthConfig { hash_iterations: 500 });
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::clearance(Label::conf("e", "mdt/a")));
+        users.create_user("mdt_a", "pw", &privs, false).unwrap();
+        users.create_user("nosy", "pw", &PrivilegeSet::new(), false).unwrap();
+
+        let records = DocStore::new("app");
+        records.create_view("by_mid", "mdt_id");
+        records
+            .put(
+                "rec-1",
+                jobject! {"mdt_id" => "a", "patient" => "Ann"},
+                LabelSet::singleton(Label::conf("e", "mdt/a")),
+                None,
+            )
+            .unwrap();
+
+        let mut app = SafeWebApp::new(users, records.clone());
+        app.get("/records/:mid", |ctx: &Ctx<'_>| {
+            let mid = ctx.param_raw("mid").unwrap_or("");
+            let docs = ctx.records_by("by_mid", mid);
+            let body = SStr::concat_all(docs.iter().map(|d| d.to_json_sstr()).collect::<Vec<_>>().iter());
+            SResponse::json(body)
+        });
+        (app, records)
+    }
+
+    fn req(path: &str, user: &str) -> Request {
+        Request::new(Method::Get, path).with_basic_auth(user, "pw")
+    }
+
+    #[test]
+    fn cleared_user_reads_records() {
+        let (app, _) = setup();
+        let resp = app.handle(&req("/records/a", "mdt_a"));
+        assert_eq!(resp.status(), 200);
+        assert!(resp.body_str().unwrap().contains("Ann"));
+    }
+
+    #[test]
+    fn uncleared_user_gets_403_without_detail() {
+        let (app, _) = setup();
+        let resp = app.handle(&req("/records/a", "nosy"));
+        assert_eq!(resp.status(), 403);
+        let body = resp.body_str().unwrap();
+        assert!(!body.contains("mdt"), "error page must not leak labels: {body}");
+        assert_eq!(app.stats().denied(), 1);
+    }
+
+    #[test]
+    fn missing_or_bad_credentials_get_401() {
+        let (app, _) = setup();
+        let resp = app.handle(&Request::new(Method::Get, "/records/a"));
+        assert_eq!(resp.status(), 401);
+        assert!(resp.headers().get("www-authenticate").is_some());
+        let resp = app.handle(&Request::new(Method::Get, "/records/a").with_basic_auth("mdt_a", "wrong"));
+        assert_eq!(resp.status(), 401);
+    }
+
+    #[test]
+    fn unknown_route_is_404_before_auth() {
+        let (app, _) = setup();
+        let resp = app.handle(&Request::new(Method::Get, "/nowhere"));
+        assert_eq!(resp.status(), 404);
+        assert_eq!(app.stats().requests(), 0);
+    }
+
+    #[test]
+    fn user_tainted_response_is_blocked() {
+        let users = UserStore::new(Database::new("web"), AuthConfig { hash_iterations: 500 });
+        users.create_user("u", "pw", &PrivilegeSet::new(), false).unwrap();
+        let mut app = SafeWebApp::new(users, DocStore::new("app"));
+        app.get("/echo", |ctx: &Ctx<'_>| {
+            // Bug: echoes raw user input without sanitising.
+            SResponse::html(ctx.query("q").unwrap_or_else(|| SStr::public("")))
+        });
+        let resp = app.handle(&Request::new(Method::Get, "/echo?q=<script>x</script>").with_basic_auth("u", "pw"));
+        assert_eq!(resp.status(), 500);
+        assert!(!resp.body_str().unwrap().contains("<script>"));
+    }
+
+    #[test]
+    fn label_checking_off_is_baseline_mode() {
+        let (app, _) = setup();
+        let app = app.with_options(FrontendOptions { label_checking: false });
+        // Baseline: even the uncleared user gets data (measured config only).
+        let resp = app.handle(&req("/records/a", "nosy"));
+        assert_eq!(resp.status(), 200);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (app, _) = setup();
+        app.handle(&req("/records/a", "mdt_a"));
+        let stats = app.stats();
+        assert_eq!(stats.requests(), 1);
+        assert!(stats.auth_ns() > 0);
+        assert!(stats.privilege_fetch_ns() > 0);
+        assert!(stats.handler_ns() > 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's Listing 1, running on the real broker and engine: a unit
+//! that accumulates the day's cancer-patient reports and publishes a
+//! relabelled daily list when the day rolls over.
+//!
+//! ```sh
+//! cargo run --example event_pipeline
+//! ```
+//!
+//! Demonstrates the backend half of SafeWeb (§4.2–§4.3): label-aware
+//! subscription matching, `$LABELS` tracking through the per-unit
+//! key-value store, and declassification under policy.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use safeweb::broker::Broker;
+use safeweb::engine::{Engine, Relabel, UnitError, UnitSpec};
+use safeweb::events::Event;
+use safeweb::labels::{Label, Policy, Privilege, PrivilegeSet};
+
+fn main() {
+    // The policy file: the unit may see patient data and may declassify
+    // patient labels when publishing the aggregate list (§3.1's trusted
+    // aggregation component).
+    let policy: Policy = "
+        unit daily_list {
+            clearance  label:conf:ecric.org.uk/patient/*
+            declassify label:conf:ecric.org.uk/patient/*
+        }
+    "
+    .parse()
+    .expect("well-formed policy");
+
+    let broker = Broker::new();
+    let mut engine = Engine::new(Arc::new(broker.clone()), policy);
+
+    // Listing 1, line for line:
+    //
+    //   subscribe /patient_report, type=cancer do |event|
+    //     list = get patient_list ; list push event[:patient_id]
+    //     set patient_list, list
+    //   end
+    //   subscribe /next_day do |event|
+    //     list = get patient_list
+    //     publish /daily_report, list, :remove => $LABELS,
+    //                                  :add => [label:...:patient_list]
+    //   end
+    engine
+        .add_unit(
+            UnitSpec::new("daily_list")
+                .subscribe("/patient_report", Some("type = 'cancer'"), |jail, event| {
+                    let mut list = jail.get("patient_list").unwrap_or_default();
+                    if !list.is_empty() {
+                        list.push(',');
+                    }
+                    list.push_str(event.attr("patient_id").unwrap_or("?"));
+                    println!(
+                        "  [unit] folded patient {} — $LABELS now {}",
+                        event.attr("patient_id").unwrap_or("?"),
+                        jail.labels()
+                    );
+                    jail.set("patient_list", list, Relabel::keep())
+                })
+                .subscribe("/next_day", None, |jail, _event| {
+                    let list = jail.get("patient_list").unwrap_or_default();
+                    println!("  [unit] day rollover — $LABELS after read: {}", jail.labels());
+                    jail.publish(
+                        Event::new("/daily_report")
+                            .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                            .with_payload(list),
+                        Relabel::keep()
+                            .remove_all()
+                            .add(Label::conf("ecric.org.uk", "patient_list")),
+                    )
+                }),
+        )
+        .expect("unique unit name");
+    let handle = engine.start().expect("engine starts");
+
+    // The portal backend subscribes to the daily report with clearance for
+    // the aggregate label only — it never needs patient-level clearance.
+    let mut portal_clearance = PrivilegeSet::new();
+    portal_clearance.grant(Privilege::clearance(Label::conf(
+        "ecric.org.uk",
+        "patient_list",
+    )));
+    let portal = broker.subscribe("portal", "1", "/daily_report", None, portal_clearance);
+
+    // A nosy subscriber with no clearance sees nothing at all.
+    let nosy = broker.subscribe("nosy", "1", "/daily_report", None, PrivilegeSet::new());
+
+    // Publish the day's reports (the producer labels each with the
+    // patient's label; note 77 is filtered out by the selector).
+    println!("publishing patient reports...");
+    for (id, typ) in [("33812769", "cancer"), ("77", "benign"), ("40021532", "cancer")] {
+        broker.publish(
+            &Event::new("/patient_report")
+                .expect("valid topic")
+                .with_attr("type", typ)
+                .with_attr("patient_id", id)
+                .with_labels([Label::conf("ecric.org.uk", &format!("patient/{id}"))]),
+        );
+    }
+    // Let the unit drain its queue, then roll the day.
+    std::thread::sleep(Duration::from_millis(300));
+    println!("publishing /next_day...");
+    broker.publish(&Event::new("/next_day").expect("valid topic").with_labels([]));
+
+    let delivery = portal
+        .recv_timeout(Duration::from_secs(5))
+        .expect("daily report arrives");
+    println!(
+        "portal received daily report: payload={:?} labels={}",
+        delivery.event.event().payload().unwrap_or(""),
+        delivery.event.labels()
+    );
+    assert_eq!(delivery.event.event().payload(), Some("33812769,40021532"));
+
+    assert!(
+        nosy.recv_timeout(Duration::from_millis(200)).is_err(),
+        "nosy subscriber must not receive the report"
+    );
+    println!("nosy subscriber received nothing (label filtering works).");
+
+    let stats = broker.stats();
+    println!(
+        "broker stats: published={} delivered={} label_filtered={} selector_filtered={}",
+        stats.published(),
+        stats.delivered(),
+        stats.label_filtered(),
+        stats.selector_filtered()
+    );
+    assert!(handle.violations().is_empty());
+    handle.stop();
+    println!("event_pipeline OK");
+}

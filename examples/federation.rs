@@ -1,0 +1,130 @@
+//! Federation of regional SafeWeb instances — the paper's future work
+//! (§7): "Scaling up will involve creating separate, independent regional
+//! instances of SafeWeb, which can interact with each other in a secure
+//! fashion."
+//!
+//! ```sh
+//! cargo run --example federation
+//! ```
+//!
+//! Two regions (East and West) each run their own broker and engine. A
+//! *federation bridge* — a privileged unit in East, audited like any other
+//! privileged unit — forwards selected events into West's broker
+//! **preserving their labels**, so West's label filtering keeps protecting
+//! East's data: only West subscribers holding clearance for East's labels
+//! ever see the forwarded events.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use safeweb::broker::Broker;
+use safeweb::engine::{Engine, Relabel, UnitError, UnitSpec};
+use safeweb::events::Event;
+use safeweb::labels::{Label, Policy, Privilege, PrivilegeSet};
+
+fn main() {
+    // Each region has its own broker and policy file.
+    let east = Broker::new();
+    let west = Broker::new();
+
+    let east_policy: Policy = "
+        unit bridge {
+            privileged
+            clearance label:conf:ecric.org.uk/shared/*
+        }
+    "
+    .parse()
+    .expect("well-formed policy");
+
+    // The bridge subscribes in East (to the inter-regional topic only —
+    // its clearance is scoped to /shared labels, so purely regional data
+    // can never transit even if misrouted) and republishes into West.
+    let west_for_bridge = west.clone();
+    let mut east_engine = Engine::new(Arc::new(east.clone()), east_policy);
+    east_engine
+        .add_unit(UnitSpec::new("bridge").subscribe(
+            "/interregional",
+            None,
+            move |jail, event| {
+                // Privileged: talking to another region's broker is I/O.
+                let _io = jail.io()?;
+                let forwarded = Event::new("/from_east")
+                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                    .with_attr("origin", "east")
+                    .with_attr("kind", event.attr("kind").unwrap_or("?"))
+                    .with_payload(event.payload().unwrap_or(""));
+                // The labels ride along unchanged: Relabel::keep() means
+                // West enforces exactly the restrictions East attached.
+                let labelled = forwarded.with_label_set(jail.labels().clone());
+                west_for_bridge.publish(&labelled);
+                // Also keep a copy on the eastern audit topic.
+                jail.publish(
+                    Event::new("/bridge_audit")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("forwarded", "true"),
+                    Relabel::keep(),
+                )
+            },
+        ))
+        .expect("unique unit");
+    let east_handle = east_engine.start().expect("east engine");
+
+    // Subscribers in West: one MDT with clearance for East's shared label,
+    // one without any.
+    let shared_label = Label::conf("ecric.org.uk", "shared/oncology-network");
+    let mut cleared = PrivilegeSet::new();
+    cleared.grant(Privilege::clearance(shared_label.clone()));
+    let west_member = west.subscribe("west_member", "1", "/from_east", None, cleared);
+    let west_outsider = west.subscribe("west_outsider", "1", "/from_east", None, PrivilegeSet::new());
+
+    // East publishes a labelled inter-regional report and a purely
+    // regional (differently labelled) one.
+    println!("east publishes an inter-regional oncology report…");
+    east.publish(
+        &Event::new("/interregional")
+            .expect("valid topic")
+            .with_attr("kind", "network_report")
+            .with_payload("pan-regional survival statistics")
+            .with_labels([shared_label.clone()]),
+    );
+    east.publish(
+        &Event::new("/interregional")
+            .expect("valid topic")
+            .with_attr("kind", "east_only")
+            .with_payload("east-internal detail")
+            .with_labels([Label::conf("ecric.org.uk", "region/east/internal")]),
+    );
+
+    // The cleared member receives the shared report, labels intact.
+    let delivery = west_member
+        .recv_timeout(Duration::from_secs(5))
+        .expect("federated event arrives");
+    println!(
+        "west member received: kind={} payload={:?} labels={}",
+        delivery.event.attr("kind").unwrap_or("?"),
+        delivery.event.event().payload().unwrap_or(""),
+        delivery.event.labels(),
+    );
+    assert_eq!(delivery.event.attr("kind"), Some("network_report"));
+    assert!(delivery.event.labels().contains(&shared_label));
+
+    // The east-only event never crossed: the bridge had no clearance for
+    // its label, so East's own broker filtered it before the bridge saw it.
+    assert!(
+        west_member.recv_timeout(Duration::from_millis(300)).is_err(),
+        "east-internal event must not be federated"
+    );
+    println!("east-internal event was not federated (bridge lacks clearance).");
+
+    // The uncleared West subscriber sees nothing at all: West's broker
+    // enforces East's labels.
+    assert!(
+        west_outsider.recv_timeout(Duration::from_millis(300)).is_err(),
+        "outsider must not receive federated data"
+    );
+    println!("west outsider received nothing (labels survive federation).");
+
+    assert!(east_handle.violations().is_empty());
+    east_handle.stop();
+    println!("\nfederation OK — labels enforce East's policy inside West.");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the SafeWeb label model and taint tracking in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through the core ideas of the paper (§3–§4): labels stick to
+//! data, propagate through computation, and are checked at release
+//! boundaries — so a buggy handler cannot leak what its caller is not
+//! cleared to see.
+
+use safeweb::labels::{Label, LabelSet, Privilege, PrivilegeSet};
+use safeweb::taint::{SNum, SStr};
+
+fn main() {
+    // 1. Mint labels. A confidentiality label protects one patient's data;
+    //    URIs make labels self-describing across the whole system.
+    let patient = Label::conf("ecric.org.uk", "patient/33812769");
+    let mdt = Label::conf("ecric.org.uk", "mdt/addenbrookes");
+    println!("labels:        {patient}");
+    println!("               {mdt}");
+
+    // 2. Attach labels to data. From here on, every operation propagates
+    //    them — this is the paper's redefined String#+ (§4.4).
+    let name = SStr::labelled("A. Patient", [patient.clone()]);
+    let site = SStr::labelled("breast", [mdt.clone()]);
+    let report = SStr::public("Report for ") + &name + " — site: " + &site.to_uppercase();
+    println!("derived value: {:?}", report.as_str());
+    println!("carries:       {}", report.labels());
+
+    // 3. Numbers track labels through arithmetic too.
+    let a = SNum::labelled(61, [patient.clone()]);
+    let age_next_year = a + SNum::public(1);
+    println!(
+        "labelled math: {} (labels {})",
+        age_next_year.value(),
+        age_next_year.labels()
+    );
+
+    // 4. Release checks at the boundary. The treating MDT holds clearance
+    //    for both labels; an unprivileged principal holds none.
+    let mut treating_mdt = PrivilegeSet::new();
+    treating_mdt.grant(Privilege::clearance(patient.clone()));
+    treating_mdt.grant(Privilege::clearance(mdt.clone()));
+    match report.check_release(&treating_mdt) {
+        Ok(text) => println!("treating MDT sees: {text:?}"),
+        Err(e) => unreachable!("clearance held: {e}"),
+    }
+    match report.check_release(&PrivilegeSet::new()) {
+        Ok(_) => unreachable!("must not release"),
+        Err(e) => println!("outsider blocked:  {e}"),
+    }
+
+    // 5. Label composition (§4.1): confidentiality is sticky (union),
+    //    integrity fragile (intersection).
+    let endorsed = Label::int("ecric.org.uk", "mdt");
+    let a = LabelSet::from_iter([patient.clone(), endorsed.clone()]);
+    let b = LabelSet::from_iter([mdt.clone(), endorsed.clone()]);
+    let combined = a.combine(&b);
+    println!("combine {{patient,int}} with {{mdt,int}} = {combined}");
+
+    let c = LabelSet::from_iter([mdt.clone()]); // no integrity label
+    let degraded = combined.combine(&c);
+    assert!(!degraded.contains(&endorsed), "integrity is fragile");
+    println!("after mixing unendorsed data:          {degraded}");
+
+    // 6. The second net: Ruby-style user taint for XSS/SQLI. User input is
+    //    born tainted; sanitisers clear the bit; the frontend refuses to
+    //    emit tainted bytes.
+    let evil = SStr::from_user("<script>steal()</script>");
+    let page = SStr::public("Hello ") + &evil;
+    assert!(page.is_user_tainted());
+    let safe = page.sanitize_html();
+    println!("sanitised:     {:?}", safe.as_str());
+    assert!(!safe.is_user_tainted());
+
+    println!("\nquickstart OK — see examples/mdt_portal.rs for the full system.");
+}

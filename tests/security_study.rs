@@ -1,0 +1,55 @@
+//! Repository-level integration test: the §5.2 security study (experiments
+//! E6–E9 in DESIGN.md). For each of the paper's four CVE-derived
+//! vulnerability classes, SafeWeb must contain the injected bug: the
+//! protected portal denies the response while the unprotected portal
+//! provably leaks.
+
+use safeweb_mdt::{run_experiment, VulnClass};
+
+fn assert_contained(class: VulnClass) {
+    let result = run_experiment(class);
+    assert_ne!(
+        result.protected_status, 200,
+        "{class}: SafeWeb failed to abort the disclosing response"
+    );
+    assert_eq!(
+        result.unprotected_status, 200,
+        "{class}: the injected bug did not manifest without SafeWeb"
+    );
+    assert!(
+        result.unprotected_leaked,
+        "{class}: unprotected run did not actually disclose foreign data"
+    );
+    assert!(result.contained(), "{class}: not contained");
+}
+
+#[test]
+fn e6_omitted_access_checks_contained() {
+    assert_contained(VulnClass::OmittedAccessCheck);
+}
+
+#[test]
+fn e7_errors_in_access_checks_contained() {
+    assert_contained(VulnClass::ErrorInAccessCheck);
+}
+
+#[test]
+fn e8_inappropriate_access_checks_contained() {
+    assert_contained(VulnClass::InappropriateAccessCheck);
+}
+
+#[test]
+fn e9_design_errors_contained() {
+    assert_contained(VulnClass::DesignError);
+}
+
+#[test]
+fn correct_portal_passes_baseline() {
+    // The frontend classes share a baseline shape: attacker denied with
+    // the *application* check alone.
+    let r = run_experiment(VulnClass::OmittedAccessCheck);
+    assert_eq!(r.baseline_status, 403);
+    // The design-error baseline is the owner reading their own records.
+    let r = run_experiment(VulnClass::DesignError);
+    assert_eq!(r.baseline_status, 200);
+}
