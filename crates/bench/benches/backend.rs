@@ -47,43 +47,50 @@ fn build_pipeline(tracking: bool) -> Pipeline {
     let store = DocStore::new("bench-app");
 
     let bus = RemoteBus::connect(&addr, "transformer").unwrap();
-    let mut engine = Engine::new(Arc::new(bus), policy())
-        .with_options(EngineOptions { label_tracking: tracking });
+    let mut engine = Engine::new(Arc::new(bus), policy()).with_options(EngineOptions {
+        label_tracking: tracking,
+    });
     engine
-        .add_unit(UnitSpec::new("transformer").subscribe("/in", None, |jail, event| {
-            // Modest per-event application work, like the aggregator.
-            let payload = event.payload().unwrap_or("");
-            let digest: u64 = payload.bytes().fold(0u64, |h, b| {
-                h.wrapping_mul(31).wrapping_add(b as u64)
-            });
-            jail.publish(
-                Event::new("/out")
-                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                    .with_attr("seq", event.attr("seq").unwrap_or("0"))
-                    .with_attr("digest", &digest.to_string())
-                    .with_payload(payload),
-                Relabel::keep(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("transformer").subscribe("/in", None, |jail, event| {
+                // Modest per-event application work, like the aggregator.
+                let payload = event.payload().unwrap_or("");
+                let digest: u64 = payload
+                    .bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+                jail.publish(
+                    Event::new("/out")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("seq", event.attr("seq").unwrap_or("0"))
+                        .with_attr("digest", &digest.to_string())
+                        .with_payload(payload),
+                    Relabel::keep(),
+                )
+            }),
+        )
         .unwrap();
     let store2 = store.clone();
     let storage_bus = RemoteBus::connect(&addr, "storage").unwrap();
-    let mut storage_engine = Engine::new(Arc::new(storage_bus), policy())
-        .with_options(EngineOptions { label_tracking: tracking });
+    let mut storage_engine =
+        Engine::new(Arc::new(storage_bus), policy()).with_options(EngineOptions {
+            label_tracking: tracking,
+        });
     storage_engine
-        .add_unit(UnitSpec::new("storage").subscribe("/out", None, move |jail, event| {
-            let _io = jail.io()?;
-            let seq = event.attr("seq").unwrap_or("0");
-            store2
-                .put(
-                    &format!("doc-{seq}"),
-                    safeweb_json::jobject! {"digest" => event.attr("digest").unwrap_or("")},
-                    jail.labels().clone(),
-                    None,
-                )
-                .map_err(|e| UnitError::Application(e.to_string()))?;
-            Ok(())
-        }))
+        .add_unit(
+            UnitSpec::new("storage").subscribe("/out", None, move |jail, event| {
+                let _io = jail.io()?;
+                let seq = event.attr("seq").unwrap_or("0");
+                store2
+                    .put(
+                        &format!("doc-{seq}"),
+                        safeweb_json::jobject! {"digest" => event.attr("digest").unwrap_or("")},
+                        jail.labels().clone(),
+                        None,
+                    )
+                    .map_err(|e| UnitError::Application(e.to_string()))?;
+                Ok(())
+            }),
+        )
         .unwrap();
     let h1 = engine.start().unwrap();
     let h2 = storage_engine.start().unwrap();
@@ -179,8 +186,16 @@ fn bench_backend(c: &mut Criterion) {
     let with_ms = with_total.as_secs_f64() * 1000.0 / n as f64;
     let without_ms = without_total.as_secs_f64() * 1000.0 / n as f64;
     eprintln!("\n=== E2: backend event latency (paper §5.3) ===");
-    report_row("event latency without IFC", "73 ms", &format!("{without_ms:.3} ms"));
-    report_row("event latency with IFC", "84 ms", &format!("{with_ms:.3} ms"));
+    report_row(
+        "event latency without IFC",
+        "73 ms",
+        &format!("{without_ms:.3} ms"),
+    );
+    report_row(
+        "event latency with IFC",
+        "84 ms",
+        &format!("{with_ms:.3} ms"),
+    );
     report_row(
         "overhead",
         "+15 %",

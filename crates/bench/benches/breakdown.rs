@@ -55,14 +55,30 @@ fn frontend_breakdown() {
 
     report_row("authentication", "87 ms", &format!("{auth:.3} ms"));
     report_row("privilege fetching", "3 ms", &format!("{fetch:.3} ms"));
-    report_row("template rendering (handler)", "63 ms", &format!("{render:.3} ms"));
-    report_row("label propagation + check", "17 ms", &format!("{label:.3} ms"));
+    report_row(
+        "template rendering (handler)",
+        "63 ms",
+        &format!("{render:.3} ms"),
+    );
+    report_row(
+        "label propagation + check",
+        "17 ms",
+        &format!("{label:.3} ms"),
+    );
     report_row("other", "10 ms", &format!("{other:.3} ms"));
-    report_row("total page generation", "180 ms", &format!("{total_ms:.3} ms"));
+    report_row(
+        "total page generation",
+        "180 ms",
+        &format!("{total_ms:.3} ms"),
+    );
     let ordering_ok = auth > render && render > fetch;
     eprintln!(
         "  breakdown ordering (auth > render > privilege fetch): {}",
-        if ordering_ok { "reproduced" } else { "NOT reproduced" }
+        if ordering_ok {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
     eprintln!();
 }
@@ -94,7 +110,10 @@ fn backend_breakdown() {
     // covers the full application callback).
     let mut record = safeweb_json::Value::object();
     for i in 0..60 {
-        record.set(&format!("field_{i:02}"), format!("value-{i}-of-the-case-record"));
+        record.set(
+            &format!("field_{i:02}"),
+            format!("value-{i}-of-the-case-record"),
+        );
     }
     record.set("name", "patient-33812769");
     record.set("birth_year", 1947);
@@ -109,7 +128,11 @@ fn backend_breakdown() {
             .unwrap_or(0);
         rec.set("completeness", (filled as f64 / 66.0 * 100.0).round());
         let mut stats = safeweb_json::Value::parse(&stats_json).unwrap();
-        let cases = stats.get("cases").and_then(safeweb_json::Value::as_i64).unwrap_or(0) + 1;
+        let cases = stats
+            .get("cases")
+            .and_then(safeweb_json::Value::as_i64)
+            .unwrap_or(0)
+            + 1;
         stats.set("cases", cases);
         let out = rec.to_json();
         let stats_out = stats.to_json();
@@ -129,11 +152,7 @@ fn backend_breakdown() {
 
     // Phase 3: label management — wire-parse, combine, privilege check:
     // what the broker and jail add per event.
-    let privileges: PrivilegeSet = labels
-        .iter()
-        .cloned()
-        .map(Privilege::clearance)
-        .collect();
+    let privileges: PrivilegeSet = labels.iter().cloned().map(Privilege::clearance).collect();
     let wire = event.labels().to_wire();
     let other_set = LabelSet::singleton(Label::conf("e", "patient/other"));
     let label_mgmt = time_per_op(N, || {
@@ -143,19 +162,33 @@ fn backend_breakdown() {
     });
 
     let total = processing + serialisation + label_mgmt;
-    report_row("event processing", "51 ms", &format!("{:.4} ms", processing));
-    report_row("data (de)serialisation", "20 ms", &format!("{:.4} ms", serialisation));
-    report_row("label management", "13 ms", &format!("{:.4} ms", label_mgmt));
+    report_row(
+        "event processing",
+        "51 ms",
+        &format!("{:.4} ms", processing),
+    );
+    report_row(
+        "data (de)serialisation",
+        "20 ms",
+        &format!("{:.4} ms", serialisation),
+    );
+    report_row(
+        "label management",
+        "13 ms",
+        &format!("{:.4} ms", label_mgmt),
+    );
     report_row("total per event", "84 ms", &format!("{:.4} ms", total));
     let ordering_ok = processing > serialisation && serialisation > label_mgmt;
     eprintln!(
         "  breakdown ordering (processing > serialisation > labels): {}",
-        if ordering_ok { "reproduced" } else { "NOT reproduced" }
+        if ordering_ok {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
     let share = label_mgmt / total * 100.0;
-    eprintln!(
-        "  label management share of event cost: paper 15.5% — measured {share:.1}%"
-    );
+    eprintln!("  label management share of event cost: paper 15.5% — measured {share:.1}%");
 }
 
 fn time_per_op<R>(n: u32, mut op: impl FnMut() -> R) -> f64 {

@@ -81,7 +81,7 @@ fn bench_stomp(c: &mut Criterion) {
         .with_attr("type", "cancer")
         .with_attr("case_id", "33812769")
         .with_payload("z".repeat(1024))
-        .with_labels(labels_of(4).into_iter());
+        .with_labels(labels_of(4));
     let frame = event_to_frame(&event, Command::Send);
     let bytes = encode(&frame);
 
@@ -128,7 +128,11 @@ fn bench_taint(c: &mut Criterion) {
     });
     group.bench_function("check_release_4_labels", |b| {
         let body = SStr::with_label_set("page".to_string(), labels_of(4));
-        let privs: PrivilegeSet = labels_of(4).iter().cloned().map(Privilege::clearance).collect();
+        let privs: PrivilegeSet = labels_of(4)
+            .iter()
+            .cloned()
+            .map(Privilege::clearance)
+            .collect();
         b.iter(|| body.check_release(&privs).is_ok());
     });
     group.finish();
@@ -143,7 +147,10 @@ fn bench_template(c: &mut Criterion) {
     let rows: Vec<TContext> = (0..100)
         .map(|i| {
             TContext::new()
-                .bind("name", SStr::labelled(format!("row-{i}"), [Label::conf("e", "p/1")]))
+                .bind(
+                    "name",
+                    SStr::labelled(format!("row-{i}"), [Label::conf("e", "p/1")]),
+                )
                 .bind("value", SStr::public(i.to_string()))
         })
         .collect();
@@ -156,7 +163,9 @@ fn bench_template(c: &mut Criterion) {
 
 fn bench_auth(c: &mut Criterion) {
     let mut group = c.benchmark_group("auth");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("password_hash_default_cost", |b| {
         b.iter(|| hash_password("mdt-0-0-0", "pw-mdt-0-0-0", 2_000_000));
     });

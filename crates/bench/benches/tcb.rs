@@ -54,9 +54,7 @@ fn main() {
     );
     let pct = (app_total - audited_app) as f64 / app_total as f64 * 100.0;
     let paper_pct = 2841.0 / 3121.0 * 100.0;
-    eprintln!(
-        "\n  unaudited fraction of application: paper {paper_pct:.0}% — measured {pct:.0}%"
-    );
+    eprintln!("\n  unaudited fraction of application: paper {paper_pct:.0}% — measured {pct:.0}%");
     eprintln!(
         "  (absolute LOC differ — Rust vs Ruby — the reproduced shape is that the\n   audited slice is a small fraction of the application)"
     );

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use safeweb_bench::report_row;
-use safeweb_broker::{Broker, BrokerOptions};
+use safeweb_broker::{oracle::LinearBroker, Broker, BrokerOptions, Delivery};
 use safeweb_engine::{Engine, EngineOptions, UnitSpec};
 use safeweb_events::{Event, LabelledEvent};
 use safeweb_labels::{Label, Policy};
@@ -28,13 +28,13 @@ struct Pair {
 
 /// A ~500-byte JSON payload of the shape units exchange.
 fn payload() -> String {
-        let mut body = safeweb_json::Value::object();
-        for i in 0..20 {
-            body.set(&format!("field_{i:02}"), format!("value-{i}"));
-        }
-        body.set("case", 33812769);
-        body.to_json()
+    let mut body = safeweb_json::Value::object();
+    for i in 0..20 {
+        body.set(&format!("field_{i:02}"), format!("value-{i}"));
     }
+    body.set("case", 33812769);
+    body.to_json()
+}
 
 /// Both configurations process the **same labelled workload** — the paper
 /// compares the middleware with tracking enabled vs disabled, not
@@ -43,37 +43,45 @@ fn payload() -> String {
 /// jailed key-value state), so tracking-mode work includes real label
 /// merging through the store.
 fn build_pair(tracking: bool, aggregating: bool) -> Pair {
-    let policy: Policy = "unit consumer {\n clearance label:conf:e/* \n}".parse().unwrap();
+    let policy: Policy = "unit consumer {\n clearance label:conf:e/* \n}"
+        .parse()
+        .unwrap();
     let broker = Broker::with_options(BrokerOptions {
         label_filtering: tracking,
     });
     let consumed = Arc::new(AtomicU64::new(0));
     let counter = Arc::clone(&consumed);
-    let mut engine = Engine::new(Arc::new(broker.clone()), policy)
-        .with_options(EngineOptions { label_tracking: tracking });
+    let mut engine = Engine::new(Arc::new(broker.clone()), policy).with_options(EngineOptions {
+        label_tracking: tracking,
+    });
     engine
-        .add_unit(UnitSpec::new("consumer").subscribe("/stream", None, move |jail, event| {
-            // Parse the payload, as every real unit does.
-            let parsed = safeweb_json::Value::parse(event.payload().unwrap_or("{}"))
-                .map_err(|e| safeweb_engine::UnitError::BadEvent(e.to_string()))?;
-            let case = parsed.get("case").and_then(safeweb_json::Value::as_i64).unwrap_or(0);
-            if aggregating {
-                // Listing 1: fold the event into per-bucket accumulated
-                // state. Under tracking, reading/writing the store merges
-                // the stored labels into $LABELS and back — the
-                // label-intensive mode.
-                let bucket = format!("acc/{}", event.attr("bucket").unwrap_or("0"));
-                let mut list = jail.get(&bucket).unwrap_or_default();
-                if list.len() > 4096 {
-                    list.clear();
+        .add_unit(
+            UnitSpec::new("consumer").subscribe("/stream", None, move |jail, event| {
+                // Parse the payload, as every real unit does.
+                let parsed = safeweb_json::Value::parse(event.payload().unwrap_or("{}"))
+                    .map_err(|e| safeweb_engine::UnitError::BadEvent(e.to_string()))?;
+                let case = parsed
+                    .get("case")
+                    .and_then(safeweb_json::Value::as_i64)
+                    .unwrap_or(0);
+                if aggregating {
+                    // Listing 1: fold the event into per-bucket accumulated
+                    // state. Under tracking, reading/writing the store merges
+                    // the stored labels into $LABELS and back — the
+                    // label-intensive mode.
+                    let bucket = format!("acc/{}", event.attr("bucket").unwrap_or("0"));
+                    let mut list = jail.get(&bucket).unwrap_or_default();
+                    if list.len() > 4096 {
+                        list.clear();
+                    }
+                    list.push_str(&case.to_string());
+                    list.push(',');
+                    jail.set(&bucket, list, safeweb_engine::Relabel::keep())?;
                 }
-                list.push_str(&case.to_string());
-                list.push(',');
-                jail.set(&bucket, list, safeweb_engine::Relabel::keep())?;
-            }
-            counter.fetch_add(1, Ordering::Relaxed);
-            Ok(())
-        }))
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
     std::thread::sleep(Duration::from_millis(100));
@@ -115,7 +123,6 @@ impl Pair {
         }
         start.elapsed()
     }
-
 }
 
 /// Sustained rates for a with/without pair: batches are interleaved so
@@ -216,5 +223,214 @@ fn bench_throughput(c: &mut Criterion) {
     report_row("reduction", "-17 %", &format!("-{drop_static:.1} %"));
 }
 
-criterion_group!(benches, bench_throughput);
+/// How subscriptions relate to the published topic in the publish-path
+/// benches.
+#[derive(Clone, Copy)]
+enum Matching {
+    /// One subscription on the hot exact topic; the rest on distinct cold
+    /// exact topics. Measures routing: the sharded index touches 1
+    /// subscription, the linear scan walks all of them.
+    ExactOne,
+    /// Every subscription on the hot topic. Measures fan-out delivery:
+    /// `Arc` sharing vs one deep clone per subscriber.
+    ExactAll,
+    /// One prefix subscription (`/hot/*`) among cold exact topics;
+    /// publishes go to a nested topic. Measures the trie path.
+    PrefixOne,
+}
+
+struct PublishFixture {
+    sharded: Broker,
+    linear: LinearBroker,
+    sharded_rx: Vec<crossbeam::channel::Receiver<Delivery>>,
+    linear_rx: Vec<crossbeam::channel::Receiver<Delivery>>,
+    event: LabelledEvent,
+}
+
+fn publish_fixture(total_subs: usize, matching: Matching) -> PublishFixture {
+    let sharded = Broker::new();
+    let mut linear = LinearBroker::new();
+    let mut sharded_rx = Vec::new();
+    let mut linear_rx = Vec::new();
+    for i in 0..total_subs {
+        let destination = match matching {
+            Matching::ExactAll => "/hot".to_string(),
+            Matching::ExactOne | Matching::PrefixOne if i == 0 => match matching {
+                Matching::PrefixOne => "/hot/*".to_string(),
+                _ => "/hot".to_string(),
+            },
+            _ => format!("/cold/{i}"),
+        };
+        let id = i.to_string();
+        sharded_rx.push(sharded.subscribe("bench", &id, &destination, None, Default::default()));
+        linear_rx.push(linear.subscribe("bench", &id, &destination, None, Default::default()));
+    }
+    let topic = match matching {
+        Matching::PrefixOne => "/hot/daily/report",
+        _ => "/hot",
+    };
+    let event = Event::new(topic)
+        .unwrap()
+        .with_attr("type", "synthetic")
+        .with_payload(payload())
+        .with_labels([Label::int("e", "mdt")]);
+    PublishFixture {
+        sharded,
+        linear,
+        sharded_rx,
+        linear_rx,
+        event,
+    }
+}
+
+fn drain(receivers: &[crossbeam::channel::Receiver<Delivery>]) {
+    for rx in receivers {
+        while rx.try_recv().is_ok() {}
+    }
+}
+
+/// Events per second for publishing pre-built batches of `n` events.
+/// Event construction and receiver draining stay outside the timed
+/// window on every path, so linear scan, sharded single and sharded
+/// batch publishing are charged only for what happens inside the broker.
+fn rate_of(
+    n: u64,
+    template: &LabelledEvent,
+    mut publish: impl FnMut(Vec<LabelledEvent>),
+    mut flush: impl FnMut(),
+) -> f64 {
+    let build = |k: u64| -> Vec<LabelledEvent> { (0..k).map(|_| template.clone()).collect() };
+    // One warm round, then the median of five.
+    publish(build(n / 5));
+    flush();
+    let mut rates = Vec::new();
+    for _ in 0..5 {
+        let batch = build(n);
+        let start = Instant::now();
+        publish(batch);
+        let elapsed = start.elapsed();
+        flush();
+        rates.push(n as f64 / elapsed.as_secs_f64());
+    }
+    median(&mut rates)
+}
+
+/// **Publish-path comparison** for the sharded broker refactor: linear
+/// scan vs sharded index, single vs batched publish, exact vs prefix
+/// topics, at increasing subscription counts. The interesting acceptance
+/// point: batched sharded publishing must beat the linear single-publish
+/// scan at ≥ 100 subscriptions.
+fn bench_publish_path(c: &mut Criterion) {
+    const CHUNK: u64 = 512;
+    const BATCH: usize = 64;
+
+    for (label, matching) in [
+        ("exact_1match", Matching::ExactOne),
+        ("prefix_1match", Matching::PrefixOne),
+        ("exact_fanout", Matching::ExactAll),
+    ] {
+        let mut group = c.benchmark_group(format!("publish_path/{label}"));
+        group.throughput(Throughput::Elements(CHUNK));
+        for subs in [1usize, 100, 1000] {
+            let fixture = publish_fixture(subs, matching);
+            // Fan-out to 1000 matching subscribers is deliberately capped
+            // at 100 for the linear side: the deep clones make it too
+            // slow to sample politely.
+            let heavy_fanout = matches!(matching, Matching::ExactAll) && subs > 100;
+
+            let build =
+                |k: u64| -> Vec<LabelledEvent> { (0..k).map(|_| fixture.event.clone()).collect() };
+            group.bench_function(format!("sharded_single_{subs}subs"), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let batch = build(CHUNK);
+                        let start = Instant::now();
+                        for event in &batch {
+                            fixture.sharded.publish(event);
+                        }
+                        total += start.elapsed();
+                        drain(&fixture.sharded_rx);
+                    }
+                    total
+                });
+            });
+            group.bench_function(format!("sharded_batch{BATCH}_{subs}subs"), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let batches: Vec<Vec<LabelledEvent>> = (0..CHUNK / BATCH as u64)
+                            .map(|_| build(BATCH as u64))
+                            .collect();
+                        let start = Instant::now();
+                        for batch in batches {
+                            fixture.sharded.publish_batch(batch);
+                        }
+                        total += start.elapsed();
+                        drain(&fixture.sharded_rx);
+                    }
+                    total
+                });
+            });
+            if !heavy_fanout {
+                group.bench_function(format!("linear_single_{subs}subs"), |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let batch = build(CHUNK);
+                            let start = Instant::now();
+                            for event in &batch {
+                                fixture.linear.publish(event);
+                            }
+                            total += start.elapsed();
+                            drain(&fixture.linear_rx);
+                        }
+                        total
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+
+    // Acceptance summary: batched sharded routing vs the old linear
+    // single-publish scan at 100 subscriptions (one matching).
+    eprintln!("\n=== Publish path: sharded+batched vs linear scan ===");
+    for (label, matching) in [
+        ("exact, 1 of 100 matches", Matching::ExactOne),
+        ("prefix, 1 of 100 matches", Matching::PrefixOne),
+        ("exact, 100 of 100 match", Matching::ExactAll),
+    ] {
+        let fixture = publish_fixture(100, matching);
+        let linear_rate = rate_of(
+            CHUNK,
+            &fixture.event,
+            |events| {
+                for event in &events {
+                    fixture.linear.publish(event);
+                }
+            },
+            || drain(&fixture.linear_rx),
+        );
+        let batch_rate = rate_of(
+            CHUNK,
+            &fixture.event,
+            |mut events| {
+                while !events.is_empty() {
+                    let rest = events.split_off(events.len().min(BATCH));
+                    fixture.sharded.publish_batch(events);
+                    events = rest;
+                }
+            },
+            || drain(&fixture.sharded_rx),
+        );
+        eprintln!(
+            "  [{label:<26}] linear scan: {linear_rate:>9.0} ev/s   batched sharded: \
+             {batch_rate:>9.0} ev/s   (x{:.1})",
+            batch_rate / linear_rate
+        );
+    }
+}
+
+criterion_group!(benches, bench_throughput, bench_publish_path);
 criterion_main!(benches);

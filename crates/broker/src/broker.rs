@@ -6,6 +6,51 @@
 //! cover every confidentiality label on the event. This is the property the
 //! paper relies on to keep jailed units from ever observing data they are
 //! not cleared for.
+//!
+//! # Routing architecture
+//!
+//! Routing state is partitioned into [`SHARD_COUNT`] shards keyed by a
+//! deterministic hash of the event topic, so concurrent publishers on
+//! different topics never contend on one lock. Each shard holds two
+//! indexes:
+//!
+//! * an **exact-topic hash index** (`topic → subscriber list`) for
+//!   [`TopicPattern::Exact`] subscriptions, stored only in the shard the
+//!   topic hashes to — a publish probes exactly one map entry instead of
+//!   scanning every subscription;
+//! * a **prefix trie** over `/`-separated topic segments for
+//!   [`TopicPattern::Prefix`] subscriptions (`/reports/*`). Prefix
+//!   subscriptions must be visible to publishes on *any* matching topic,
+//!   whose hashes are unrelated to the pattern's, so prefix entries are
+//!   **replicated into every shard's trie**. Registration is rare and
+//!   fan-in cheap (entries are shared `Arc`s); publishing stays
+//!   single-shard and lock-local.
+//!
+//! A publish therefore takes one shard read lock, probes the exact index,
+//! walks at most `segments(topic)` trie nodes, and touches only
+//! subscriptions whose pattern actually matches: O(matching) instead of
+//! the previous O(total subscriptions) scan.
+//!
+//! A separate **directory** (`SubscriptionKey → entry`) serializes
+//! subscribe/unsubscribe bookkeeping; publishers never take it.
+//!
+//! # Delivery
+//!
+//! A matched event is delivered as a [`Delivery`] carrying
+//! `Arc<LabelledEvent>`: one allocation per published event, not one deep
+//! clone per matching subscriber. [`Broker::publish_batch`] amortizes
+//! shard locking and stats updates across a batch by grouping events per
+//! shard before acquiring any lock.
+//!
+//! # Invariant
+//!
+//! **Label filtering is applied after routing, never skipped**: the
+//! sharded indexes only narrow the candidate set by topic; every candidate
+//! still passes through the selector and the clearance check
+//! (`labels.flows_to(clearance)`) before its channel sees the event. The
+//! [`oracle::LinearBroker`] reference implementation states these
+//! semantics as executable code, and `tests/routing_equivalence.rs` holds
+//! the sharded path to it property-by-property.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -18,6 +63,9 @@ use parking_lot::RwLock;
 use safeweb_events::LabelledEvent;
 use safeweb_labels::PrivilegeSet;
 use safeweb_selector::Selector;
+
+/// Number of routing shards (power of two; topic hash picks the shard).
+pub const SHARD_COUNT: usize = 16;
 
 /// A topic pattern: exact (`/patient_report`) or prefix (`/reports/*`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +92,10 @@ impl TopicPattern {
         match self {
             TopicPattern::Exact(t) => t == topic,
             TopicPattern::Prefix(p) => {
-                topic == p || topic.strip_prefix(p.as_str()).is_some_and(|r| r.starts_with('/'))
+                topic == p
+                    || topic
+                        .strip_prefix(p.as_str())
+                        .is_some_and(|r| r.starts_with('/'))
             }
         }
     }
@@ -64,8 +115,11 @@ impl fmt::Display for TopicPattern {
 /// "subscriptions include unique identifiers").
 pub type SubscriptionKey = (String, String);
 
+/// One registered subscription, shared between the directory and every
+/// index slot that routes to it.
 #[derive(Debug)]
-struct Subscription {
+struct SubEntry {
+    sub_id: Arc<str>,
     topic: TopicPattern,
     selector: Option<Selector>,
     clearance: PrivilegeSet,
@@ -73,13 +127,13 @@ struct Subscription {
 }
 
 /// An event as delivered to one subscriber: tagged with the subscription id
-/// that matched.
+/// that matched. The event is shared (`Arc`), not cloned per subscriber.
 #[derive(Debug, Clone)]
 pub struct Delivery {
     /// Which subscription this delivery belongs to.
-    pub subscription_id: String,
-    /// The labelled event.
-    pub event: LabelledEvent,
+    pub subscription_id: Arc<str>,
+    /// The labelled event (shared across all receiving subscribers).
+    pub event: Arc<LabelledEvent>,
 }
 
 /// Counters exposed for the evaluation benches.
@@ -113,7 +167,38 @@ impl BrokerStats {
     }
 }
 
-/// Configuration for [`Broker`].
+/// Per-batch counter accumulator: one atomic RMW per counter per batch
+/// instead of one per delivery.
+#[derive(Default)]
+struct LocalStats {
+    delivered: u64,
+    label_filtered: u64,
+    selector_filtered: u64,
+}
+
+impl LocalStats {
+    fn flush(self, stats: &BrokerStats, published: u64) {
+        if published > 0 {
+            stats.published.fetch_add(published, Ordering::Relaxed);
+        }
+        if self.delivered > 0 {
+            stats.delivered.fetch_add(self.delivered, Ordering::Relaxed);
+        }
+        if self.label_filtered > 0 {
+            stats
+                .label_filtered
+                .fetch_add(self.label_filtered, Ordering::Relaxed);
+        }
+        if self.selector_filtered > 0 {
+            stats
+                .selector_filtered
+                .fetch_add(self.selector_filtered, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Configuration for [`Broker`]. Immutable after construction — the hot
+/// publish path reads it as a plain field, never through a lock.
 #[derive(Debug, Clone)]
 pub struct BrokerOptions {
     /// When `false`, label clearance filtering is skipped entirely. This
@@ -131,30 +216,95 @@ impl Default for BrokerOptions {
     }
 }
 
+/// A node of the per-shard prefix trie, keyed by topic segment.
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<String, TrieNode>,
+    subs: Vec<Arc<SubEntry>>,
+}
+
+impl TrieNode {
+    fn insert(&mut self, segments: &[&str], entry: &Arc<SubEntry>) {
+        match segments.split_first() {
+            None => self.subs.push(Arc::clone(entry)),
+            Some((head, rest)) => self
+                .children
+                .entry((*head).to_string())
+                .or_default()
+                .insert(rest, entry),
+        }
+    }
+
+    /// Removes `entry` along `segments`, pruning nodes left empty.
+    fn remove(&mut self, segments: &[&str], entry: &Arc<SubEntry>) {
+        match segments.split_first() {
+            None => self.subs.retain(|e| !Arc::ptr_eq(e, entry)),
+            Some((head, rest)) => {
+                if let Some(child) = self.children.get_mut(*head) {
+                    child.remove(rest, entry);
+                    if child.subs.is_empty() && child.children.is_empty() {
+                        self.children.remove(*head);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One routing shard: the slice of both indexes for topics hashing here.
+#[derive(Debug, Default)]
+struct ShardState {
+    exact: HashMap<String, Vec<Arc<SubEntry>>>,
+    prefix: TrieNode,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<RwLock<ShardState>>,
+    directory: RwLock<HashMap<SubscriptionKey, Arc<SubEntry>>>,
+    stats: BrokerStats,
+    options: BrokerOptions,
+}
+
 /// The embedded broker. Cheap to clone (shared state behind an [`Arc`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Broker {
     inner: Arc<Inner>,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    subs: RwLock<HashMap<SubscriptionKey, Subscription>>,
-    stats: BrokerStats,
-    options: RwLock<BrokerOptions>,
+impl Default for Broker {
+    fn default() -> Broker {
+        Broker::new()
+    }
+}
+
+/// Deterministic topic→shard hash (FNV-1a); must agree between subscribe
+/// and publish, so it cannot use per-process-randomized hashers.
+fn shard_of(topic: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in topic.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARD_COUNT - 1)
 }
 
 impl Broker {
     /// Creates a broker with default options (label filtering on).
     pub fn new() -> Broker {
-        Broker::default()
+        Broker::with_options(BrokerOptions::default())
     }
 
     /// Creates a broker with explicit options.
     pub fn with_options(options: BrokerOptions) -> Broker {
-        let broker = Broker::new();
-        *broker.inner.options.write() = options;
-        broker
+        Broker {
+            inner: Arc::new(Inner {
+                shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+                directory: RwLock::default(),
+                stats: BrokerStats::default(),
+                options,
+            }),
+        }
     }
 
     /// Registers a subscription and returns the receiving end of its
@@ -173,40 +323,178 @@ impl Broker {
         clearance: PrivilegeSet,
     ) -> Receiver<Delivery> {
         let (tx, rx) = unbounded();
-        let sub = Subscription {
+        let entry = Arc::new(SubEntry {
+            sub_id: Arc::from(subscription_id),
             topic: TopicPattern::parse(topic),
             selector,
             clearance,
             sender: tx,
-        };
-        self.inner
-            .subs
-            .write()
-            .insert((client.to_string(), subscription_id.to_string()), sub);
+        });
+        let key = (client.to_string(), subscription_id.to_string());
+        // Index updates happen while the directory lock is held so that
+        // racing subscribe/unsubscribe calls on the same key cannot
+        // interleave their shard updates (which could strand an
+        // unreachable entry in the routing indexes). Publishers never
+        // take the directory lock, so the publish path is unaffected;
+        // lock order is always directory → shard.
+        let mut directory = self.inner.directory.write();
+        let replaced = directory.insert(key, Arc::clone(&entry));
+        self.reindex(Some(&entry), replaced.as_ref());
+        drop(directory);
         rx
+    }
+
+    /// Whether `entry` is indexed in shard `index`.
+    fn touches_shard(entry: &SubEntry, index: usize) -> bool {
+        match &entry.topic {
+            TopicPattern::Exact(topic) => shard_of(topic) == index,
+            TopicPattern::Prefix(_) => true,
+        }
+    }
+
+    /// Adds and/or removes index entries, applying both mutations to each
+    /// affected shard under **one** write-lock acquisition. A publisher
+    /// reads exactly one shard, so per-shard combined updates mean it
+    /// observes either the old or the new subscription state for any
+    /// topic — a replacement can never deliver one event to both the old
+    /// and the new channel, and never to neither.
+    fn reindex(&self, add: Option<&Arc<SubEntry>>, remove: Option<&Arc<SubEntry>>) {
+        for (index, slot) in self.inner.shards.iter().enumerate() {
+            let add_here = add.is_some_and(|e| Self::touches_shard(e, index));
+            let remove_here = remove.is_some_and(|e| Self::touches_shard(e, index));
+            if !add_here && !remove_here {
+                continue;
+            }
+            let mut shard = slot.write();
+            if let (true, Some(entry)) = (add_here, add) {
+                match &entry.topic {
+                    TopicPattern::Exact(topic) => shard
+                        .exact
+                        .entry(topic.clone())
+                        .or_default()
+                        .push(Arc::clone(entry)),
+                    TopicPattern::Prefix(prefix) => {
+                        let segments: Vec<&str> = prefix.split('/').collect();
+                        shard.prefix.insert(&segments, entry);
+                    }
+                }
+            }
+            if let (true, Some(entry)) = (remove_here, remove) {
+                match &entry.topic {
+                    TopicPattern::Exact(topic) => {
+                        if let Some(list) = shard.exact.get_mut(topic) {
+                            list.retain(|e| !Arc::ptr_eq(e, entry));
+                            if list.is_empty() {
+                                shard.exact.remove(topic);
+                            }
+                        }
+                    }
+                    TopicPattern::Prefix(prefix) => {
+                        let segments: Vec<&str> = prefix.split('/').collect();
+                        shard.prefix.remove(&segments, entry);
+                    }
+                }
+            }
+        }
     }
 
     /// Removes a subscription. Returns whether it existed.
     pub fn unsubscribe(&self, client: &str, subscription_id: &str) -> bool {
-        self.inner
-            .subs
-            .write()
-            .remove(&(client.to_string(), subscription_id.to_string()))
-            .is_some()
+        let mut directory = self.inner.directory.write();
+        let removed = directory.remove(&(client.to_string(), subscription_id.to_string()));
+        match removed {
+            Some(entry) => {
+                // Unindexed under the directory lock; see `subscribe`.
+                self.reindex(None, Some(&entry));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes every subscription belonging to `client` (used when a
     /// connection drops).
     pub fn unsubscribe_all(&self, client: &str) -> usize {
-        let mut subs = self.inner.subs.write();
-        let before = subs.len();
-        subs.retain(|(c, _), _| c != client);
-        before - subs.len()
+        let mut directory = self.inner.directory.write();
+        let keys: Vec<SubscriptionKey> = directory
+            .keys()
+            .filter(|(c, _)| c == client)
+            .cloned()
+            .collect();
+        let removed: Vec<Arc<SubEntry>> = keys.iter().filter_map(|k| directory.remove(k)).collect();
+        for entry in &removed {
+            // Unindexed under the directory lock; see `subscribe`.
+            self.reindex(None, Some(entry));
+        }
+        removed.len()
     }
 
     /// Number of active subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.inner.subs.read().len()
+        self.inner.directory.read().len()
+    }
+
+    /// Routes one event within an already-locked shard, applying the
+    /// selector and clearance filters to each candidate. Candidates come
+    /// only from index slots whose pattern matches the topic.
+    fn route_in_shard(
+        &self,
+        shard: &ShardState,
+        event: &Arc<LabelledEvent>,
+        local: &mut LocalStats,
+    ) -> usize {
+        let topic = event.topic();
+        let mut delivered = 0;
+        if let Some(list) = shard.exact.get(topic) {
+            for entry in list {
+                delivered += self.filter_and_deliver(entry, event, local);
+            }
+        }
+        let mut node = &shard.prefix;
+        for segment in topic.split('/') {
+            match node.children.get(segment) {
+                Some(child) => {
+                    node = child;
+                    for entry in &node.subs {
+                        delivered += self.filter_and_deliver(entry, event, local);
+                    }
+                }
+                None => break,
+            }
+        }
+        delivered
+    }
+
+    fn filter_and_deliver(
+        &self,
+        entry: &Arc<SubEntry>,
+        event: &Arc<LabelledEvent>,
+        local: &mut LocalStats,
+    ) -> usize {
+        debug_assert!(
+            entry.topic.matches(event.topic()),
+            "index routed a non-match"
+        );
+        if let Some(selector) = &entry.selector {
+            if !selector.matches(event.event()) {
+                local.selector_filtered += 1;
+                return 0;
+            }
+        }
+        if self.inner.options.label_filtering && !event.labels().flows_to(&entry.clearance) {
+            local.label_filtered += 1;
+            return 0;
+        }
+        let delivery = Delivery {
+            subscription_id: Arc::clone(&entry.sub_id),
+            event: Arc::clone(event),
+        };
+        if entry.sender.send(delivery).is_ok() {
+            local.delivered += 1;
+            1
+        } else {
+            0
+        }
     }
 
     /// Publishes an event: fan-out to every subscription whose topic and
@@ -215,45 +503,181 @@ impl Broker {
     ///
     /// Returns the number of deliveries made.
     pub fn publish(&self, event: &LabelledEvent) -> usize {
-        let label_filtering = self.inner.options.read().label_filtering;
-        self.inner.stats.published.fetch_add(1, Ordering::Relaxed);
-        let subs = self.inner.subs.read();
+        self.publish_arc(Arc::new(event.clone()))
+    }
+
+    /// Like [`Broker::publish`] for an event already behind an [`Arc`]
+    /// (avoids the defensive clone of the borrowed-event entry point).
+    pub fn publish_arc(&self, event: Arc<LabelledEvent>) -> usize {
+        let mut local = LocalStats::default();
+        let delivered = {
+            let shard = self.inner.shards[shard_of(event.topic())].read();
+            self.route_in_shard(&shard, &event, &mut local)
+        };
+        local.flush(&self.inner.stats, 1);
+        delivered
+    }
+
+    /// Publishes a batch in one broker pass: events are grouped by shard
+    /// so each shard lock is taken at most once, and stats counters are
+    /// flushed once for the whole batch.
+    ///
+    /// Events within one topic keep their relative order; cross-topic
+    /// ordering across the batch is unspecified (as it already is between
+    /// independent publishers).
+    ///
+    /// Returns the total number of deliveries made.
+    pub fn publish_batch(&self, mut events: Vec<LabelledEvent>) -> usize {
+        // Fast path for the common flush-one-event case (a unit callback
+        // that publishes once): skip the bucket allocation and scan.
+        if events.len() == 1 {
+            return self.publish_arc(Arc::new(events.pop().expect("len checked")));
+        }
+        let published = events.len() as u64;
+        let mut buckets: Vec<Vec<Arc<LabelledEvent>>> = Vec::new();
+        buckets.resize_with(SHARD_COUNT, Vec::new);
+        for event in events {
+            let event = Arc::new(event);
+            buckets[shard_of(event.topic())].push(event);
+        }
+        let mut local = LocalStats::default();
         let mut delivered = 0;
-        for ((_, sub_id), sub) in subs.iter() {
-            if !sub.topic.matches(event.topic()) {
+        for (index, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
                 continue;
             }
-            if let Some(sel) = &sub.selector {
-                if !sel.matches(event.event()) {
-                    self.inner
-                        .stats
-                        .selector_filtered
-                        .fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-            }
-            if label_filtering && !event.labels().flows_to(&sub.clearance) {
-                self.inner
-                    .stats
-                    .label_filtered
-                    .fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            let delivery = Delivery {
-                subscription_id: sub_id.clone(),
-                event: event.clone(),
-            };
-            if sub.sender.send(delivery).is_ok() {
-                delivered += 1;
-                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            let shard = self.inner.shards[index].read();
+            for event in bucket {
+                delivered += self.route_in_shard(&shard, event, &mut local);
             }
         }
+        local.flush(&self.inner.stats, published);
         delivered
     }
 
     /// Statistics counters.
     pub fn stats(&self) -> &BrokerStats {
         &self.inner.stats
+    }
+}
+
+pub mod oracle {
+    //! A deliberately naive reference broker: the executable
+    //! specification of matching and filtering semantics.
+    //!
+    //! [`LinearBroker`] scans every subscription per publish and deep-
+    //! clones per delivery — exactly the pre-sharding implementation.
+    //! The routing-equivalence property test and the throughput bench
+    //! both hold the production [`Broker`](super::Broker) to it: same
+    //! delivery sets, same counters, only faster.
+
+    use super::{BrokerOptions, BrokerStats, Delivery, LocalStats, SubscriptionKey, TopicPattern};
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use safeweb_events::LabelledEvent;
+    use safeweb_labels::PrivilegeSet;
+    use safeweb_selector::Selector;
+    use std::sync::Arc;
+
+    struct LinearSub {
+        key: SubscriptionKey,
+        topic: TopicPattern,
+        selector: Option<Selector>,
+        clearance: PrivilegeSet,
+        sender: Sender<Delivery>,
+    }
+
+    /// Single-threaded linear-scan reference broker.
+    #[derive(Default)]
+    pub struct LinearBroker {
+        subs: Vec<LinearSub>,
+        stats: BrokerStats,
+        options: BrokerOptions,
+    }
+
+    impl LinearBroker {
+        /// Creates a reference broker with default options.
+        pub fn new() -> LinearBroker {
+            LinearBroker::default()
+        }
+
+        /// Creates a reference broker with explicit options.
+        pub fn with_options(options: BrokerOptions) -> LinearBroker {
+            LinearBroker {
+                options,
+                ..LinearBroker::default()
+            }
+        }
+
+        /// Registers a subscription (replacing any previous one under the
+        /// same key) and returns its delivery channel.
+        pub fn subscribe(
+            &mut self,
+            client: &str,
+            subscription_id: &str,
+            topic: &str,
+            selector: Option<Selector>,
+            clearance: PrivilegeSet,
+        ) -> Receiver<Delivery> {
+            let key = (client.to_string(), subscription_id.to_string());
+            self.subs.retain(|s| s.key != key);
+            let (tx, rx) = unbounded();
+            self.subs.push(LinearSub {
+                key,
+                topic: TopicPattern::parse(topic),
+                selector,
+                clearance,
+                sender: tx,
+            });
+            rx
+        }
+
+        /// Removes a subscription. Returns whether it existed.
+        pub fn unsubscribe(&mut self, client: &str, subscription_id: &str) -> bool {
+            let key = (client.to_string(), subscription_id.to_string());
+            let before = self.subs.len();
+            self.subs.retain(|s| s.key != key);
+            self.subs.len() < before
+        }
+
+        /// Publishes one event by scanning every subscription.
+        ///
+        /// Returns the number of deliveries made.
+        pub fn publish(&self, event: &LabelledEvent) -> usize {
+            let mut local = LocalStats::default();
+            let mut delivered = 0;
+            for sub in &self.subs {
+                if !sub.topic.matches(event.topic()) {
+                    continue;
+                }
+                if let Some(selector) = &sub.selector {
+                    if !selector.matches(event.event()) {
+                        local.selector_filtered += 1;
+                        continue;
+                    }
+                }
+                if self.options.label_filtering && !event.labels().flows_to(&sub.clearance) {
+                    local.label_filtered += 1;
+                    continue;
+                }
+                let delivery = Delivery {
+                    subscription_id: Arc::from(sub.key.1.as_str()),
+                    // The deep per-subscriber clone the sharded broker
+                    // exists to avoid.
+                    event: Arc::new(event.clone()),
+                };
+                if sub.sender.send(delivery).is_ok() {
+                    delivered += 1;
+                    local.delivered += 1;
+                }
+            }
+            local.flush(&self.stats, 1);
+            delivered
+        }
+
+        /// Statistics counters (same semantics as the sharded broker's).
+        pub fn stats(&self) -> &BrokerStats {
+            &self.stats
+        }
     }
 }
 
@@ -270,11 +694,7 @@ mod tests {
     }
 
     fn clearance_for(labels: &[Label]) -> PrivilegeSet {
-        labels
-            .iter()
-            .cloned()
-            .map(Privilege::clearance)
-            .collect()
+        labels.iter().cloned().map(Privilege::clearance).collect()
     }
 
     #[test]
@@ -299,10 +719,16 @@ mod tests {
     fn label_filtering_blocks_uncleared_subscribers() {
         let broker = Broker::new();
         let patient = Label::conf("e", "patient/1");
-        let cleared = broker.subscribe("ok", "1", "/t", None, clearance_for(&[patient.clone()]));
+        let cleared = broker.subscribe(
+            "ok",
+            "1",
+            "/t",
+            None,
+            clearance_for(std::slice::from_ref(&patient)),
+        );
         let uncleared = broker.subscribe("no", "1", "/t", None, PrivilegeSet::new());
 
-        let n = broker.publish(&labelled("/t", &[patient.clone()]));
+        let n = broker.publish(&labelled("/t", std::slice::from_ref(&patient)));
         assert_eq!(n, 1);
         assert_eq!(cleared.len(), 1);
         assert_eq!(uncleared.len(), 0);
@@ -322,8 +748,14 @@ mod tests {
         let broker = Broker::new();
         let sel = Selector::parse("type = 'cancer'").unwrap();
         let rx = broker.subscribe("u", "1", "/t", Some(sel), PrivilegeSet::new());
-        let hit = Event::new("/t").unwrap().with_attr("type", "cancer").with_labels([]);
-        let miss = Event::new("/t").unwrap().with_attr("type", "benign").with_labels([]);
+        let hit = Event::new("/t")
+            .unwrap()
+            .with_attr("type", "cancer")
+            .with_labels([]);
+        let miss = Event::new("/t")
+            .unwrap()
+            .with_attr("type", "benign")
+            .with_labels([]);
         broker.publish(&hit);
         broker.publish(&miss);
         assert_eq!(rx.len(), 1);
@@ -356,8 +788,8 @@ mod tests {
         let rx1 = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
         let rx2 = broker.subscribe("u", "2", "/t", None, PrivilegeSet::new());
         assert_eq!(broker.publish(&labelled("/t", &[])), 2);
-        assert_eq!(rx1.recv().unwrap().subscription_id, "1");
-        assert_eq!(rx2.recv().unwrap().subscription_id, "2");
+        assert_eq!(&*rx1.recv().unwrap().subscription_id, "1");
+        assert_eq!(&*rx2.recv().unwrap().subscription_id, "2");
     }
 
     #[test]
@@ -369,5 +801,118 @@ mod tests {
         broker.publish(&labelled("/t", &[Label::conf("e", "p/1")]));
         // Baseline mode delivers even without clearance.
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn resubscribing_replaces_previous_subscription() {
+        let broker = Broker::new();
+        let old_rx = broker.subscribe("u", "1", "/old", None, PrivilegeSet::new());
+        let new_rx = broker.subscribe("u", "1", "/new", None, PrivilegeSet::new());
+        assert_eq!(broker.subscription_count(), 1);
+        assert_eq!(broker.publish(&labelled("/old", &[])), 0);
+        assert_eq!(broker.publish(&labelled("/new", &[])), 1);
+        assert_eq!(old_rx.len(), 0);
+        assert_eq!(new_rx.len(), 1);
+    }
+
+    #[test]
+    fn deliveries_share_one_event_allocation() {
+        let broker = Broker::new();
+        let rx1 = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        let rx2 = broker.subscribe("u", "2", "/t", None, PrivilegeSet::new());
+        broker.publish(&labelled("/t", &[]));
+        let a = rx1.recv().unwrap().event;
+        let b = rx2.recv().unwrap().event;
+        assert!(Arc::ptr_eq(&a, &b), "subscribers must share the Arc");
+    }
+
+    #[test]
+    fn publish_batch_delivers_and_counts_once() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        let other = broker.subscribe("u", "2", "/elsewhere", None, PrivilegeSet::new());
+        let batch = vec![
+            labelled("/t", &[]),
+            labelled("/elsewhere", &[]),
+            labelled("/t", &[]),
+            labelled("/nomatch", &[]),
+        ];
+        assert_eq!(broker.publish_batch(batch), 3);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(other.len(), 1);
+        assert_eq!(broker.stats().published(), 4);
+        assert_eq!(broker.stats().delivered(), 3);
+    }
+
+    #[test]
+    fn publish_batch_preserves_per_topic_order() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("u", "1", "/t", None, PrivilegeSet::new());
+        let batch: Vec<LabelledEvent> = (0..5)
+            .map(|i| {
+                Event::new("/t")
+                    .unwrap()
+                    .with_attr("seq", &i.to_string())
+                    .with_labels([])
+            })
+            .collect();
+        broker.publish_batch(batch);
+        for i in 0..5 {
+            let got = rx.recv().unwrap();
+            assert_eq!(got.event.attr("seq"), Some(i.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn exact_subscriptions_on_other_topics_are_not_scanned() {
+        // Behavioural proxy for the structural claim: a publish must not
+        // route to (or count filter stats for) subscriptions on other
+        // exact topics, even when those would fail the label filter.
+        let broker = Broker::new();
+        let secret = Label::conf("e", "p/1");
+        for i in 0..50 {
+            broker.subscribe(
+                "u",
+                &i.to_string(),
+                &format!("/other/{i}"),
+                None,
+                PrivilegeSet::new(),
+            );
+        }
+        let rx = broker.subscribe(
+            "u",
+            "hit",
+            "/t",
+            None,
+            clearance_for(std::slice::from_ref(&secret)),
+        );
+        assert_eq!(broker.publish(&labelled("/t", &[secret])), 1);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(broker.stats().label_filtered(), 0);
+        assert_eq!(broker.stats().selector_filtered(), 0);
+    }
+
+    #[test]
+    fn nested_prefix_subscriptions_all_match() {
+        let broker = Broker::new();
+        let top = broker.subscribe("u", "1", "/a/*", None, PrivilegeSet::new());
+        let mid = broker.subscribe("u", "2", "/a/b/*", None, PrivilegeSet::new());
+        let deep = broker.subscribe("u", "3", "/a/b/c/*", None, PrivilegeSet::new());
+        assert_eq!(broker.publish(&labelled("/a/b/c", &[])), 3);
+        assert_eq!(top.len(), 1);
+        assert_eq!(mid.len(), 1);
+        assert_eq!(deep.len(), 1);
+        assert_eq!(broker.publish(&labelled("/a/x", &[])), 1);
+    }
+
+    #[test]
+    fn oracle_matches_on_basics() {
+        let mut oracle = oracle::LinearBroker::new();
+        let broker = Broker::new();
+        let orx = oracle.subscribe("u", "1", "/r/*", None, PrivilegeSet::new());
+        let brx = broker.subscribe("u", "1", "/r/*", None, PrivilegeSet::new());
+        let event = labelled("/r/x", &[]);
+        assert_eq!(oracle.publish(&event), broker.publish(&event));
+        assert_eq!(orx.len(), brx.len());
     }
 }

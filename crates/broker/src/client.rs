@@ -124,9 +124,8 @@ impl EventClient {
     ///
     /// Returns [`ClientError`] on transport failure.
     pub fn unsubscribe(&mut self, subscription_id: &str) -> Result<(), ClientError> {
-        self.transport.send_frame(
-            &Frame::new(Command::Unsubscribe).with_header("id", subscription_id),
-        )?;
+        self.transport
+            .send_frame(&Frame::new(Command::Unsubscribe).with_header("id", subscription_id))?;
         Ok(())
     }
 
@@ -155,8 +154,8 @@ impl EventClient {
                     Command::Message => {
                         let subscription_id =
                             f.header(SUBSCRIPTION_HEADER).unwrap_or("0").to_string();
-                        let event = frame_to_event(&f)
-                            .map_err(|e| ClientError::BadFrame(e.to_string()))?;
+                        let event =
+                            frame_to_event(&f).map_err(|e| ClientError::BadFrame(e.to_string()))?;
                         return Ok(ClientDelivery {
                             subscription_id,
                             event,
@@ -206,7 +205,8 @@ impl EventClient {
     ///
     /// Returns [`ClientError`] if the frame cannot be sent.
     pub fn disconnect(mut self) -> Result<(), ClientError> {
-        self.transport.send_frame(&Frame::new(Command::Disconnect))?;
+        self.transport
+            .send_frame(&Frame::new(Command::Disconnect))?;
         Ok(())
     }
 }

@@ -37,6 +37,9 @@ mod client;
 mod server;
 pub mod wire;
 
-pub use broker::{Broker, BrokerOptions, BrokerStats, Delivery, SubscriptionKey, TopicPattern};
+pub use broker::{
+    oracle, Broker, BrokerOptions, BrokerStats, Delivery, SubscriptionKey, TopicPattern,
+    SHARD_COUNT,
+};
 pub use client::{ClientDelivery, ClientError, EventClient};
 pub use server::BrokerServer;

@@ -115,9 +115,8 @@ fn serve_connection(stream: TcpStream, broker: Broker, policy: &Policy) -> io::R
     let connect = match transport.recv_frame()? {
         Some(f) if f.command() == Command::Connect => f,
         Some(_) => {
-            let _ = transport.send_frame(
-                &Frame::new(Command::Error).with_header("message", "expected CONNECT"),
-            );
+            let _ = transport
+                .send_frame(&Frame::new(Command::Error).with_header("message", "expected CONNECT"));
             return Ok(());
         }
         None => return Ok(()),
@@ -164,9 +163,8 @@ fn reader_loop(
             Ok(Some(f)) => f,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let _ = out_tx.send(
-                    Frame::new(Command::Error).with_header("message", e.to_string()),
-                );
+                let _ =
+                    out_tx.send(Frame::new(Command::Error).with_header("message", e.to_string()));
                 return Err(e);
             }
             Err(e) => return Err(e),
@@ -198,11 +196,13 @@ fn reader_loop(
             }
             Command::Send => match frame_to_event(&frame) {
                 Ok(event) => {
-                    broker.publish(&event);
+                    // The event is owned here: hand it straight to the
+                    // Arc-based path instead of the defensive-clone
+                    // `publish(&event)` entry point.
+                    broker.publish_arc(std::sync::Arc::new(event));
                     if let Some(receipt) = frame.header("receipt") {
-                        let _ = out_tx.send(
-                            Frame::new(Command::Receipt).with_header("receipt-id", receipt),
-                        );
+                        let _ = out_tx
+                            .send(Frame::new(Command::Receipt).with_header("receipt-id", receipt));
                     }
                 }
                 Err(e) => {
@@ -222,7 +222,7 @@ fn spawn_delivery_pump(rx: crossbeam::channel::Receiver<Delivery>, out_tx: Sende
         .spawn(move || {
             while let Ok(delivery) = rx.recv() {
                 let mut frame = event_to_frame(&delivery.event, Command::Message);
-                frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.clone());
+                frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.to_string());
                 if out_tx.send(frame).is_err() {
                     break;
                 }

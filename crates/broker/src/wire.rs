@@ -104,9 +104,7 @@ pub fn frame_to_event(frame: &Frame) -> Result<LabelledEvent, WireError> {
     }
 
     let labels = match frame.header(LABELS_HEADER) {
-        Some(wire) => {
-            LabelSet::from_wire(wire).map_err(|e| WireError::BadLabels(e.to_string()))?
-        }
+        Some(wire) => LabelSet::from_wire(wire).map_err(|e| WireError::BadLabels(e.to_string()))?,
         None => LabelSet::new(),
     };
     Ok(event.with_label_set(labels))

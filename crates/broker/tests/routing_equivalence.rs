@@ -1,0 +1,262 @@
+//! Oracle equivalence: the sharded exact-index/prefix-trie broker must be
+//! observationally identical to the linear-scan reference
+//! ([`safeweb_broker::oracle::LinearBroker`]) — same delivery sets per
+//! subscription, same publish return values, same [`BrokerStats`]
+//! counters — across random mixes of exact/prefix topics, selectors,
+//! labels, clearances, replacements and unsubscribes. Only the complexity
+//! may differ.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use safeweb_broker::{oracle::LinearBroker, Broker, BrokerOptions, Delivery};
+use safeweb_events::{Event, LabelledEvent};
+use safeweb_labels::{Label, Privilege, PrivilegeSet};
+use safeweb_selector::Selector;
+
+/// Topic paths over a tiny segment alphabet so exact topics, prefixes
+/// and near-miss siblings (`/a` vs `/ab`) all collide interestingly.
+fn arb_topic() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("/a".to_string()),
+        Just("/ab".to_string()),
+        Just("/a/b".to_string()),
+        Just("/a/b/c".to_string()),
+        Just("/a/c".to_string()),
+        Just("/b".to_string()),
+        Just("/b/c".to_string()),
+        Just("/c/a/b".to_string()),
+    ]
+}
+
+/// A destination string: an exact topic or a prefix pattern over one.
+fn arb_destination() -> impl Strategy<Value = String> {
+    prop_oneof![arb_topic(), arb_topic().prop_map(|t| format!("{t}/*")),]
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::conf("e", "p/1")),
+        Just(Label::conf("e", "p/2")),
+        Just(Label::conf("e", "mdt/a")),
+        Just(Label::int("e", "ok")),
+    ]
+}
+
+fn arb_labels() -> impl Strategy<Value = Vec<Label>> {
+    proptest::collection::vec(arb_label(), 0..3)
+}
+
+/// Selector sources over the attributes events carry.
+fn arb_selector() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("type = 'cancer'".to_string())),
+        Just(Some("n > 5".to_string())),
+        Just(Some("type = 'benign' AND n <= 3".to_string())),
+        Just(Some("missing IS NULL".to_string())),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct SubSpec {
+    client: &'static str,
+    id: u8,
+    destination: String,
+    selector: Option<String>,
+    clearance: Vec<Label>,
+}
+
+fn arb_sub() -> impl Strategy<Value = SubSpec> {
+    (
+        prop_oneof![Just("u"), Just("v")],
+        0u8..5,
+        arb_destination(),
+        arb_selector(),
+        arb_labels(),
+    )
+        .prop_map(|(client, id, destination, selector, clearance)| SubSpec {
+            client,
+            id,
+            destination,
+            selector,
+            clearance,
+        })
+}
+
+/// Events get a unique `seq` attribute so delivery sequences can be
+/// compared exactly across both brokers.
+fn arb_events() -> impl Strategy<Value = Vec<LabelledEvent>> {
+    proptest::collection::vec(
+        (
+            arb_topic(),
+            0i64..10,
+            prop_oneof![Just("cancer"), Just("benign")],
+            arb_labels(),
+        ),
+        0..25,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (topic, n, kind, labels))| {
+                Event::new(&topic)
+                    .unwrap()
+                    .with_attr("seq", &seq.to_string())
+                    .with_attr("n", &n.to_string())
+                    .with_attr("type", kind)
+                    .with_labels(labels)
+            })
+            .collect()
+    })
+}
+
+fn clearance_set(labels: &[Label]) -> PrivilegeSet {
+    labels.iter().cloned().map(Privilege::clearance).collect()
+}
+
+/// Drains a receiver into the sequence of `seq` attributes delivered.
+fn drain(rx: &crossbeam::channel::Receiver<Delivery>) -> Vec<String> {
+    let mut seqs = Vec::new();
+    while let Ok(d) = rx.try_recv() {
+        seqs.push(d.event.attr("seq").unwrap_or("?").to_string());
+    }
+    seqs
+}
+
+/// Builds both brokers from the same spec and returns per-key receivers.
+#[allow(clippy::type_complexity)]
+fn build(
+    subs: &[SubSpec],
+    unsub_mask: u32,
+    options: &BrokerOptions,
+) -> (
+    Broker,
+    LinearBroker,
+    BTreeMap<
+        (String, String),
+        (
+            crossbeam::channel::Receiver<Delivery>,
+            crossbeam::channel::Receiver<Delivery>,
+        ),
+    >,
+) {
+    let sharded = Broker::with_options(options.clone());
+    let mut linear = LinearBroker::with_options(options.clone());
+    let mut receivers = BTreeMap::new();
+    for spec in subs {
+        let id = spec.id.to_string();
+        let selector = spec
+            .selector
+            .as_deref()
+            .map(|src| Selector::parse(src).expect("pool selectors parse"));
+        let srx = sharded.subscribe(
+            spec.client,
+            &id,
+            &spec.destination,
+            selector.clone(),
+            clearance_set(&spec.clearance),
+        );
+        let lrx = linear.subscribe(
+            spec.client,
+            &id,
+            &spec.destination,
+            selector,
+            clearance_set(&spec.clearance),
+        );
+        receivers.insert((spec.client.to_string(), id), (srx, lrx));
+    }
+    // Unsubscribe the same pseudo-random subset from both sides.
+    let keys: Vec<(String, String)> = receivers.keys().cloned().collect();
+    for (i, (client, id)) in keys.iter().enumerate() {
+        if unsub_mask & (1 << (i % 32)) != 0 {
+            assert_eq!(
+                sharded.unsubscribe(client, id),
+                linear.unsubscribe(client, id),
+                "unsubscribe({client}, {id}) existence must agree"
+            );
+            receivers.remove(&(client.clone(), id.clone()));
+        }
+    }
+    (sharded, linear, receivers)
+}
+
+fn assert_stats_equal(sharded: &Broker, linear: &LinearBroker) -> Result<(), TestCaseError> {
+    prop_assert_eq!(sharded.stats().published(), linear.stats().published());
+    prop_assert_eq!(sharded.stats().delivered(), linear.stats().delivered());
+    prop_assert_eq!(
+        sharded.stats().label_filtered(),
+        linear.stats().label_filtered()
+    );
+    prop_assert_eq!(
+        sharded.stats().selector_filtered(),
+        linear.stats().selector_filtered()
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Event-by-event publishing: identical per-subscription delivery
+    /// sequences, publish return values, and stats counters.
+    #[test]
+    fn single_publish_matches_oracle(
+        subs in proptest::collection::vec(arb_sub(), 0..12),
+        events in arb_events(),
+        unsub_mask in any::<u32>(),
+    ) {
+        let (sharded, linear, receivers) = build(&subs, unsub_mask, &BrokerOptions::default());
+        for event in &events {
+            prop_assert_eq!(sharded.publish(event), linear.publish(event));
+        }
+        for ((client, id), (srx, lrx)) in &receivers {
+            prop_assert_eq!(drain(srx), drain(lrx), "deliveries for ({}, {})", client, id);
+        }
+        assert_stats_equal(&sharded, &linear)?;
+    }
+
+    /// Batch publishing delivers the same multiset per subscription as
+    /// the oracle's event-by-event scan (order is only guaranteed within
+    /// one topic, so sequences are compared sorted) with the same
+    /// counters.
+    #[test]
+    fn batch_publish_matches_oracle(
+        subs in proptest::collection::vec(arb_sub(), 0..12),
+        events in arb_events(),
+        unsub_mask in any::<u32>(),
+    ) {
+        let (sharded, linear, receivers) = build(&subs, unsub_mask, &BrokerOptions::default());
+        let mut linear_total = 0;
+        for event in &events {
+            linear_total += linear.publish(event);
+        }
+        prop_assert_eq!(sharded.publish_batch(events), linear_total);
+        for ((client, id), (srx, lrx)) in &receivers {
+            let mut got = drain(srx);
+            let mut want = drain(lrx);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "deliveries for ({}, {})", client, id);
+        }
+        assert_stats_equal(&sharded, &linear)?;
+    }
+
+    /// The §5.3 baseline mode (label filtering off) stays equivalent too:
+    /// routing and selector behaviour are unchanged, only the clearance
+    /// check is skipped — on both sides.
+    #[test]
+    fn baseline_mode_matches_oracle(
+        subs in proptest::collection::vec(arb_sub(), 0..8),
+        events in arb_events(),
+    ) {
+        let options = BrokerOptions { label_filtering: false };
+        let (sharded, linear, receivers) = build(&subs, 0, &options);
+        for event in &events {
+            prop_assert_eq!(sharded.publish(event), linear.publish(event));
+        }
+        for ((client, id), (srx, lrx)) in &receivers {
+            prop_assert_eq!(drain(srx), drain(lrx), "deliveries for ({}, {})", client, id);
+        }
+        assert_stats_equal(&sharded, &linear)?;
+    }
+}

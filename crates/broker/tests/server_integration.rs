@@ -76,8 +76,13 @@ fn label_filtering_enforced_over_network() {
 
     // The cleared client receives it; the nosy one times out.
     assert!(cleared.next_delivery().is_ok());
-    let got = nosy.next_delivery_timeout(Duration::from_millis(200)).unwrap();
-    assert!(got.is_none(), "uncleared subscriber must not receive labelled events");
+    let got = nosy
+        .next_delivery_timeout(Duration::from_millis(200))
+        .unwrap();
+    assert!(
+        got.is_none(),
+        "uncleared subscriber must not receive labelled events"
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
-//! One-stop wiring of the full SafeWeb middleware (Figure 1): event broker
-//! + processing engine in the Intranet, application database replicated
-//! one-way into a read-only DMZ instance, and the enforcing web frontend
-//! on top.
+//! One-stop wiring of the full SafeWeb middleware (Figure 1): event
+//! broker + processing engine in the Intranet, application database
+//! replicated one-way into a read-only DMZ instance, and the enforcing
+//! web frontend on top.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -134,8 +134,8 @@ impl SafeWebBuilder {
         let replication =
             ReplicationHandle::start(app_db.clone(), dmz_db.clone(), self.replication_interval);
 
-        let mut engine =
-            Engine::new(Arc::new(broker.clone()), self.policy.clone()).with_options(self.engine_options);
+        let mut engine = Engine::new(Arc::new(broker.clone()), self.policy.clone())
+            .with_options(self.engine_options);
         for unit in self.units {
             engine.add_unit(unit)?;
         }

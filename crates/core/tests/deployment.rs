@@ -68,7 +68,10 @@ fn full_wiring_and_replication() {
     // A frontend bound to the deployment enforces the stored labels.
     let mut cleared = PrivilegeSet::new();
     cleared.grant(Privilege::clearance(Label::conf("e", "mdt/a")));
-    deployment.users().create_user("member", "pw", &cleared, false).unwrap();
+    deployment
+        .users()
+        .create_user("member", "pw", &cleared, false)
+        .unwrap();
     deployment
         .users()
         .create_user("outsider", "pw", &PrivilegeSet::new(), false)
@@ -123,13 +126,19 @@ fn stop_is_idempotent_and_runs_on_drop() {
 #[test]
 fn jailed_unit_cannot_leak_through_deployment() {
     let deployment = SafeWebBuilder::new()
-        .policy("unit leaky {\n clearance label:conf:e/* \n}".parse().unwrap())
-        .unit(UnitSpec::new("leaky").subscribe("/in", None, |jail, _event| {
-            jail.publish(
-                Event::new("/out").map_err(|e| UnitError::BadEvent(e.to_string()))?,
-                Relabel::keep().remove_all(), // bug: tries to declassify
-            )
-        }))
+        .policy(
+            "unit leaky {\n clearance label:conf:e/* \n}"
+                .parse()
+                .unwrap(),
+        )
+        .unit(
+            UnitSpec::new("leaky").subscribe("/in", None, |jail, _event| {
+                jail.publish(
+                    Event::new("/out").map_err(|e| UnitError::BadEvent(e.to_string()))?,
+                    Relabel::keep().remove_all(), // bug: tries to declassify
+                )
+            }),
+        )
         .build()
         .unwrap();
     let rx = deployment

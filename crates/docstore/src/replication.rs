@@ -153,8 +153,10 @@ mod tests {
         let dst = DocStore::new("dmz");
         dst.set_read_only(true);
 
-        src.put("r1", jobject! {"x" => 1}, labelled("mdt/a"), None).unwrap();
-        src.put("r2", jobject! {"x" => 2}, labelled("mdt/b"), None).unwrap();
+        src.put("r1", jobject! {"x" => 1}, labelled("mdt/a"), None)
+            .unwrap();
+        src.put("r2", jobject! {"x" => 2}, labelled("mdt/b"), None)
+            .unwrap();
 
         let mut rep = Replicator::new(src.clone(), dst.clone());
         let report = rep.run_once();
@@ -196,12 +198,19 @@ mod tests {
     fn updates_converge_to_latest() {
         let src = DocStore::new("s");
         let dst = DocStore::new("d");
-        let r1 = src.put("a", jobject! {"v" => 1}, LabelSet::new(), None).unwrap();
-        src.put("a", jobject! {"v" => 2}, LabelSet::new(), Some(&r1)).unwrap();
+        let r1 = src
+            .put("a", jobject! {"v" => 1}, LabelSet::new(), None)
+            .unwrap();
+        src.put("a", jobject! {"v" => 2}, LabelSet::new(), Some(&r1))
+            .unwrap();
         let mut rep = Replicator::new(src.clone(), dst.clone());
         rep.run_once();
         assert_eq!(
-            dst.get("a").unwrap().body().get("v").and_then(Value::as_i64),
+            dst.get("a")
+                .unwrap()
+                .body()
+                .get("v")
+                .and_then(Value::as_i64),
             Some(2)
         );
     }
@@ -210,12 +219,14 @@ mod tests {
     fn periodic_replication_runs_until_stopped() {
         let src = DocStore::new("s");
         let dst = DocStore::new("d");
-        let handle =
-            ReplicationHandle::start(src.clone(), dst.clone(), Duration::from_millis(10));
+        let handle = ReplicationHandle::start(src.clone(), dst.clone(), Duration::from_millis(10));
         src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while dst.is_empty() {
-            assert!(std::time::Instant::now() < deadline, "replication never ran");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replication never ran"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         handle.stop();
@@ -231,7 +242,8 @@ mod tests {
         let dst = DocStore::new("d");
         // Write directly into the target; replication must never move it
         // back into the source.
-        dst.put("only-dst", jobject! {}, LabelSet::new(), None).unwrap();
+        dst.put("only-dst", jobject! {}, LabelSet::new(), None)
+            .unwrap();
         let mut rep = Replicator::new(src.clone(), dst.clone());
         rep.run_once();
         assert!(src.get("only-dst").is_none());

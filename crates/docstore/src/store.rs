@@ -330,7 +330,9 @@ mod tests {
     #[test]
     fn update_requires_current_rev() {
         let store = DocStore::new("t");
-        let rev1 = store.put("a", jobject! {"x" => 1}, LabelSet::new(), None).unwrap();
+        let rev1 = store
+            .put("a", jobject! {"x" => 1}, LabelSet::new(), None)
+            .unwrap();
         // Fresh put on existing id: conflict.
         assert!(matches!(
             store.put("a", jobject! {"x" => 2}, LabelSet::new(), None),
@@ -382,13 +384,28 @@ mod tests {
         let store = DocStore::new("t");
         store.create_view("by_mid", "mdt_id");
         store
-            .put("r1", jobject! {"mdt_id" => "a", "n" => 1}, LabelSet::new(), None)
+            .put(
+                "r1",
+                jobject! {"mdt_id" => "a", "n" => 1},
+                LabelSet::new(),
+                None,
+            )
             .unwrap();
         store
-            .put("r2", jobject! {"mdt_id" => "b", "n" => 2}, LabelSet::new(), None)
+            .put(
+                "r2",
+                jobject! {"mdt_id" => "b", "n" => 2},
+                LabelSet::new(),
+                None,
+            )
             .unwrap();
         store
-            .put("r3", jobject! {"mdt_id" => "a", "n" => 3}, LabelSet::new(), None)
+            .put(
+                "r3",
+                jobject! {"mdt_id" => "a", "n" => 3},
+                LabelSet::new(),
+                None,
+            )
             .unwrap();
         let hits = store.query_view("by_mid", &Value::from("a")).unwrap();
         assert_eq!(hits.len(), 2);
@@ -413,6 +430,8 @@ mod tests {
     fn bad_ids_rejected() {
         let store = DocStore::new("t");
         assert!(store.put("", jobject! {}, LabelSet::new(), None).is_err());
-        assert!(store.put("a\nb", jobject! {}, LabelSet::new(), None).is_err());
+        assert!(store
+            .put("a\nb", jobject! {}, LabelSet::new(), None)
+            .is_err());
     }
 }

@@ -36,6 +36,29 @@ pub trait EventBus: Send + Sync {
     ///
     /// Returns [`EngineError::Bus`] on transport failure.
     fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError>;
+
+    /// Publishes a batch of labelled events in one bus pass where the
+    /// backend supports it. The default forwards events one by one
+    /// (correct for transports with no batch framing, like STOMP); the
+    /// embedded broker overrides it to amortize routing locks and stats
+    /// across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Every event is attempted even when an earlier one fails (matching
+    /// the pre-batching per-event sink); the first failure is returned.
+    fn publish_batch(&self, events: Vec<LabelledEvent>) -> Result<(), EngineError> {
+        let mut first_error = None;
+        for event in events {
+            if let Err(e) = self.publish(&event) {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
 }
 
 impl EventBus for Broker {
@@ -66,6 +89,11 @@ impl EventBus for Broker {
 
     fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError> {
         Broker::publish(self, event);
+        Ok(())
+    }
+
+    fn publish_batch(&self, events: Vec<LabelledEvent>) -> Result<(), EngineError> {
+        Broker::publish_batch(self, events);
         Ok(())
     }
 }
@@ -131,8 +159,8 @@ impl RemoteBus {
                         let routes = inner.routes.lock();
                         if let Some(tx) = routes.get(&d.subscription_id) {
                             let _ = tx.send(Delivery {
-                                subscription_id: d.subscription_id,
-                                event: d.event,
+                                subscription_id: d.subscription_id.into(),
+                                event: std::sync::Arc::new(d.event),
                             });
                         }
                     }

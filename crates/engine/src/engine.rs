@@ -179,9 +179,7 @@ impl Engine {
         let mut stop_senders = Vec::new();
 
         for unit in self.units {
-            let privileges = self
-                .policy
-                .privileges(PrincipalKind::Unit, &unit.name);
+            let privileges = self.policy.privileges(PrincipalKind::Unit, &unit.name);
             let privileged = self.policy.is_privileged_unit(&unit.name);
 
             // Wire subscriptions before spawning so failures surface here.
@@ -267,22 +265,49 @@ impl Drop for EngineHandle {
     }
 }
 
-struct BusSink<'a> {
-    bus: &'a dyn EventBus,
-    violations: &'a Mutex<Vec<Violation>>,
-    unit: &'a str,
+/// Publish sink handed to jails: buffers every event one callback
+/// invocation emits, then flushes them to the bus in a single
+/// [`EventBus::publish_batch`] pass. Label checks still happen eagerly
+/// inside [`Jail::publish`] — an event only reaches the buffer if its
+/// relabelling was permitted, so batching changes delivery timing, not
+/// policy enforcement.
+struct BufferedBusSink {
+    buffer: std::cell::RefCell<Vec<LabelledEvent>>,
 }
 
-impl PublishSink for BusSink<'_> {
-    fn deliver(&self, event: LabelledEvent) {
-        if let Err(e) = self.bus.publish(&event) {
-            self.violations.lock().push(Violation {
-                unit: self.unit.to_string(),
+impl BufferedBusSink {
+    fn new() -> BufferedBusSink {
+        BufferedBusSink {
+            buffer: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Flushes buffered events; reports transport failures as violations
+    /// against `unit`.
+    fn flush(&self, bus: &dyn EventBus, unit: &str, violations: &Mutex<Vec<Violation>>) {
+        let events = std::mem::take(&mut *self.buffer.borrow_mut());
+        if events.is_empty() {
+            return;
+        }
+        if let Err(e) = bus.publish_batch(events) {
+            violations.lock().push(Violation {
+                unit: unit.to_string(),
                 error: UnitError::Application(format!("publish failed: {e}")),
             });
         }
     }
 }
+
+impl PublishSink for BufferedBusSink {
+    fn deliver(&self, event: LabelledEvent) {
+        self.buffer.borrow_mut().push(event);
+    }
+}
+
+/// Upper bound on deliveries drained from one ready subscription before
+/// re-entering select, so a hot subscription cannot starve timers or the
+/// stop signal indefinitely.
+const DRAIN_LIMIT: usize = 128;
 
 #[allow(clippy::too_many_arguments)]
 fn run_unit(
@@ -302,16 +327,16 @@ fn run_unit(
         .map(|(interval, _)| tick(*interval))
         .collect();
 
-    loop {
-        // Dynamic select over: stop, all subscriptions, all tickers.
-        let mut select = Select::new();
-        let stop_index = select.recv(&stop_rx);
-        let sub_base: Vec<usize> = receivers
-            .iter()
-            .map(|(rx, _)| select.recv(rx))
-            .collect();
-        let tick_base: Vec<usize> = tickers.iter().map(|rx| select.recv(rx)).collect();
+    // The select set is constructed once for the unit's lifetime — the
+    // registered channels never change — instead of being rebuilt on
+    // every event as the first implementation did.
+    let mut select = Select::new();
+    let stop_index = select.recv(&stop_rx);
+    let sub_base: Vec<usize> = receivers.iter().map(|(rx, _)| select.recv(rx)).collect();
+    let tick_base: Vec<usize> = tickers.iter().map(|rx| select.recv(rx)).collect();
 
+    let mut batch: Vec<Delivery> = Vec::with_capacity(DRAIN_LIMIT);
+    loop {
         let op = select.select();
         let index = op.index();
 
@@ -324,32 +349,44 @@ fn run_unit(
         if let Some(pos) = sub_base.iter().position(|&i| i == index) {
             let (rx, cb_idx) = &receivers[pos];
             match op.recv(rx) {
-                Ok(delivery) => {
-                    let (event, labels) = delivery.event.into_parts();
-                    let callback = &mut unit.subscriptions[*cb_idx].2;
-                    let sink = BusSink {
-                        bus: bus.as_ref(),
-                        violations: &violations,
-                        unit: &unit.name,
-                    };
-                    let initial = if tracking { labels } else { LabelSet::new() };
-                    let mut jail = Jail::new(
-                        &unit.name,
-                        initial,
-                        &privileges,
-                        privileged,
-                        &mut store,
-                        &sink,
-                        tracking,
-                    );
-                    if let Err(e) = callback(&mut jail, &event) {
-                        violations.lock().push(Violation {
-                            unit: unit.name.clone(),
-                            error: e,
-                        });
-                    }
-                }
+                Ok(delivery) => batch.push(delivery),
                 Err(_) => return, // bus gone
+            }
+            // Drain the burst without re-entering select per event.
+            while batch.len() < DRAIN_LIMIT {
+                match rx.try_recv() {
+                    Ok(delivery) => batch.push(delivery),
+                    Err(_) => break,
+                }
+            }
+            let callback = &mut unit.subscriptions[*cb_idx].2;
+            for delivery in batch.drain(..) {
+                let sink = BufferedBusSink::new();
+                let initial = if tracking {
+                    delivery.event.labels().clone()
+                } else {
+                    LabelSet::new()
+                };
+                let mut jail = Jail::new(
+                    &unit.name,
+                    initial,
+                    &privileges,
+                    privileged,
+                    &mut store,
+                    &sink,
+                    tracking,
+                );
+                let result = callback(&mut jail, delivery.event.event());
+                // Events the jail admitted are published even when the
+                // callback later failed — exactly as with the unbuffered
+                // sink, where they had already left the unit.
+                sink.flush(bus.as_ref(), &unit.name, &violations);
+                if let Err(e) = result {
+                    violations.lock().push(Violation {
+                        unit: unit.name.clone(),
+                        error: e,
+                    });
+                }
             }
             continue;
         }
@@ -357,11 +394,7 @@ fn run_unit(
         if let Some(pos) = tick_base.iter().position(|&i| i == index) {
             let _ = op.recv(&tickers[pos]);
             let callback = &mut unit.timers[pos].1;
-            let sink = BusSink {
-                bus: bus.as_ref(),
-                violations: &violations,
-                unit: &unit.name,
-            };
+            let sink = BufferedBusSink::new();
             let mut jail = Jail::new(
                 &unit.name,
                 LabelSet::new(),
@@ -371,7 +404,9 @@ fn run_unit(
                 &sink,
                 tracking,
             );
-            if let Err(e) = callback(&mut jail) {
+            let result = callback(&mut jail);
+            sink.flush(bus.as_ref(), &unit.name, &violations);
+            if let Err(e) = result {
                 violations.lock().push(Violation {
                     unit: unit.name.clone(),
                     error: e,

@@ -50,6 +50,7 @@ impl Relabel {
     }
 
     /// Adds a label to the output (builder style).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, label: Label) -> Relabel {
         self.add.push(label);
         self
@@ -237,7 +238,12 @@ impl<'a> Jail<'a> {
     ///
     /// Returns [`UnitError`] if a removal lacks declassification or an
     /// integrity add lacks endorsement.
-    pub fn set(&mut self, key: &str, value: impl Into<String>, relabel: Relabel) -> Result<(), UnitError> {
+    pub fn set(
+        &mut self,
+        key: &str,
+        value: impl Into<String>,
+        relabel: Relabel,
+    ) -> Result<(), UnitError> {
         let labels = self.output_labels(relabel)?;
         self.store.set_raw(key, value.into(), labels);
         Ok(())
@@ -358,8 +364,11 @@ mod tests {
     fn adding_conf_labels_is_free() {
         let (_, events) = run_jail(&[], PrivilegeSet::new(), false, |jail| {
             jail.add_label(conf("extra")).unwrap();
-            jail.publish(Event::new("/out").unwrap(), Relabel::keep().add(conf("more")))
-                .unwrap();
+            jail.publish(
+                Event::new("/out").unwrap(),
+                Relabel::keep().add(conf("more")),
+            )
+            .unwrap();
         });
         assert!(events[0].labels().contains(&conf("extra")));
         assert!(events[0].labels().contains(&conf("more")));
@@ -452,7 +461,10 @@ mod tests {
             );
             let v = jail.get("list").unwrap();
             assert_eq!(v, "patient-1");
-            assert!(jail.labels().contains(&conf("p/1")), "read must taint $LABELS");
+            assert!(
+                jail.labels().contains(&conf("p/1")),
+                "read must taint $LABELS"
+            );
             jail.publish(Event::new("/out").unwrap(), Relabel::keep())
                 .unwrap();
         }
@@ -474,7 +486,10 @@ mod tests {
         let mut privs = PrivilegeSet::new();
         privs.grant(Privilege::endorse(int.clone()));
         let (res, events) = run_jail(&[], privs, false, |jail| {
-            jail.publish(Event::new("/out").unwrap(), Relabel::keep().add(int.clone()))
+            jail.publish(
+                Event::new("/out").unwrap(),
+                Relabel::keep().add(int.clone()),
+            )
         });
         assert!(res.is_ok());
         assert!(events[0].labels().contains(&int));

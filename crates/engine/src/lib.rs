@@ -26,6 +26,8 @@ mod error;
 mod jail;
 
 pub use bus::{EventBus, RemoteBus};
-pub use engine::{Callback, Engine, EngineHandle, EngineOptions, TimerCallback, UnitSpec, Violation};
+pub use engine::{
+    Callback, Engine, EngineHandle, EngineOptions, TimerCallback, UnitSpec, Violation,
+};
 pub use error::{EngineError, UnitError};
 pub use jail::{IoCapability, Jail, LabelledStore, PublishSink, Relabel, RemoveSpec};

@@ -35,15 +35,17 @@ fn unit_processes_and_republishes_with_labels() {
     );
     let mut engine = Engine::new(Arc::new(broker.clone()), policy);
     engine
-        .add_unit(UnitSpec::new("doubler").subscribe("/in", None, |jail, event| {
-            let n: i64 = event.attr("n").unwrap_or("0").parse().unwrap_or(0);
-            jail.publish(
-                Event::new("/out")
-                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                    .with_attr("n", &(n * 2).to_string()),
-                Relabel::keep(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("doubler").subscribe("/in", None, |jail, event| {
+                let n: i64 = event.attr("n").unwrap_or("0").parse().unwrap_or(0);
+                jail.publish(
+                    Event::new("/out")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("n", &(n * 2).to_string()),
+                    Relabel::keep(),
+                )
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
 
@@ -74,10 +76,12 @@ fn uncleared_unit_never_sees_labelled_events() {
     let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let seen2 = Arc::clone(&seen);
     engine
-        .add_unit(UnitSpec::new("spy").subscribe("/secret", None, move |_jail, _event| {
-            seen2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Ok(())
-        }))
+        .add_unit(
+            UnitSpec::new("spy").subscribe("/secret", None, move |_jail, _event| {
+                seen2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(())
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
 
@@ -106,13 +110,15 @@ fn declassification_without_privilege_is_suppressed_and_recorded() {
     );
     let mut engine = Engine::new(Arc::new(broker.clone()), policy);
     engine
-        .add_unit(UnitSpec::new("leaky").subscribe("/in", None, |jail, _event| {
-            // Bug: tries to strip all labels without privilege.
-            jail.publish(
-                Event::new("/public").map_err(|e| UnitError::BadEvent(e.to_string()))?,
-                Relabel::keep().remove_all(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("leaky").subscribe("/in", None, |jail, _event| {
+                // Bug: tries to strip all labels without privilege.
+                jail.publish(
+                    Event::new("/public").map_err(|e| UnitError::BadEvent(e.to_string()))?,
+                    Relabel::keep().remove_all(),
+                )
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
 
@@ -148,18 +154,18 @@ fn privileged_unit_declassifies_for_storage() {
     );
     let mut engine = Engine::new(Arc::new(broker.clone()), policy);
     engine
-        .add_unit(UnitSpec::new("storage").subscribe("/in", None, |jail, event| {
-            // Privileged: may perform I/O and relabel.
-            let _io = jail.io()?;
-            jail.publish(
-                Event::new("/stored")
-                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                    .with_attr("from", event.attr("n").unwrap_or("-")),
-                Relabel::keep()
-                    .remove_all()
-                    .add(Label::conf("e", "mdt/a")),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("storage").subscribe("/in", None, |jail, event| {
+                // Privileged: may perform I/O and relabel.
+                let _io = jail.io()?;
+                jail.publish(
+                    Event::new("/stored")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("from", event.attr("n").unwrap_or("-")),
+                    Relabel::keep().remove_all().add(Label::conf("e", "mdt/a")),
+                )
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
 
@@ -221,7 +227,10 @@ fn listing1_daily_patient_list() {
     let handle = engine.start().unwrap();
 
     let mut clearance = PrivilegeSet::new();
-    clearance.grant(Privilege::clearance(Label::conf("ecric.org.uk", "patient_list")));
+    clearance.grant(Privilege::clearance(Label::conf(
+        "ecric.org.uk",
+        "patient_list",
+    )));
     let rx = broker.subscribe("portal", "1", "/daily_report", None, clearance);
 
     for (id, typ) in [("1", "cancer"), ("2", "benign"), ("3", "cancer")] {
@@ -255,13 +264,15 @@ fn timer_units_fire_with_empty_labels() {
     let policy = policy("unit ticker {\n privileged \n}\n");
     let mut engine = Engine::new(Arc::new(broker.clone()), policy);
     engine
-        .add_unit(UnitSpec::new("ticker").every(Duration::from_millis(20), |jail| {
-            assert!(jail.labels().is_empty());
-            jail.publish(
-                Event::new("/tick").map_err(|e| UnitError::BadEvent(e.to_string()))?,
-                Relabel::keep(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("ticker").every(Duration::from_millis(20), |jail| {
+                assert!(jail.labels().is_empty());
+                jail.publish(
+                    Event::new("/tick").map_err(|e| UnitError::BadEvent(e.to_string()))?,
+                    Relabel::keep(),
+                )
+            }),
+        )
         .unwrap();
     let rx = broker.subscribe("obs", "1", "/tick", None, PrivilegeSet::new());
     let handle = engine.start().unwrap();
@@ -274,15 +285,18 @@ fn timer_units_fire_with_empty_labels() {
 fn label_tracking_off_is_baseline_mode() {
     let broker = Broker::new();
     let policy = policy("unit echo {\n clearance label:conf:e/* \n}\n");
-    let mut engine = Engine::new(Arc::new(broker.clone()), policy)
-        .with_options(EngineOptions { label_tracking: false });
+    let mut engine = Engine::new(Arc::new(broker.clone()), policy).with_options(EngineOptions {
+        label_tracking: false,
+    });
     engine
-        .add_unit(UnitSpec::new("echo").subscribe("/in", None, |jail, _event| {
-            jail.publish(
-                Event::new("/out").map_err(|e| UnitError::BadEvent(e.to_string()))?,
-                Relabel::keep(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("echo").subscribe("/in", None, |jail, _event| {
+                jail.publish(
+                    Event::new("/out").map_err(|e| UnitError::BadEvent(e.to_string()))?,
+                    Relabel::keep(),
+                )
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
     let rx = broker.subscribe("obs", "1", "/out", None, PrivilegeSet::new());

@@ -59,11 +59,7 @@ impl Event {
     /// Returns [`EventError::InvalidTopic`] if the topic is empty or
     /// contains whitespace or control characters.
     pub fn new(topic: &str) -> Result<Event, EventError> {
-        if topic.is_empty()
-            || topic
-                .chars()
-                .any(|c| c.is_whitespace() || c.is_control())
-        {
+        if topic.is_empty() || topic.chars().any(|c| c.is_whitespace() || c.is_control()) {
             return Err(EventError::InvalidTopic(topic.to_string()));
         }
         Ok(Event {
@@ -110,7 +106,9 @@ impl Event {
     pub fn set_attr(&mut self, name: &str, value: &str) -> Result<(), EventError> {
         if name.is_empty()
             || RESERVED_ATTRIBUTES.contains(&name)
-            || name.chars().any(|c| c == ':' || c.is_control() || c.is_whitespace())
+            || name
+                .chars()
+                .any(|c| c == ':' || c.is_control() || c.is_whitespace())
             || value.chars().any(|c| c == '\n' || c == '\r')
         {
             return Err(EventError::InvalidAttribute(name.to_string()));
@@ -306,7 +304,9 @@ mod tests {
         assert!(derived.labels().contains(&Label::conf("e", "p/2")));
         assert!(derived.labels().contains(&Label::int("e", "ok")));
 
-        let d = Event::new("/d").unwrap().with_labels([Label::conf("e", "p/3")]);
+        let d = Event::new("/d")
+            .unwrap()
+            .with_labels([Label::conf("e", "p/3")]);
         let derived2 = a.derive(Event::new("/c2").unwrap(), &[&d]);
         // d lacks the integrity label, so it must not survive.
         assert!(!derived2.labels().contains(&Label::int("e", "ok")));

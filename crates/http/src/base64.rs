@@ -31,7 +31,7 @@ pub fn encode(input: &[u8]) -> String {
 /// Decodes padded Base64. Returns `None` on invalid input.
 pub fn decode(input: &str) -> Option<Vec<u8>> {
     let bytes = input.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);

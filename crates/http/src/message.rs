@@ -186,7 +186,9 @@ impl Request {
     /// Decodes HTTP basic credentials from the `Authorization` header.
     pub fn basic_auth(&self) -> Option<(String, String)> {
         let value = self.headers.get("authorization")?;
-        let token = value.strip_prefix("Basic ").or_else(|| value.strip_prefix("basic "))?;
+        let token = value
+            .strip_prefix("Basic ")
+            .or_else(|| value.strip_prefix("basic "))?;
         let decoded = base64::decode(token.trim())?;
         let text = String::from_utf8(decoded).ok()?;
         let (user, password) = text.split_once(':')?;

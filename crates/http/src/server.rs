@@ -211,11 +211,7 @@ fn write_response_ex(
     close: bool,
     head_only: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\n",
-        response.status(),
-        response.reason()
-    );
+    let mut head = format!("HTTP/1.1 {} {}\r\n", response.status(), response.reason());
     for (k, v) in response.headers().iter() {
         if k == "content-length" || k == "connection" {
             continue;

@@ -30,7 +30,11 @@ impl ParseJsonError {
 
 impl fmt::Display for ParseJsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -63,7 +67,10 @@ impl Value {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.input.len() {
-            return Err(ParseJsonError::new(p.pos, "trailing characters after document"));
+            return Err(ParseJsonError::new(
+                p.pos,
+                "trailing characters after document",
+            ));
         }
         Ok(v)
     }
@@ -241,7 +248,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -353,8 +362,24 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[", "\"", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "tru", "01", "1.",
-            "1e", "--1", "\"\\x\"", "\"\\u12\"", "\"\\uD800\"", "1 2", "{\"a\":1,}",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"\\x\"",
+            "\"\\u12\"",
+            "\"\\uD800\"",
+            "1 2",
+            "{\"a\":1,}",
         ] {
             assert!(Value::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -376,6 +401,9 @@ mod tests {
     fn big_integers_fall_back_to_float() {
         let v = Value::parse("99999999999999999999").unwrap();
         assert!(matches!(v, Value::Float(_)));
-        assert_eq!(Value::parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+        assert_eq!(
+            Value::parse("9223372036854775807").unwrap(),
+            Value::Int(i64::MAX)
+        );
     }
 }

@@ -16,9 +16,10 @@ use std::fmt;
 /// assert_eq!(v.get("age").and_then(Value::as_i64), Some(61));
 /// # Ok::<(), safeweb_json::ParseJsonError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// The JSON `null` literal.
+    #[default]
     Null,
     /// A JSON boolean.
     Bool(bool),
@@ -63,7 +64,12 @@ impl Value {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
-            Value::Float(f) if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            Value::Float(f)
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64 =>
+            {
                 Some(*f as i64)
             }
             _ => None,
@@ -182,12 +188,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Value {
-        Value::Null
-    }
-}
-
 impl fmt::Display for Value {
     /// Displays the compact JSON encoding.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -301,7 +301,10 @@ mod tests {
         };
         assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
         assert_eq!(v.get("b").and_then(Value::as_str), Some("two"));
-        assert_eq!(v.get("c").and_then(|c| c.at(2)).and_then(Value::as_i64), Some(3));
+        assert_eq!(
+            v.get("c").and_then(|c| c.at(2)).and_then(Value::as_i64),
+            Some(3)
+        );
         assert_eq!(v.get("d").and_then(Value::as_f64), Some(2.5));
         assert_eq!(v.get("e").and_then(Value::as_bool), Some(true));
         assert!(v.get("missing").is_none());

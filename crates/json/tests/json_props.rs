@@ -9,9 +9,11 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         // Restrict to finite floats: NaN/inf are unrepresentable in JSON.
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
-        "[ -~]{0,12}".prop_map(Value::from),      // printable ASCII
-        "\\PC{0,8}".prop_map(Value::from),        // arbitrary printable unicode
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        "[ -~]{0,12}".prop_map(Value::from), // printable ASCII
+        "\\PC{0,8}".prop_map(Value::from),   // arbitrary printable unicode
     ];
     leaf.prop_recursive(4, 64, 6, |inner| {
         prop_oneof![

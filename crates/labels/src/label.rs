@@ -158,7 +158,13 @@ impl fmt::Display for Label {
         if self.path.is_empty() {
             write!(f, "label:{}:{}", self.kind.scheme(), self.authority)
         } else {
-            write!(f, "label:{}:{}/{}", self.kind.scheme(), self.authority, self.path)
+            write!(
+                f,
+                "label:{}:{}/{}",
+                self.kind.scheme(),
+                self.authority,
+                self.path
+            )
         }
     }
 }
@@ -169,9 +175,9 @@ impl FromStr for Label {
     /// Parses a label URI of the form `label:conf:<authority>/<path>` or
     /// `label:int:<authority>/<path>`.
     fn from_str(s: &str) -> Result<Label, ParseLabelError> {
-        let rest = s
-            .strip_prefix("label:")
-            .ok_or_else(|| ParseLabelError::new(format!("label URI must start with `label:`: {s:?}")))?;
+        let rest = s.strip_prefix("label:").ok_or_else(|| {
+            ParseLabelError::new(format!("label URI must start with `label:`: {s:?}"))
+        })?;
         let (scheme, loc) = rest
             .split_once(':')
             .ok_or_else(|| ParseLabelError::new(format!("missing label kind in {s:?}")))?;

@@ -45,8 +45,8 @@ mod privilege;
 mod set;
 
 pub use error::{ParseLabelError, ParsePolicyError};
-pub use manager::{DelegationError, DelegationId, LabelManager, Principal};
 pub use label::{Label, LabelKind};
+pub use manager::{DelegationError, DelegationId, LabelManager, Principal};
 pub use pattern::LabelPattern;
 pub use policy::{Policy, PrincipalKind, PrincipalPolicy};
 pub use privilege::{Privilege, PrivilegeKind, PrivilegeSet};

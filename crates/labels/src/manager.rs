@@ -46,7 +46,10 @@ impl fmt::Display for DelegationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DelegationError::NotHeld { grantor, privilege } => {
-                write!(f, "{grantor} does not hold `{privilege}` and cannot delegate it")
+                write!(
+                    f,
+                    "{grantor} does not hold `{privilege}` and cannot delegate it"
+                )
             }
             DelegationError::SelfDelegation => write!(f, "cannot delegate to oneself"),
         }
@@ -265,7 +268,9 @@ mod tests {
     fn delegation_requires_holding() {
         let m = manager();
         // storage holds it → may delegate.
-        assert!(m.delegate(unit("storage"), unit("helper"), declassify_a()).is_ok());
+        assert!(m
+            .delegate(unit("storage"), unit("helper"), declassify_a())
+            .is_ok());
         // mallory holds nothing → may not.
         let err = m
             .delegate(unit("mallory"), unit("friend"), declassify_a())
@@ -323,7 +328,9 @@ mod tests {
             .is_ok());
         // …but not over someone else's.
         let foreign = Privilege::declassify(Label::conf("other.org", "x"));
-        assert!(m.delegate(unit("registry"), unit("helper"), foreign).is_err());
+        assert!(m
+            .delegate(unit("registry"), unit("helper"), foreign)
+            .is_err());
     }
 
     #[test]

@@ -120,9 +120,7 @@ impl Policy {
 
     /// Returns the entry for a principal, creating it if absent.
     pub fn entry(&mut self, kind: PrincipalKind, name: &str) -> &mut PrincipalPolicy {
-        self.entries
-            .entry((kind, name.to_string()))
-            .or_default()
+        self.entries.entry((kind, name.to_string())).or_default()
     }
 
     /// Looks up a principal's entry, if declared.
@@ -210,7 +208,10 @@ impl FromStr for Policy {
                     continue;
                 }
                 let (keyword, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
-                    ParsePolicyError::new(lineno, format!("expected `<privilege> <label>`: {line:?}"))
+                    ParsePolicyError::new(
+                        lineno,
+                        format!("expected `<privilege> <label>`: {line:?}"),
+                    )
                 })?;
                 let priv_kind: PrivilegeKind = keyword
                     .parse()
@@ -222,7 +223,10 @@ impl FromStr for Policy {
                 entry.grant(Privilege::new(priv_kind, pattern));
             } else {
                 let stripped = line.strip_suffix('{').ok_or_else(|| {
-                    ParsePolicyError::new(lineno, format!("expected `unit <name> {{` or `user <name> {{`: {line:?}"))
+                    ParsePolicyError::new(
+                        lineno,
+                        format!("expected `unit <name> {{` or `user <name> {{`: {line:?}"),
+                    )
                 })?;
                 let mut parts = stripped.split_whitespace();
                 let kind = match parts.next() {
@@ -314,9 +318,7 @@ user mdt_addenbrookes {
     #[test]
     fn unknown_principal_has_no_privileges() {
         let policy: Policy = SAMPLE.parse().unwrap();
-        assert!(policy
-            .privileges(PrincipalKind::User, "mallory")
-            .is_empty());
+        assert!(policy.privileges(PrincipalKind::User, "mallory").is_empty());
     }
 
     #[test]
@@ -329,7 +331,9 @@ user mdt_addenbrookes {
 
     #[test]
     fn error_reports_line_number() {
-        let err = "unit x {\n    teleport label:conf:a/b\n}".parse::<Policy>().unwrap_err();
+        let err = "unit x {\n    teleport label:conf:a/b\n}"
+            .parse::<Policy>()
+            .unwrap_err();
         assert_eq!(err.line(), 2);
         assert!(err.to_string().contains("teleport"));
     }
@@ -342,7 +346,9 @@ user mdt_addenbrookes {
 
     #[test]
     fn rejects_unterminated_block() {
-        assert!("unit x {\n clearance label:conf:a/b\n".parse::<Policy>().is_err());
+        assert!("unit x {\n clearance label:conf:a/b\n"
+            .parse::<Policy>()
+            .is_err());
     }
 
     #[test]

@@ -93,7 +93,12 @@ impl LabelSet {
 
     fn filter_kind(&self, kind: LabelKind) -> LabelSet {
         LabelSet {
-            labels: self.labels.iter().filter(|l| l.kind() == kind).cloned().collect(),
+            labels: self
+                .labels
+                .iter()
+                .filter(|l| l.kind() == kind)
+                .cloned()
+                .collect(),
         }
     }
 

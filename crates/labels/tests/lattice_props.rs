@@ -6,10 +6,7 @@ use proptest::prelude::*;
 use safeweb_labels::{Label, LabelKind, LabelSet, Privilege, PrivilegeSet};
 
 fn arb_label() -> impl Strategy<Value = Label> {
-    let kind = prop_oneof![
-        Just(LabelKind::Confidentiality),
-        Just(LabelKind::Integrity)
-    ];
+    let kind = prop_oneof![Just(LabelKind::Confidentiality), Just(LabelKind::Integrity)];
     let authority = prop_oneof![Just("ecric.org.uk"), Just("nhs.uk"), Just("lab.org")];
     let path = prop_oneof![
         Just("patient/1".to_string()),

@@ -80,7 +80,10 @@ mod tests {
             regional_label().to_string(),
             "label:conf:ecric.org.uk/aggregates/regional"
         );
-        assert_eq!(mdt_integrity_label().to_string(), "label:int:ecric.org.uk/mdt");
+        assert_eq!(
+            mdt_integrity_label().to_string(),
+            "label:int:ecric.org.uk/mdt"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ use safeweb_web::{
 
 use crate::labels::mdt_user_privileges;
 use crate::registry::{self, MdtInfo, RegistryConfig};
-use crate::units::{data_aggregator, data_producer, data_storage, AggregatorConfig, ProducerConfig};
+use crate::units::{
+    data_aggregator, data_producer, data_storage, AggregatorConfig, ProducerConfig,
+};
 use crate::vuln::VulnConfig;
 
 /// Password convention for generated MDT users (tests and examples).
@@ -187,7 +189,12 @@ impl MdtPortal {
             .with_options(FrontendOptions {
                 label_checking: true,
             });
-        install_routes(&mut app, &self.mdts, self.deployment.users().database(), vuln);
+        install_routes(
+            &mut app,
+            &self.mdts,
+            self.deployment.users().database(),
+            vuln,
+        );
         app
     }
 }
@@ -270,11 +277,8 @@ const FRONT_PAGE_TEMPLATE: &str = "<!doctype html>\n<html><head><title>MDT <%= m
 const COMPARE_TEMPLATE: &str = "<!doctype html>\n<html><head><title>Compare <%= mdt %></title></head>\n<body>\n<h1>MDT <%= mdt %> in context (region <%= region %>)</h1>\n<table>\n<tr><th>MDT</th><th>Cases</th><th>Avg completeness</th></tr>\n<% for m in peers %><tr><td><%= m.mdt_id %></td><td><%= m.cases %></td><td><%= m.avg_completeness %></td></tr>\n<% end %></table>\n<p>Regional average: <%= regional_avg %>% over <%= regional_cases %> cases</p>\n</body></html>\n";
 
 fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vuln: &VulnConfig) {
-    let mdt_index: Arc<BTreeMap<String, MdtInfo>> = Arc::new(
-        mdts.iter()
-            .map(|m| (m.name.clone(), m.clone()))
-            .collect(),
-    );
+    let mdt_index: Arc<BTreeMap<String, MdtInfo>> =
+        Arc::new(mdts.iter().map(|m| (m.name.clone(), m.clone())).collect());
     let front_template = Arc::new(Template::parse(FRONT_PAGE_TEMPLATE).expect("valid template"));
     let compare_template = Arc::new(Template::parse(COMPARE_TEMPLATE).expect("valid template"));
 
@@ -289,7 +293,13 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
         };
         // E6 injection point: `return nil if !check_privileges(...)`.
         if !vuln_records.omitted_access_check
-            && !check_privileges(&db, &ctx.user().username, ctx.user().is_admin, mdt, &vuln_records)
+            && !check_privileges(
+                &db,
+                &ctx.user().username,
+                ctx.user().is_admin,
+                mdt,
+                &vuln_records,
+            )
         {
             return SResponse::error(403, "not a member of this MDT");
         }
@@ -312,7 +322,13 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
             return SResponse::not_found();
         };
         if !vuln_page.omitted_access_check
-            && !check_privileges(&db, &ctx.user().username, ctx.user().is_admin, mdt, &vuln_page)
+            && !check_privileges(
+                &db,
+                &ctx.user().username,
+                ctx.user().is_admin,
+                mdt,
+                &vuln_page,
+            )
         {
             return SResponse::error(403, "not a member of this MDT");
         }
@@ -325,9 +341,11 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
                         .and_then(|v| {
                             v.as_sstr()
                                 .or_else(|| v.as_snum().map(|n| n.to_sstr()))
-                                .or_else(|| v.value().as_f64().map(|f| {
-                                    SStr::with_label_set(format!("{f}"), v.labels().clone())
-                                }))
+                                .or_else(|| {
+                                    v.value().as_f64().map(|f| {
+                                        SStr::with_label_set(format!("{f}"), v.labels().clone())
+                                    })
+                                })
                         })
                         .map(TValue::Str)
                         .unwrap_or_else(|| TValue::Str(SStr::public("—")))
@@ -396,7 +414,9 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
         let peer_rows: Vec<TContext> = peers
             .iter()
             .filter(|p| {
-                p.get("kind").and_then(|k| k.as_sstr()).map(|s| s.as_str().to_string())
+                p.get("kind")
+                    .and_then(|k| k.as_sstr())
+                    .map(|s| s.as_str().to_string())
                     == Some("mdt_metrics".to_string())
             })
             .map(|p| {

@@ -31,15 +31,27 @@ impl Default for RegistryConfig {
             hospitals_per_region: 3,
             mdts_per_hospital: 2,
             patients_per_mdt: 25,
-            seed: 0x5afe_3eb,
+            seed: 0x05af_e3eb,
         }
     }
 }
 
 const CANCER_SITES: &[&str] = &[
-    "breast", "lung", "colorectal", "prostate", "ovary", "melanoma", "lymphoma",
+    "breast",
+    "lung",
+    "colorectal",
+    "prostate",
+    "ovary",
+    "melanoma",
+    "lymphoma",
 ];
-const TREATMENTS: &[&str] = &["surgery", "chemotherapy", "radiotherapy", "hormone", "watchful"];
+const TREATMENTS: &[&str] = &[
+    "surgery",
+    "chemotherapy",
+    "radiotherapy",
+    "hormone",
+    "watchful",
+];
 const STAGES: &[&str] = &["I", "II", "III", "IV"];
 
 /// Builds the registry database (tables: `regions`, `hospitals`, `mdts`,
@@ -57,8 +69,11 @@ pub fn generate(config: &RegistryConfig) -> Database {
 
     for region in 0..config.regions {
         let region_name = format!("region-{region}");
-        db.insert("regions", vec![(region as i64).into(), region_name.clone().into()])
-            .expect("fresh region id");
+        db.insert(
+            "regions",
+            vec![(region as i64).into(), region_name.clone().into()],
+        )
+        .expect("fresh region id");
         for h in 0..config.hospitals_per_region {
             hospital_id += 1;
             let hospital_name = format!("hospital-{region}-{h}");
@@ -289,7 +304,10 @@ mod tests {
         let config = RegistryConfig::default();
         let a = generate(&config);
         let b = generate(&config);
-        assert_eq!(a.count("treatments").unwrap(), b.count("treatments").unwrap());
+        assert_eq!(
+            a.count("treatments").unwrap(),
+            b.count("treatments").unwrap()
+        );
         let pa = a.select("patients", |_| true).unwrap();
         let pb = b.select("patients", |_| true).unwrap();
         assert_eq!(pa.len(), pb.len());
@@ -303,7 +321,9 @@ mod tests {
         let db = generate(&RegistryConfig::default());
         let mdts = list_mdts(&db);
         assert_eq!(mdts.len(), 12);
-        assert!(mdts.iter().all(|m| !m.name.is_empty() && !m.clinic.is_empty()));
+        assert!(mdts
+            .iter()
+            .all(|m| !m.name.is_empty() && !m.clinic.is_empty()));
         // Names are unique.
         let mut names: Vec<&str> = mdts.iter().map(|m| m.name.as_str()).collect();
         names.sort();

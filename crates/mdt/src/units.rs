@@ -63,7 +63,10 @@ struct CaseRow {
 fn read_cases(registry: &Database, mdts: &[MdtInfo]) -> Vec<CaseRow> {
     let by_id: BTreeMap<i64, &MdtInfo> = mdts.iter().map(|m| (m.id, m)).collect();
     let mut cases = Vec::new();
-    for patient in registry.select("patients", |_| true).expect("patients table") {
+    for patient in registry
+        .select("patients", |_| true)
+        .expect("patients table")
+    {
         let patient_id = patient.int("id").expect("id");
         let mdt_id = patient.int("mdt_id").expect("mdt_id");
         let Some(mdt) = by_id.get(&mdt_id) else {
@@ -101,11 +104,7 @@ fn read_cases(registry: &Database, mdts: &[MdtInfo]) -> Vec<CaseRow> {
 ///
 /// "For the sake of simplicity, we use only MDT-level labels as these are
 /// sufficient to satisfy our security requirements" (§5.1).
-pub fn data_producer(
-    registry: Database,
-    mdts: Vec<MdtInfo>,
-    config: ProducerConfig,
-) -> UnitSpec {
+pub fn data_producer(registry: Database, mdts: Vec<MdtInfo>, config: ProducerConfig) -> UnitSpec {
     let cases = read_cases(&registry, &mdts);
     let mut cursor = 0usize;
     UnitSpec::new("data_producer").every(config.interval, move |jail| {
@@ -169,7 +168,14 @@ pub struct AggregatorConfig {
 
 /// Fields a complete record should carry; used for the completeness
 /// metric (F2).
-const RECORD_FIELDS: &[&str] = &["name", "birth_year", "site", "stage", "diagnosed", "treatment"];
+const RECORD_FIELDS: &[&str] = &[
+    "name",
+    "birth_year",
+    "site",
+    "stage",
+    "diagnosed",
+    "treatment",
+];
 
 /// Builds the data-aggregator unit: jailed application logic that combines
 /// per-case events and maintains aggregate metrics. It never performs I/O;
@@ -238,11 +244,7 @@ pub fn data_aggregator(config: AggregatorConfig) -> UnitSpec {
             // Publish the (updated) aggregated record.
             let rec_event = Event::new(MDT_RECORD_TOPIC)
                 .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                .set_attrs(&[
-                    ("case_id", &case_id),
-                    ("mdt", &mdt),
-                    ("region_id", &region),
-                ])?
+                .set_attrs(&[("case_id", &case_id), ("mdt", &mdt), ("region_id", &region)])?
                 .with_payload(record.to_json());
             jail.publish(rec_event, Relabel::keep())?;
 

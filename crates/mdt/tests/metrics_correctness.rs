@@ -46,7 +46,10 @@ fn metrics_count_distinct_cases() {
         .dmz_db()
         .get(&format!("regional-{}", mdt.region_id))
         .expect("regional doc exists");
-    assert_eq!(regional.body().get("cases").and_then(Value::as_i64), Some(10));
+    assert_eq!(
+        regional.body().get("cases").and_then(Value::as_i64),
+        Some(10)
+    );
 }
 
 #[test]
@@ -60,7 +63,12 @@ fn average_completeness_matches_records() {
     assert_eq!(records.len(), 10);
     let sum: f64 = records
         .iter()
-        .map(|d| d.body().get("completeness").and_then(Value::as_f64).unwrap_or(0.0))
+        .map(|d| {
+            d.body()
+                .get("completeness")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+        })
         .sum();
     let expected_avg = (sum / records.len() as f64).round();
 

@@ -26,10 +26,12 @@ fn small_portal() -> MdtPortal {
 }
 
 fn get(app: &safeweb_web::SafeWebApp, path: &str, user: &str) -> (u16, String) {
-    let resp = app.handle(
-        &Request::new(Method::Get, path).with_basic_auth(user, &password_for(user)),
-    );
-    (resp.status(), resp.body_str().unwrap_or_default().to_string())
+    let resp =
+        app.handle(&Request::new(Method::Get, path).with_basic_auth(user, &password_for(user)));
+    (
+        resp.status(),
+        resp.body_str().unwrap_or_default().to_string(),
+    )
 }
 
 #[test]

@@ -176,7 +176,10 @@ impl Regex {
         let groups = self.program.group_count as usize + 1;
         let mut spans = Vec::with_capacity(groups);
         for g in 0..groups {
-            let span = match (saves.get(g * 2).copied().flatten(), saves.get(g * 2 + 1).copied().flatten()) {
+            let span = match (
+                saves.get(g * 2).copied().flatten(),
+                saves.get(g * 2 + 1).copied().flatten(),
+            ) {
                 (Some(s), Some(e)) if s <= e => Some((byte_of[s], byte_of[e])),
                 _ => None,
             };
@@ -204,10 +207,7 @@ impl Regex {
         let byte_of = byte_offsets(text, &chars);
         let mut out = String::new();
         let mut pos = 0usize; // char index
-        loop {
-            let Some(saves) = vm::search(&self.program, &chars, pos) else {
-                break;
-            };
+        while let Some(saves) = vm::search(&self.program, &chars, pos) {
             let caps = self.captures_from_saves(text, &byte_of, &saves);
             let m = caps.get(0).expect("group 0 present");
             out.push_str(&text[byte_of[pos]..m.start()]);

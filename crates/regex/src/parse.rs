@@ -32,7 +32,11 @@ impl ParseRegexError {
 
 impl fmt::Display for ParseRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -430,7 +434,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["(", ")", "a)", "[a", "*a", "a{3,1}", "\\", "(?<x>a)", "a{2000}"] {
+        for bad in [
+            "(", ")", "a)", "[a", "*a", "a{3,1}", "\\", "(?<x>a)", "a{2000}",
+        ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
     }

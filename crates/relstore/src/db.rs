@@ -354,8 +354,11 @@ mod tests {
         assert_eq!(row.text("name"), Some("Ann"));
         assert_eq!(row.int("age"), Some(61));
 
-        db.update("patients", vec![1i64.into(), "Ann B".into(), CellValue::Null])
-            .unwrap();
+        db.update(
+            "patients",
+            vec![1i64.into(), "Ann B".into(), CellValue::Null],
+        )
+        .unwrap();
         let row = db.get("patients", &CellValue::Int(1)).unwrap().unwrap();
         assert_eq!(row.text("name"), Some("Ann B"));
         assert!(row.get("age").unwrap().is_null());
@@ -382,7 +385,10 @@ mod tests {
         ));
         // NULL in non-nullable.
         assert!(matches!(
-            db.insert("patients", vec![CellValue::Null, "X".into(), CellValue::Null]),
+            db.insert(
+                "patients",
+                vec![CellValue::Null, "X".into(), CellValue::Null]
+            ),
             Err(RelError::TypeMismatch { .. })
         ));
         // Arity.
@@ -407,9 +413,7 @@ mod tests {
             )
             .unwrap();
         }
-        let aged = db
-            .select("patients", |r| r.int("age") == Some(61))
-            .unwrap();
+        let aged = db.select("patients", |r| r.int("age") == Some(61)).unwrap();
         assert_eq!(aged.len(), 2);
         let bob = db
             .select_eq("patients", "name", &CellValue::from("Bob"))

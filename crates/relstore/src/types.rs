@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             CellValue::Text("b".into()),
             CellValue::Int(5),
             CellValue::Null,

@@ -82,7 +82,7 @@ impl AttributeSource for std::collections::HashMap<String, String> {
     }
 }
 
-impl<'a, T: AttributeSource + ?Sized> AttributeSource for &'a T {
+impl<T: AttributeSource + ?Sized> AttributeSource for &T {
     fn attribute(&self, name: &str) -> Option<&str> {
         (**self).attribute(name)
     }
@@ -158,10 +158,10 @@ fn eval<S: AttributeSource>(expr: &Expr, source: &S) -> Val {
             negated,
         } => {
             let t = match eval(expr, source) {
-                Val::Str(s) => Truth::of(items.iter().any(|i| *i == s)),
+                Val::Str(s) => Truth::of(items.contains(&s)),
                 Val::Num(n) => {
                     let s = format_num(n);
-                    Truth::of(items.iter().any(|i| *i == s))
+                    Truth::of(items.contains(&s))
                 }
                 Val::Null => Truth::Unknown,
                 Val::Bool(_) => Truth::Unknown,
@@ -317,9 +317,15 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         // UNKNOWN OR TRUE = TRUE
-        assert!(matches("missing = 'x' OR type = 'cancer'", &[("type", "cancer")]));
+        assert!(matches(
+            "missing = 'x' OR type = 'cancer'",
+            &[("type", "cancer")]
+        ));
         // UNKNOWN AND TRUE = UNKNOWN → no match
-        assert!(!matches("missing = 'x' AND type = 'cancer'", &[("type", "cancer")]));
+        assert!(!matches(
+            "missing = 'x' AND type = 'cancer'",
+            &[("type", "cancer")]
+        ));
         // FALSE AND UNKNOWN = FALSE
         assert!(matches(
             "NOT (type = 'benign' AND missing = 'x')",
@@ -331,8 +337,14 @@ mod tests {
     fn like_patterns() {
         assert!(matches("name LIKE 'J_n%'", &[("name", "Jones")]));
         assert!(!matches("name LIKE 'J_n%'", &[("name", "Smith")]));
-        assert!(matches("code LIKE '10!%26' ESCAPE '!'", &[("code", "10%26")]));
-        assert!(!matches("code LIKE '10!%26' ESCAPE '!'", &[("code", "10x26")]));
+        assert!(matches(
+            "code LIKE '10!%26' ESCAPE '!'",
+            &[("code", "10%26")]
+        ));
+        assert!(!matches(
+            "code LIKE '10!%26' ESCAPE '!'",
+            &[("code", "10x26")]
+        ));
         assert!(matches("a LIKE '%'", &[("a", "")]));
         assert!(matches("a NOT LIKE 'x%'", &[("a", "y")]));
     }

@@ -71,7 +71,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected `{token}`, found {}",
-                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_string(), |t| format!("`{t}`"))
             )))
         }
     }
@@ -287,13 +288,22 @@ mod tests {
 
     #[test]
     fn parses_not_like_in_between() {
-        assert!(matches!(p("a NOT LIKE 'x%'"), Expr::Like { negated: true, .. }));
-        assert!(matches!(p("a NOT IN ('x','y')"), Expr::In { negated: true, .. }));
+        assert!(matches!(
+            p("a NOT LIKE 'x%'"),
+            Expr::Like { negated: true, .. }
+        ));
+        assert!(matches!(
+            p("a NOT IN ('x','y')"),
+            Expr::In { negated: true, .. }
+        ));
         assert!(matches!(
             p("a NOT BETWEEN 1 AND 5"),
             Expr::Between { negated: true, .. }
         ));
-        assert!(matches!(p("a IS NOT NULL"), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            p("a IS NOT NULL"),
+            Expr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -313,8 +323,18 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "a =", "= 1", "a LIKE 5", "a IN (1)", "a IN ()", "a BETWEEN 1", "a IS",
-            "a b", "(a = '1'", "a NOT 5", "a LIKE 'x' ESCAPE 'ab'",
+            "",
+            "a =",
+            "= 1",
+            "a LIKE 5",
+            "a IN (1)",
+            "a IN ()",
+            "a BETWEEN 1",
+            "a IS",
+            "a b",
+            "(a = '1'",
+            "a NOT 5",
+            "a LIKE 'x' ESCAPE 'ab'",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

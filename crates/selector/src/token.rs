@@ -184,10 +184,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseSelectorError> {
                         Some(_) => {
                             // Track UTF-8 boundaries via the source string.
                             let ch_start = i;
-                            let ch = input[ch_start..]
-                                .chars()
-                                .next()
-                                .expect("in-bounds char");
+                            let ch = input[ch_start..].chars().next().expect("in-bounds char");
                             s.push(ch);
                             i += ch.len_utf8();
                         }
@@ -208,9 +205,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseSelectorError> {
                     i += 1;
                 }
                 let text = &input[start..i];
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| ParseSelectorError::new(start, format!("invalid number {text:?}")))?;
+                let n: f64 = text.parse().map_err(|_| {
+                    ParseSelectorError::new(start, format!("invalid number {text:?}"))
+                })?;
                 tokens.push(Token::Num(n));
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {

@@ -7,11 +7,12 @@ use std::collections::BTreeMap;
 
 fn arb_attrs() -> impl Strategy<Value = BTreeMap<String, String>> {
     proptest::collection::btree_map(
-        prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())],
         prop_oneof![
-            "[0-9]{1,3}".prop_map(|s| s),
-            "[a-z]{0,6}".prop_map(|s| s),
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string())
         ],
+        prop_oneof!["[0-9]{1,3}".prop_map(|s| s), "[a-z]{0,6}".prop_map(|s| s),],
         0..3,
     )
 }

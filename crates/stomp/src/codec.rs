@@ -157,8 +157,8 @@ impl Decoder {
             Some(pair) => pair,
             None => return Ok(None),
         };
-        let head = std::str::from_utf8(&self.buf[..head_end])
-            .map_err(|_| DecodeError::InvalidUtf8)?;
+        let head =
+            std::str::from_utf8(&self.buf[..head_end]).map_err(|_| DecodeError::InvalidUtf8)?;
         let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
         let command_line = lines.next().unwrap_or_default();
         let command = Command::from_keyword(command_line)
@@ -176,8 +176,7 @@ impl Decoder {
             let k = unescape(k)?;
             let v = unescape(v)?;
             if k == "content-length" && content_length.is_none() {
-                content_length =
-                    Some(v.parse().map_err(|_| DecodeError::BadContentLength)?);
+                content_length = Some(v.parse().map_err(|_| DecodeError::BadContentLength)?);
             }
             headers.push((k, v));
         }
@@ -265,10 +264,13 @@ mod tests {
 
     #[test]
     fn escaping_preserves_special_characters() {
-        let f = Frame::new(Command::Subscribe)
-            .with_header("selector", "type = 'a:b'\nAND x <> 'y\\z'");
+        let f =
+            Frame::new(Command::Subscribe).with_header("selector", "type = 'a:b'\nAND x <> 'y\\z'");
         let back = roundtrip(&f);
-        assert_eq!(back.header("selector"), Some("type = 'a:b'\nAND x <> 'y\\z'"));
+        assert_eq!(
+            back.header("selector"),
+            Some("type = 'a:b'\nAND x <> 'y\\z'")
+        );
     }
 
     #[test]
@@ -305,7 +307,10 @@ mod tests {
         d.feed(&a);
         d.feed(&b);
         assert_eq!(d.next_frame().unwrap().unwrap().command(), Command::Connect);
-        assert_eq!(d.next_frame().unwrap().unwrap().command(), Command::Disconnect);
+        assert_eq!(
+            d.next_frame().unwrap().unwrap().command(),
+            Command::Disconnect
+        );
         assert!(d.next_frame().unwrap().is_none());
     }
 

@@ -153,7 +153,12 @@ mod tests {
         assert_eq!((a.clone() - b.clone()).value(), 6);
         assert_eq!((a.clone() * b.clone()).value(), 40);
         assert_eq!((a.clone() / b.clone()).value(), 2);
-        for op in [a.clone() + b.clone(), a.clone() - b.clone(), a.clone() * b.clone(), a / b] {
+        for op in [
+            a.clone() + b.clone(),
+            a.clone() - b.clone(),
+            a.clone() * b.clone(),
+            a / b,
+        ] {
             assert!(op.labels().contains(&l("a")));
             assert!(op.labels().contains(&l("b")));
         }

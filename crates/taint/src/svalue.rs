@@ -139,10 +139,7 @@ mod tests {
 
     #[test]
     fn fields_inherit_document_labels() {
-        let doc = SValue::labelled(
-            jobject! {"name" => "A. Patient", "age" => 61},
-            [patient()],
-        );
+        let doc = SValue::labelled(jobject! {"name" => "A. Patient", "age" => 61}, [patient()]);
         let name = doc.get("name").unwrap().as_sstr().unwrap();
         assert_eq!(name.as_str(), "A. Patient");
         assert!(name.labels().contains(&patient()));

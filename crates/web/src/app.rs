@@ -238,7 +238,9 @@ impl SafeWebApp {
             records,
             options: FrontendOptions::default(),
             stats: Arc::new(FrontendStats::default()),
-            auth_lookup: Arc::new(|db, name| db.get("users", &CellValue::from(name)).ok().flatten()),
+            auth_lookup: Arc::new(|db, name| {
+                db.get("users", &CellValue::from(name)).ok().flatten()
+            }),
         }
     }
 
@@ -260,12 +262,20 @@ impl SafeWebApp {
     }
 
     /// Registers a GET route.
-    pub fn get(&mut self, pattern: &str, handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static) {
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static,
+    ) {
         self.add_route(Method::Get, pattern, handler);
     }
 
     /// Registers a POST route.
-    pub fn post(&mut self, pattern: &str, handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static) {
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static,
+    ) {
         self.add_route(Method::Post, pattern, handler);
     }
 
@@ -339,8 +349,7 @@ impl SafeWebApp {
                 self.stats
                     .label_check_ns
                     .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                return Response::new(500)
-                    .with_body("response contains unsanitised user input");
+                return Response::new(500).with_body("response contains unsanitised user input");
             }
             match sresponse.body.check_release(&user.privileges) {
                 Ok(s) => s.to_string(),
@@ -351,8 +360,7 @@ impl SafeWebApp {
                         .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     // The error page must not leak which labels blocked.
                     let _ = e;
-                    return Response::new(403)
-                        .with_body("access denied by security policy");
+                    return Response::new(403).with_body("access denied by security policy");
                 }
             }
         } else {
@@ -381,11 +389,18 @@ mod tests {
     use safeweb_labels::{Label, LabelSet, Privilege};
 
     fn setup() -> (SafeWebApp, DocStore) {
-        let users = UserStore::new(Database::new("web"), AuthConfig { hash_iterations: 500 });
+        let users = UserStore::new(
+            Database::new("web"),
+            AuthConfig {
+                hash_iterations: 500,
+            },
+        );
         let mut privs = PrivilegeSet::new();
         privs.grant(Privilege::clearance(Label::conf("e", "mdt/a")));
         users.create_user("mdt_a", "pw", &privs, false).unwrap();
-        users.create_user("nosy", "pw", &PrivilegeSet::new(), false).unwrap();
+        users
+            .create_user("nosy", "pw", &PrivilegeSet::new(), false)
+            .unwrap();
 
         let records = DocStore::new("app");
         records.create_view("by_mid", "mdt_id");
@@ -402,7 +417,12 @@ mod tests {
         app.get("/records/:mid", |ctx: &Ctx<'_>| {
             let mid = ctx.param_raw("mid").unwrap_or("");
             let docs = ctx.records_by("by_mid", mid);
-            let body = SStr::concat_all(docs.iter().map(|d| d.to_json_sstr()).collect::<Vec<_>>().iter());
+            let body = SStr::concat_all(
+                docs.iter()
+                    .map(|d| d.to_json_sstr())
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
             SResponse::json(body)
         });
         (app, records)
@@ -426,7 +446,10 @@ mod tests {
         let resp = app.handle(&req("/records/a", "nosy"));
         assert_eq!(resp.status(), 403);
         let body = resp.body_str().unwrap();
-        assert!(!body.contains("mdt"), "error page must not leak labels: {body}");
+        assert!(
+            !body.contains("mdt"),
+            "error page must not leak labels: {body}"
+        );
         assert_eq!(app.stats().denied(), 1);
     }
 
@@ -436,7 +459,8 @@ mod tests {
         let resp = app.handle(&Request::new(Method::Get, "/records/a"));
         assert_eq!(resp.status(), 401);
         assert!(resp.headers().get("www-authenticate").is_some());
-        let resp = app.handle(&Request::new(Method::Get, "/records/a").with_basic_auth("mdt_a", "wrong"));
+        let resp =
+            app.handle(&Request::new(Method::Get, "/records/a").with_basic_auth("mdt_a", "wrong"));
         assert_eq!(resp.status(), 401);
     }
 
@@ -450,14 +474,23 @@ mod tests {
 
     #[test]
     fn user_tainted_response_is_blocked() {
-        let users = UserStore::new(Database::new("web"), AuthConfig { hash_iterations: 500 });
-        users.create_user("u", "pw", &PrivilegeSet::new(), false).unwrap();
+        let users = UserStore::new(
+            Database::new("web"),
+            AuthConfig {
+                hash_iterations: 500,
+            },
+        );
+        users
+            .create_user("u", "pw", &PrivilegeSet::new(), false)
+            .unwrap();
         let mut app = SafeWebApp::new(users, DocStore::new("app"));
         app.get("/echo", |ctx: &Ctx<'_>| {
             // Bug: echoes raw user input without sanitising.
             SResponse::html(ctx.query("q").unwrap_or_else(|| SStr::public("")))
         });
-        let resp = app.handle(&Request::new(Method::Get, "/echo?q=<script>x</script>").with_basic_auth("u", "pw"));
+        let resp = app.handle(
+            &Request::new(Method::Get, "/echo?q=<script>x</script>").with_basic_auth("u", "pw"),
+        );
         assert_eq!(resp.status(), 500);
         assert!(!resp.body_str().unwrap().contains("<script>"));
     }
@@ -465,7 +498,9 @@ mod tests {
     #[test]
     fn label_checking_off_is_baseline_mode() {
         let (app, _) = setup();
-        let app = app.with_options(FrontendOptions { label_checking: false });
+        let app = app.with_options(FrontendOptions {
+            label_checking: false,
+        });
         // Baseline: even the uncleared user gets data (measured config only).
         let resp = app.handle(&req("/records/a", "nosy"));
         assert_eq!(resp.status(), 200);

@@ -89,12 +89,7 @@ impl UserStore {
         self.db
             .insert(
                 "users",
-                vec![
-                    username.into(),
-                    hash.into(),
-                    wire.into(),
-                    is_admin.into(),
-                ],
+                vec![username.into(), hash.into(), wire.into(), is_admin.into()],
             )
             .map_err(|e| e.to_string())
     }
@@ -163,7 +158,11 @@ impl UserStore {
     /// Verifies a password against an already-fetched `users` row (the
     /// frontend middleware fetches and verifies in separate, separately
     /// timed phases — privilege fetching vs. authentication in Figure 5).
-    pub fn verify_row(&self, row: &safeweb_relstore::Row, password: &str) -> Option<AuthenticatedUser> {
+    pub fn verify_row(
+        &self,
+        row: &safeweb_relstore::Row,
+        password: &str,
+    ) -> Option<AuthenticatedUser> {
         let stored_name = row.text("username")?.to_string();
         let expected = row.text("password_hash")?;
         let got = hash_password(&stored_name, password, self.config.hash_iterations);
@@ -254,7 +253,10 @@ mod tests {
 
     fn mdt_privs(name: &str) -> PrivilegeSet {
         let mut p = PrivilegeSet::new();
-        p.grant(Privilege::clearance(Label::conf("ecric.org.uk", &format!("mdt/{name}"))));
+        p.grant(Privilege::clearance(Label::conf(
+            "ecric.org.uk",
+            &format!("mdt/{name}"),
+        )));
         p
     }
 
@@ -281,7 +283,9 @@ mod tests {
         store
             .create_user("u", "p", &PrivilegeSet::new(), false)
             .unwrap();
-        assert!(store.create_user("u", "p", &PrivilegeSet::new(), false).is_err());
+        assert!(store
+            .create_user("u", "p", &PrivilegeSet::new(), false)
+            .is_err());
     }
 
     #[test]
@@ -289,8 +293,12 @@ mod tests {
         // The §5.2 "errors in access checks" study hinges on mdt1 vs MDT1
         // being distinct principals.
         let store = store();
-        store.create_user("mdt1", "a", &mdt_privs("one"), false).unwrap();
-        store.create_user("MDT1", "b", &mdt_privs("two"), false).unwrap();
+        store
+            .create_user("mdt1", "a", &mdt_privs("one"), false)
+            .unwrap();
+        store
+            .create_user("MDT1", "b", &mdt_privs("two"), false)
+            .unwrap();
         let lower = store.authenticate("mdt1", "a").unwrap();
         let upper = store.authenticate("MDT1", "b").unwrap();
         assert_ne!(lower.privileges, upper.privileges);

@@ -28,8 +28,7 @@ mod template;
 
 pub use app::{Ctx, FrontendOptions, FrontendStats, RouteHandler, SResponse, SafeWebApp};
 pub use auth::{
-    hash_password, privileges_to_wire, wire_to_privileges, AuthConfig, AuthenticatedUser,
-    UserStore,
+    hash_password, privileges_to_wire, wire_to_privileges, AuthConfig, AuthenticatedUser, UserStore,
 };
 pub use router::{RoutePattern, Router};
 pub use template::{TContext, TValue, Template, TemplateError};

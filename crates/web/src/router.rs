@@ -154,7 +154,10 @@ mod tests {
     fn splat_captures_rest() {
         let p = RoutePattern::parse("/static/*");
         let params = p.matches("/static/css/site.css").unwrap();
-        assert_eq!(params.get("splat").map(String::as_str), Some("css/site.css"));
+        assert_eq!(
+            params.get("splat").map(String::as_str),
+            Some("css/site.css")
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ enum Node {
         body: Vec<Node>,
     },
     /// `<% if cond %> body <% end %>`
-    If { cond: String, body: Vec<Node> },
+    If {
+        cond: String,
+        body: Vec<Node>,
+    },
 }
 
 impl Template {
@@ -182,11 +185,7 @@ enum ScopedValue<'a> {
     Item,
 }
 
-fn lookup_scoped<'a>(
-    ctx: &'a TContext,
-    scope: &Scope<'a>,
-    path: &str,
-) -> Option<ScopedValue<'a>> {
+fn lookup_scoped<'a>(ctx: &'a TContext, scope: &Scope<'a>, path: &str) -> Option<ScopedValue<'a>> {
     let (first, rest) = match path.split_once('.') {
         Some((f, r)) => (f, Some(r)),
         None => (path, None),
@@ -228,7 +227,11 @@ fn lex(source: &str) -> Result<Vec<Token>, TemplateError> {
     Ok(tokens)
 }
 
-fn parse_nodes(tokens: &[Token], pos: &mut usize, in_block: bool) -> Result<Vec<Node>, TemplateError> {
+fn parse_nodes(
+    tokens: &[Token],
+    pos: &mut usize,
+    in_block: bool,
+) -> Result<Vec<Node>, TemplateError> {
     let mut nodes = Vec::new();
     while *pos < tokens.len() {
         match &tokens[*pos] {
@@ -317,9 +320,7 @@ fn render_nodes<'a>(
                 };
                 // SafeWeb's XSS safety net: user-tainted data is escaped on
                 // interpolation even in `raw` mode.
-                let s = if s.is_user_tainted() {
-                    s.sanitize_html()
-                } else if matches!(node, Node::Interp(_)) {
+                let s = if s.is_user_tainted() || matches!(node, Node::Interp(_)) {
                     s.sanitize_html()
                 } else {
                     s
@@ -392,13 +393,9 @@ mod tests {
     #[test]
     fn if_blocks() {
         let t = Template::parse("<% if admin %>secret<% end %>ok").unwrap();
-        let shown = t
-            .render(&TContext::new().bind("admin", true))
-            .unwrap();
+        let shown = t.render(&TContext::new().bind("admin", true)).unwrap();
         assert_eq!(shown.as_str(), "secretok");
-        let hidden = t
-            .render(&TContext::new().bind("admin", false))
-            .unwrap();
+        let hidden = t.render(&TContext::new().bind("admin", false)).unwrap();
         assert_eq!(hidden.as_str(), "ok");
     }
 
@@ -451,15 +448,13 @@ mod tests {
         .unwrap();
         let ctx = TContext::new().bind(
             "mdts",
-            TValue::List(vec![TContext::new()
-                .bind("name", SStr::public("a"))
-                .bind(
-                    "patients",
-                    TValue::List(vec![
-                        TContext::new().bind("id", SStr::public("1")),
-                        TContext::new().bind("id", SStr::public("2")),
-                    ]),
-                )]),
+            TValue::List(vec![TContext::new().bind("name", SStr::public("a")).bind(
+                "patients",
+                TValue::List(vec![
+                    TContext::new().bind("id", SStr::public("1")),
+                    TContext::new().bind("id", SStr::public("2")),
+                ]),
+            )]),
         );
         let out = t.render(&ctx).unwrap();
         assert_eq!(out.as_str(), "[a:1,2,]");

@@ -63,7 +63,10 @@ fn main() {
                 })
                 .subscribe("/next_day", None, |jail, _event| {
                     let list = jail.get("patient_list").unwrap_or_default();
-                    println!("  [unit] day rollover — $LABELS after read: {}", jail.labels());
+                    println!(
+                        "  [unit] day rollover — $LABELS after read: {}",
+                        jail.labels()
+                    );
                     jail.publish(
                         Event::new("/daily_report")
                             .map_err(|e| UnitError::BadEvent(e.to_string()))?
@@ -92,7 +95,11 @@ fn main() {
     // Publish the day's reports (the producer labels each with the
     // patient's label; note 77 is filtered out by the selector).
     println!("publishing patient reports...");
-    for (id, typ) in [("33812769", "cancer"), ("77", "benign"), ("40021532", "cancer")] {
+    for (id, typ) in [
+        ("33812769", "cancer"),
+        ("77", "benign"),
+        ("40021532", "cancer"),
+    ] {
         broker.publish(
             &Event::new("/patient_report")
                 .expect("valid topic")
@@ -104,7 +111,11 @@ fn main() {
     // Let the unit drain its queue, then roll the day.
     std::thread::sleep(Duration::from_millis(300));
     println!("publishing /next_day...");
-    broker.publish(&Event::new("/next_day").expect("valid topic").with_labels([]));
+    broker.publish(
+        &Event::new("/next_day")
+            .expect("valid topic")
+            .with_labels([]),
+    );
 
     let delivery = portal
         .recv_timeout(Duration::from_secs(5))

@@ -42,10 +42,8 @@ fn main() {
     let west_for_bridge = west.clone();
     let mut east_engine = Engine::new(Arc::new(east.clone()), east_policy);
     east_engine
-        .add_unit(UnitSpec::new("bridge").subscribe(
-            "/interregional",
-            None,
-            move |jail, event| {
+        .add_unit(
+            UnitSpec::new("bridge").subscribe("/interregional", None, move |jail, event| {
                 // Privileged: talking to another region's broker is I/O.
                 let _io = jail.io()?;
                 let forwarded = Event::new("/from_east")
@@ -64,8 +62,8 @@ fn main() {
                         .with_attr("forwarded", "true"),
                     Relabel::keep(),
                 )
-            },
-        ))
+            }),
+        )
         .expect("unique unit");
     let east_handle = east_engine.start().expect("east engine");
 
@@ -75,7 +73,13 @@ fn main() {
     let mut cleared = PrivilegeSet::new();
     cleared.grant(Privilege::clearance(shared_label.clone()));
     let west_member = west.subscribe("west_member", "1", "/from_east", None, cleared);
-    let west_outsider = west.subscribe("west_outsider", "1", "/from_east", None, PrivilegeSet::new());
+    let west_outsider = west.subscribe(
+        "west_outsider",
+        "1",
+        "/from_east",
+        None,
+        PrivilegeSet::new(),
+    );
 
     // East publishes a labelled inter-regional report and a purely
     // regional (differently labelled) one.
@@ -111,7 +115,9 @@ fn main() {
     // The east-only event never crossed: the bridge had no clearance for
     // its label, so East's own broker filtered it before the bridge saw it.
     assert!(
-        west_member.recv_timeout(Duration::from_millis(300)).is_err(),
+        west_member
+            .recv_timeout(Duration::from_millis(300))
+            .is_err(),
         "east-internal event must not be federated"
     );
     println!("east-internal event was not federated (bridge lacks clearance).");
@@ -119,7 +125,9 @@ fn main() {
     // The uncleared West subscriber sees nothing at all: West's broker
     // enforces East's labels.
     assert!(
-        west_outsider.recv_timeout(Duration::from_millis(300)).is_err(),
+        west_outsider
+            .recv_timeout(Duration::from_millis(300))
+            .is_err(),
         "outsider must not receive federated data"
     );
     println!("west outsider received nothing (labels survive federation).");

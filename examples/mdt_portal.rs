@@ -60,7 +60,10 @@ fn main() {
     let mdts = portal.mdts().to_vec();
     let own = &mdts[0]; // region 0
     let peer = &mdts[1]; // same hospital, region 0
-    let far = mdts.iter().find(|m| m.region_id != own.region_id).expect("two regions");
+    let far = mdts
+        .iter()
+        .find(|m| m.region_id != own.region_id)
+        .expect("two regions");
 
     let get = |path: &str, user: &str| {
         let resp = client::send(
@@ -73,17 +76,28 @@ fn main() {
 
     // F1: a member consults their own patients.
     let (status, body) = get(&format!("/records/{}", own.name), &own.name);
-    println!("F1  {own}/records as {own}: HTTP {status} ({} bytes of records)", body.len(), own = own.name);
+    println!(
+        "F1  {own}/records as {own}: HTTP {status} ({} bytes of records)",
+        body.len(),
+        own = own.name
+    );
     assert_eq!(status, 200);
 
     // P1: another MDT is refused the same records.
     let (status, _) = get(&format!("/records/{}", own.name), &peer.name);
-    println!("P1  {}/records as {}: HTTP {status} (denied)", own.name, peer.name);
+    println!(
+        "P1  {}/records as {}: HTTP {status} (denied)",
+        own.name, peer.name
+    );
     assert_eq!(status, 403);
 
     // The HTML front page (what the paper benchmarks).
     let (status, body) = get(&format!("/mdt/{}", own.name), &own.name);
-    println!("F1  front page as {}: HTTP {status} ({} bytes of HTML)", own.name, body.len());
+    println!(
+        "F1  front page as {}: HTTP {status} ({} bytes of HTML)",
+        own.name,
+        body.len()
+    );
     assert_eq!(status, 200);
 
     // F2: own metrics.
@@ -93,15 +107,24 @@ fn main() {
 
     // F3: same-region peer may compare; other-region MDT may not.
     let (status, _) = get(&format!("/metrics/{}", own.name), &peer.name);
-    println!("F3  {}'s metrics as same-region {}: HTTP {status}", own.name, peer.name);
+    println!(
+        "F3  {}'s metrics as same-region {}: HTTP {status}",
+        own.name, peer.name
+    );
     assert_eq!(status, 200);
     let (status, _) = get(&format!("/metrics/{}", own.name), &far.name);
-    println!("P1  {}'s metrics as other-region {}: HTTP {status} (denied)", own.name, far.name);
+    println!(
+        "P1  {}'s metrics as other-region {}: HTTP {status} (denied)",
+        own.name, far.name
+    );
     assert_eq!(status, 403);
 
     // Regional aggregates: visible to every MDT.
     let (status, body) = get("/aggregates/regional", &far.name);
-    println!("F3  regional aggregates as {}: HTTP {status} {body}", far.name);
+    println!(
+        "F3  regional aggregates as {}: HTTP {status} {body}",
+        far.name
+    );
     assert_eq!(status, 200);
 
     // The comparison page.
@@ -114,7 +137,12 @@ fn main() {
     let err = portal
         .deployment()
         .dmz_db()
-        .put("evil", safeweb::json::Value::object(), Default::default(), None)
+        .put(
+            "evil",
+            safeweb::json::Value::object(),
+            Default::default(),
+            None,
+        )
         .expect_err("DMZ must be read-only");
     println!("S1  write to DMZ replica rejected: {err}");
 

@@ -1,0 +1,113 @@
+//! Minimal `bytes`-compatible shim.
+//!
+//! Provides [`BytesMut`] (a growable byte buffer with amortised O(1)
+//! front-consumption) and the [`Buf`] trait subset the STOMP codec
+//! uses. Unlike the real crate there is no zero-copy splitting; `advance`
+//! moves a read cursor and compacts lazily.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Byte cursors that can discard consumed prefixes.
+pub trait Buf {
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// A growable byte buffer readable as `&[u8]`.
+#[derive(Default, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes before this offset are consumed; compacted once large.
+    head: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Appends `bytes` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn compact_if_large(&mut self) {
+        // Compact once the dead prefix dominates, keeping amortised O(1).
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.head += n;
+        self.compact_if_large();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_and_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello");
+        assert_eq!(&b[..], b"hello");
+        b.advance(2);
+        assert_eq!(&b[..], b"llo");
+        assert_eq!(b.len(), 3);
+        b.extend_from_slice(b"!");
+        assert_eq!(&b[..], b"llo!");
+        assert_eq!(b.first(), Some(&b'l'));
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&vec![7u8; 10_000]);
+        b.advance(6_000);
+        b.extend_from_slice(b"tail");
+        assert_eq!(b.len(), 4_004);
+        assert_eq!(&b[4_000..], b"tail");
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal `criterion`-compatible bench harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the API subset SafeWeb's benches use — groups, throughput
+//! annotation, `iter` / `iter_custom` / `iter_batched` — backed by a
+//! simple median-of-samples timer instead of criterion's statistical
+//! machinery. Results print as `group/name  median ...` lines; relative
+//! comparisons between benches remain meaningful, confidence intervals
+//! are out of scope.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim times routine-only for
+/// every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh batch per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to derive rate units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Entry point handle passed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benches sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per bench (the shim honours it directly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Upper bound on total measurement time per bench.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up period before sampling (accepted, unused: the shim's
+    /// calibration probe doubles as warm-up).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates work-per-iteration so rates are printed.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            let mut bencher = Bencher {
+                sample: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.sample.as_secs_f64() / bencher.iters as f64);
+            }
+            if i >= 2 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {}/{name:<40} median {:>12.3} us/iter{rate}  [{} samples]",
+            self.name,
+            median * 1e6,
+            samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Auto-calibrated iteration count for sub-millisecond routines.
+    fn calibrated_iters(one: Duration) -> u64 {
+        // Aim for ~5ms of work per sample.
+        let target = Duration::from_millis(5);
+        if one.is_zero() {
+            10_000
+        } else {
+            ((target.as_nanos() / one.as_nanos().max(1)) as u64).clamp(1, 1_000_000)
+        }
+    }
+
+    /// Times `routine`, running it enough times for a stable sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let probe = Instant::now();
+        black_box(routine());
+        let iters = Self::calibrated_iters(probe.elapsed());
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.sample += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times exactly what `routine` reports for a requested iteration
+    /// count (the closure does its own timing).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 1;
+        self.sample += routine(iters);
+        self.iters += iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let probe_input = setup();
+        let probe = Instant::now();
+        black_box(routine(probe_input));
+        let iters = Self::calibrated_iters(probe.elapsed()).min(10_000);
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.sample += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Declares a bench group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

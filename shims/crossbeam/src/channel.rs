@@ -1,0 +1,611 @@
+//! MPMC channels with select support, mirroring `crossbeam_channel`.
+//!
+//! Semantics notes relative to the real crate:
+//!
+//! * `bounded(0)` is treated as capacity 1. SafeWeb only uses
+//!   zero-capacity channels as drop-signalled stop channels (nothing is
+//!   ever sent on them), so rendezvous semantics are not required.
+//! * [`Select`] supports only receive operations, which is all SafeWeb
+//!   registers. A selected operation is resolved against the receiver by
+//!   the caller, exactly like the real API.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; the
+/// unsent value is returned inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+/// Wakes one parked [`Select`] call.
+#[derive(Default)]
+struct Waker {
+    fired: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Waker {
+    fn wake(&self) {
+        *self.fired.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.condvar.notify_all();
+    }
+
+    fn park(&self, timeout: Duration) {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        while !*fired {
+            let (guard, wait) = self
+                .condvar
+                .wait_timeout(fired, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            fired = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    /// Select calls parked on this channel.
+    wakers: Vec<Arc<Waker>>,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Capacity for bounded channels (`None` = unbounded).
+    cap: Option<usize>,
+    recv_ready: Condvar,
+    send_ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake_selects(inner: &mut Inner<T>) {
+        for w in inner.wakers.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded MPMC channel (capacity 0 behaves as capacity 1;
+/// see module docs).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            wakers: Vec::new(),
+        }),
+        cap,
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a receiver that gets the current [`Instant`] roughly every
+/// `interval`. Ticks are coalesced: if the receiver lags, at most one
+/// tick is buffered. The timer thread exits when the receiver is
+/// dropped.
+pub fn tick(interval: Duration) -> Receiver<Instant> {
+    let (tx, rx) = bounded::<Instant>(1);
+    std::thread::Builder::new()
+        .name("shim-channel-tick".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            let mut inner = tx.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return;
+            }
+            if inner.queue.is_empty() {
+                inner.queue.push_back(Instant::now());
+                tx.shared.recv_ready.notify_one();
+                Shared::wake_selects(&mut inner);
+            }
+        })
+        .expect("spawn tick thread");
+    rx
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cap) = self.shared.cap {
+            while inner.queue.len() >= cap && inner.receivers > 0 {
+                inner = self
+                    .shared
+                    .send_ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        self.shared.recv_ready.notify_one();
+        Shared::wake_selects(&mut inner);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.senders += 1;
+        drop(inner);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Receivers blocked in recv must observe the disconnect.
+            self.shared.recv_ready.notify_all();
+            Shared::wake_selects(&mut inner);
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and every sender
+    /// has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.send_ready.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .recv_ready
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives a message, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on deadline,
+    /// [`RecvTimeoutError::Disconnected`] when empty with no senders.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.send_ready.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .recv_ready
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when no message is queued,
+    /// [`TryRecvError::Disconnected`] when additionally no sender remains.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.queue.pop_front() {
+            Some(v) => {
+                self.shared.send_ready.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over received messages; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.receivers += 1;
+        drop(inner);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Senders blocked on a full bounded channel must observe it.
+            self.shared.send_ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Blocking message iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// One registered receive operation, erased over the message type.
+trait SelectHandle {
+    /// Whether a receive would complete immediately (message queued or
+    /// channel disconnected).
+    fn is_ready(&self) -> bool;
+
+    /// Parks `waker` to be fired on the next state change.
+    fn register(&self, waker: &Arc<Waker>);
+
+    /// Removes a previously registered waker.
+    fn unregister(&self, waker: &Arc<Waker>);
+}
+
+impl<T> SelectHandle for Receiver<T> {
+    fn is_ready(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+
+    fn register(&self, waker: &Arc<Waker>) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.wakers.push(Arc::clone(waker));
+    }
+
+    fn unregister(&self, waker: &Arc<Waker>) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.wakers.retain(|w| !Arc::ptr_eq(w, waker));
+    }
+}
+
+/// A dynamic select over receive operations, mirroring
+/// `crossbeam_channel::Select` (receive-only: that is all SafeWeb
+/// registers). Build it once, then call [`Select::select`] repeatedly.
+pub struct Select<'a> {
+    handles: Vec<&'a dyn SelectHandle>,
+    /// Rotates the readiness scan start so one busy channel cannot
+    /// starve the others.
+    next_start: usize,
+}
+
+impl<'a> Select<'a> {
+    /// Creates an empty select set.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Select<'a> {
+        Select {
+            handles: Vec::new(),
+            next_start: 0,
+        }
+    }
+
+    /// Registers a receive operation, returning its stable index.
+    pub fn recv<T>(&mut self, receiver: &'a Receiver<T>) -> usize {
+        self.handles.push(receiver);
+        self.handles.len() - 1
+    }
+
+    /// Blocks until one registered operation is ready and returns it.
+    pub fn select(&mut self) -> SelectedOperation<'_> {
+        assert!(!self.handles.is_empty(), "select with no operations");
+        loop {
+            if let Some(index) = self.poll() {
+                return SelectedOperation {
+                    index,
+                    _marker: std::marker::PhantomData,
+                };
+            }
+            let waker = Arc::new(Waker::default());
+            for h in &self.handles {
+                h.register(&waker);
+            }
+            // Re-check after registration so a send that raced with the
+            // scan is not missed; the timeout bounds any residual race.
+            if self.poll().is_none() {
+                waker.park(Duration::from_millis(50));
+            }
+            for h in &self.handles {
+                h.unregister(&waker);
+            }
+        }
+    }
+
+    fn poll(&mut self) -> Option<usize> {
+        let n = self.handles.len();
+        let start = self.next_start % n;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if self.handles[i].is_ready() {
+                self.next_start = i + 1;
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Select<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Select {{ operations: {} }}", self.handles.len())
+    }
+}
+
+/// A ready operation returned by [`Select::select`].
+#[derive(Debug)]
+pub struct SelectedOperation<'a> {
+    index: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl SelectedOperation<'_> {
+    /// The index the operation was registered under.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the operation against its receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is disconnected and drained.
+    pub fn recv<T>(self, receiver: &Receiver<T>) -> Result<T, RecvError> {
+        match receiver.try_recv() {
+            Ok(v) => Ok(v),
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+            // Readiness raced with another consumer; fall back to a
+            // blocking receive (SafeWeb receivers are single-consumer,
+            // so this arm is effectively unreachable).
+            Err(TryRecvError::Empty) => receiver.recv(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_wakes_on_send_and_disconnect() {
+        let (tx1, rx1) = unbounded::<i32>();
+        let (tx2, rx2) = unbounded::<i32>();
+        let mut select = Select::new();
+        let i1 = select.recv(&rx1);
+        let i2 = select.recv(&rx2);
+
+        tx2.send(7).unwrap();
+        let op = select.select();
+        assert_eq!(op.index(), i2);
+        assert_eq!(op.recv(&rx2), Ok(7));
+
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx1.send(9).unwrap();
+        });
+        let op = select.select();
+        assert_eq!(op.index(), i1);
+        assert_eq!(op.recv(&rx1), Ok(9));
+
+        drop(tx2);
+        let op = select.select();
+        assert_eq!(op.index(), i2);
+        assert_eq!(op.recv(&rx2), Err(RecvError));
+    }
+
+    #[test]
+    fn select_rotates_between_busy_channels() {
+        let (tx1, rx1) = unbounded::<i32>();
+        let (tx2, rx2) = unbounded::<i32>();
+        tx1.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let mut select = Select::new();
+        select.recv(&rx1);
+        select.recv(&rx2);
+        let first = select.select().index();
+        let second = select.select().index();
+        assert_ne!(first, second, "rotation must visit both ready channels");
+    }
+
+    #[test]
+    fn tick_delivers_and_stops() {
+        let rx = tick(Duration::from_millis(5));
+        assert!(rx.recv_timeout(Duration::from_millis(500)).is_ok());
+        drop(rx);
+    }
+
+    #[test]
+    fn bounded_blocks_until_consumed() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -1,0 +1,11 @@
+//! Minimal `crossbeam`-compatible shim (channel module only).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the `crossbeam_channel` subset SafeWeb uses on top of
+//! `std::sync`: MPMC channels (`unbounded` / `bounded`), timer channels
+//! (`tick`), blocking/timeout/non-blocking receives, and a dynamic
+//! [`channel::Select`] over heterogeneous receivers.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

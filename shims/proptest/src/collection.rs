@@ -1,0 +1,86 @@
+//! Collection strategies (`proptest::collection::{vec, btree_map}`).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Vectors of `element` with a length drawn from `size` (half-open, as
+/// with the real crate's `Range` size specification).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end.max(self.size.start + 1));
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Maps of `key → value` with up to `size` entries (duplicate generated
+/// keys collapse, as with the real crate).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end.max(self.size.start + 1));
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn vec_length_in_range() {
+        let mut rng = TestRng::from_seed(3);
+        let s = vec(Just(0u8), 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_collapses_duplicates() {
+        let mut rng = TestRng::from_seed(4);
+        let s = btree_map(Just("k"), Just(1), 3..4);
+        let m = s.generate(&mut rng);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal `proptest`-compatible shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the `proptest` subset SafeWeb's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `prop_flat_map` / `prop_recursive` / `boxed`,
+//! * value sources: [`Just`], integer ranges, tuples, [`any`],
+//!   string-pattern strategies (`"[a-z]{1,8}"`, `"\\PC{0,16}"`),
+//!   [`collection::vec`], [`collection::btree_map`], [`char::range`],
+//! * the [`proptest!`] runner macro with `prop_assert!`,
+//!   `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!`.
+//!
+//! Cases are generated from a deterministic per-test seed so failures
+//! reproduce across runs. Shrinking is not implemented: a failing case
+//! reports its case number and seed instead of a minimal example.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+mod macros;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Char strategies (`proptest::char::range`).
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform chars in `[start, end]` (both inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        start: u32,
+        end: u32,
+    }
+
+    /// Strategy over the inclusive char range `start..=end`.
+    pub fn range(start: ::core::primitive::char, end: ::core::primitive::char) -> CharRange {
+        assert!(start <= end, "char::range start > end");
+        CharRange {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Resample on the surrogate gap rather than skew around it.
+            loop {
+                let v = rng.usize_in(self.start as usize, self.end as usize + 1) as u32;
+                if let Some(c) = ::core::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,191 @@
+//! String generation from the tiny regex-pattern dialect the tests use:
+//! a sequence of items (`[class]`, `\PC`, escaped or literal chars),
+//! each with an optional `{m,n}` / `{n}` repeat, e.g. `"[a-z_]{1,8}"`
+//! or `"\\PC{0,16}"` (any printable char).
+
+use crate::test_runner::TestRng;
+
+/// Non-ASCII printable chars mixed into `\PC` output.
+const UNICODE_POOL: &[char] = &[
+    'é', 'ß', 'ñ', 'λ', 'Ω', '†', '€', '中', '日', '語', 'क', '🦀', '✓', '—',
+];
+
+/// A printable (non-control) char: mostly ASCII, some multibyte.
+pub fn printable_char(rng: &mut TestRng) -> char {
+    if rng.gen_bool(0.12) {
+        UNICODE_POOL[rng.usize_in(0, UNICODE_POOL.len())]
+    } else {
+        char::from_u32(rng.usize_in(0x20, 0x7f) as u32).expect("printable ascii")
+    }
+}
+
+enum Item {
+    /// Inclusive char ranges from a `[...]` class (single chars are
+    /// degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable char.
+    Printable,
+    /// A literal char.
+    Literal(char),
+}
+
+struct Piece {
+    item: Item,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let item =
+            match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut pending: Vec<char> = Vec::new();
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '\\' => pending.push(chars.next().unwrap_or_else(|| {
+                                panic!("dangling escape in pattern {pattern:?}")
+                            })),
+                            '-' if !pending.is_empty()
+                                && chars.peek().is_some_and(|&next| next != ']') =>
+                            {
+                                let lo = pending.pop().expect("range start");
+                                let hi = chars.next().expect("range end");
+                                let hi = if hi == '\\' {
+                                    chars.next().expect("escaped range end")
+                                } else {
+                                    hi
+                                };
+                                ranges.push((lo, hi));
+                            }
+                            other => pending.push(other),
+                        }
+                    }
+                    ranges.extend(pending.into_iter().map(|c| (c, c)));
+                    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                    Item::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        let category = chars.next();
+                        assert_eq!(
+                            category,
+                            Some('C'),
+                            "only \\PC is supported, got \\P{category:?} in {pattern:?}"
+                        );
+                        Item::Printable
+                    }
+                    Some(escaped) => Item::Literal(escaped),
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                },
+                literal => Item::Literal(literal),
+            };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut bounds = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                bounds.push(c);
+            }
+            match bounds.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = bounds.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repeat bounds in pattern {pattern:?}");
+        pieces.push(Piece { item, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.usize_in(piece.min, piece.max + 1);
+        for _ in 0..count {
+            match &piece.item {
+                Item::Literal(c) => out.push(*c),
+                Item::Printable => out.push(printable_char(rng)),
+                Item::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.usize_in(0, ranges.len())];
+                    let v = rng.usize_in(lo as usize, hi as usize + 1) as u32;
+                    out.push(char::from_u32(v).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z-]{1,10}", &mut r);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC{0,8}", &mut r);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_metachars_in_class() {
+        let mut r = rng();
+        let allowed: Vec<char> = "abc.()|*+?[]{}0123456789,^$".chars().collect();
+        for _ in 0..200 {
+            let s = generate("[abc.()|*+?\\[\\]{}0-9,^$]{0,12}", &mut r);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,12}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_count() {
+        let mut r = rng();
+        let s = generate("[ab]{4}", &mut r);
+        assert_eq!(s.chars().count(), 4);
+    }
+}

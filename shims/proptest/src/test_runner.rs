@@ -1,0 +1,123 @@
+//! Deterministic case generation and the test-loop driver.
+
+use std::fmt;
+
+/// Cases generated per property (no shrinking, so more cases than the
+/// real crate's default effort-equivalent).
+pub const CASES: u32 = 128;
+
+/// Maximum `prop_assume!` rejections tolerated across one property.
+const MAX_REJECTS: u32 = 4096;
+
+/// Deterministic generator handed to strategies.
+///
+/// Carries the remaining recursion budget for
+/// [`Strategy::prop_recursive`](crate::strategy::Strategy::prop_recursive)
+/// so recursive structures stay bounded per generation path.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    /// Remaining recursion depth for recursive strategies.
+    pub(crate) depth: u32,
+}
+
+impl TestRng {
+    /// Seeds a generator for one test case.
+    pub fn from_seed(seed: u64) -> TestRng {
+        // SplitMix64 scramble so consecutive case seeds diverge.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+            depth: 0,
+        }
+    }
+
+    /// Next 64 random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case does not count.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for [`CASES`] generated cases; panics on the first
+/// failure with enough context to reproduce it.
+pub fn run(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let base = fnv1a(name);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut attempt = 0u64;
+    while case < CASES {
+        let seed = base ^ attempt.wrapping_mul(0xa076_1d64_78bd_642f);
+        attempt += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects < MAX_REJECTS,
+                    "proptest {name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest {name}: case {case} (seed {seed:#x}) {message}")
+            }
+        }
+    }
+}

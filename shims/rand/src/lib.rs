@@ -1,0 +1,144 @@
+//! Minimal `rand`-compatible shim.
+//!
+//! Provides `StdRng` (a seeded SplitMix64/xorshift* generator), the
+//! `SeedableRng` and `Rng` traits, and the handful of methods the
+//! synthetic-registry generator uses (`gen_range`, `gen_bool`). Not
+//! cryptographically secure — SafeWeb only uses it for reproducible
+//! synthetic data.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over a raw generator.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+/// Integer types `gen_range` can produce.
+pub trait SampleRange: Copy {
+    /// Maps raw bits into `range` uniformly (modulo bias is acceptable
+    /// for synthetic-data generation).
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: Range<$t>) -> $t {
+                let span = (range.end - range.start) as u128;
+                assert!(span > 0, "gen_range on empty range");
+                range.start + (bits as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// A process-entropy random value (used for non-reproducible seeds such
+/// as per-process id prefixes). Entropy comes from the OS-seeded
+/// `RandomState` hasher plus a monotonic counter.
+pub fn random<T: Random>() -> T {
+    T::random()
+}
+
+/// Types producible by [`random`].
+pub trait Random {
+    /// One sample from process entropy.
+    fn random() -> Self;
+}
+
+impl Random for u64 {
+    fn random() -> u64 {
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+        hasher.finish()
+    }
+}
+
+/// Generators live here in the real crate; only `StdRng` is provided.
+pub mod rngs {
+    /// A small, fast, seedable PRNG (xorshift64*, SplitMix64-seeded).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 scramble so small seeds still start well mixed.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1930..1990);
+            assert!((1930..1990).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0) || !rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

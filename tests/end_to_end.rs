@@ -51,40 +51,44 @@ fn networked_pipeline_end_to_end() {
     let bus = RemoteBus::connect(&addr, "enricher").unwrap();
     let mut engine = Engine::new(Arc::new(bus), policy.clone());
     engine
-        .add_unit(UnitSpec::new("enricher").subscribe("/raw", None, |jail, event| {
-            let upper = event.attr("name").unwrap_or("").to_uppercase();
-            jail.publish(
-                Event::new("/enriched")
-                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                    .with_attr("mdt_id", event.attr("mdt_id").unwrap_or("?"))
-                    .with_attr("name", &upper)
-                    .with_payload(format!(
-                        "{{\"mdt_id\":\"{}\",\"name\":\"{}\"}}",
-                        event.attr("mdt_id").unwrap_or("?"),
-                        upper
-                    )),
-                Relabel::keep(),
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("enricher").subscribe("/raw", None, |jail, event| {
+                let upper = event.attr("name").unwrap_or("").to_uppercase();
+                jail.publish(
+                    Event::new("/enriched")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("mdt_id", event.attr("mdt_id").unwrap_or("?"))
+                        .with_attr("name", &upper)
+                        .with_payload(format!(
+                            "{{\"mdt_id\":\"{}\",\"name\":\"{}\"}}",
+                            event.attr("mdt_id").unwrap_or("?"),
+                            upper
+                        )),
+                    Relabel::keep(),
+                )
+            }),
+        )
         .unwrap();
     let storage_bus = RemoteBus::connect(&addr, "storage").unwrap();
     let storage_db = app_db.clone();
     let mut storage_engine = Engine::new(Arc::new(storage_bus), policy.clone());
     storage_engine
-        .add_unit(UnitSpec::new("storage").subscribe("/enriched", None, move |jail, event| {
-            let _io = jail.io()?;
-            let body = safeweb::json::Value::parse(event.payload().unwrap_or("{}"))
-                .map_err(|e| UnitError::BadEvent(e.to_string()))?;
-            storage_db
-                .put(
-                    &format!("rec-{}", event.attr("name").unwrap_or("x")),
-                    body,
-                    jail.labels().clone(),
-                    None,
-                )
-                .map_err(|e| UnitError::Application(e.to_string()))?;
-            Ok(())
-        }))
+        .add_unit(
+            UnitSpec::new("storage").subscribe("/enriched", None, move |jail, event| {
+                let _io = jail.io()?;
+                let body = safeweb::json::Value::parse(event.payload().unwrap_or("{}"))
+                    .map_err(|e| UnitError::BadEvent(e.to_string()))?;
+                storage_db
+                    .put(
+                        &format!("rec-{}", event.attr("name").unwrap_or("x")),
+                        body,
+                        jail.labels().clone(),
+                        None,
+                    )
+                    .map_err(|e| UnitError::Application(e.to_string()))?;
+                Ok(())
+            }),
+        )
         .unwrap();
     let h1 = engine.start().unwrap();
     let h2 = storage_engine.start().unwrap();
@@ -117,12 +121,16 @@ fn networked_pipeline_end_to_end() {
     // Frontend over the DMZ replica.
     let users = UserStore::new(
         safeweb::relstore::Database::new("web"),
-        AuthConfig { hash_iterations: 500 },
+        AuthConfig {
+            hash_iterations: 500,
+        },
     );
     let mut cleared = PrivilegeSet::new();
     cleared.grant(Privilege::clearance(Label::conf("e", "mdt/a")));
     users.create_user("member", "pw", &cleared, false).unwrap();
-    users.create_user("outsider", "pw", &PrivilegeSet::new(), false).unwrap();
+    users
+        .create_user("outsider", "pw", &PrivilegeSet::new(), false)
+        .unwrap();
 
     let mut app = SafeWebApp::new(users, dmz.clone());
     app.get("/records/:mid", |ctx: &Ctx<'_>| {
@@ -130,7 +138,8 @@ fn networked_pipeline_end_to_end() {
         let parts: Vec<SStr> = docs.iter().map(|d| d.to_json_sstr()).collect();
         SResponse::json(SStr::join(parts.iter(), ","))
     });
-    let http = safeweb::http::HttpServer::bind("127.0.0.1:0", Arc::new(app).into_handler()).unwrap();
+    let http =
+        safeweb::http::HttpServer::bind("127.0.0.1:0", Arc::new(app).into_handler()).unwrap();
     let http_addr = http.addr().to_string();
 
     let ok = client::send(
@@ -177,7 +186,12 @@ fn s1_unidirectional_data_flow() {
     // Pollute the DMZ via the internal path, then replicate forward: the
     // Intranet instance must never receive it.
     intranet
-        .put("legit", safeweb::json::Value::object(), LabelSet::new(), None)
+        .put(
+            "legit",
+            safeweb::json::Value::object(),
+            LabelSet::new(),
+            None,
+        )
         .unwrap();
     let mut rep = Replicator::new(intranet.clone(), dmz.clone());
     rep.run_once();
@@ -191,20 +205,24 @@ fn s1_unidirectional_data_flow() {
 /// observable.
 #[test]
 fn s2_buggy_unit_cannot_leak() {
-    let policy: Policy = "unit logger {\n clearance label:conf:e/*\n}".parse().unwrap();
+    let policy: Policy = "unit logger {\n clearance label:conf:e/*\n}"
+        .parse()
+        .unwrap();
     let broker = Broker::new();
     let mut engine = Engine::new(Arc::new(broker.clone()), policy);
     engine
-        .add_unit(UnitSpec::new("logger").subscribe("/sensitive", None, |jail, event| {
-            // The §3.1 example: a logging function that would write
-            // confidential records to an externally readable log topic.
-            jail.publish(
-                Event::new("/public_log")
-                    .map_err(|e| UnitError::BadEvent(e.to_string()))?
-                    .with_attr("line", event.attr("data").unwrap_or("")),
-                Relabel::keep().remove_all(), // bug: strips labels
-            )
-        }))
+        .add_unit(
+            UnitSpec::new("logger").subscribe("/sensitive", None, |jail, event| {
+                // The §3.1 example: a logging function that would write
+                // confidential records to an externally readable log topic.
+                jail.publish(
+                    Event::new("/public_log")
+                        .map_err(|e| UnitError::BadEvent(e.to_string()))?
+                        .with_attr("line", event.attr("data").unwrap_or("")),
+                    Relabel::keep().remove_all(), // bug: strips labels
+                )
+            }),
+        )
         .unwrap();
     let handle = engine.start().unwrap();
     let log_reader = broker.subscribe("log", "1", "/public_log", None, PrivilegeSet::new());
@@ -218,7 +236,10 @@ fn s2_buggy_unit_cannot_leak() {
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while handle.violations().is_empty() {
-        assert!(std::time::Instant::now() < deadline, "violation never recorded");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "violation never recorded"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(log_reader.try_recv().is_err(), "leak reached the log");

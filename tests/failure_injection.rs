@@ -13,7 +13,9 @@ use safeweb::events::Event;
 use safeweb::labels::{LabelSet, Policy};
 
 fn policy() -> Policy {
-    "unit producer {\n clearance label:conf:e/*\n}".parse().unwrap()
+    "unit producer {\n clearance label:conf:e/*\n}"
+        .parse()
+        .unwrap()
 }
 
 #[test]
@@ -24,7 +26,8 @@ fn broker_survives_garbage_bytes() {
     // Blast raw garbage at the broker.
     {
         let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"\x00\xff\x13GARBAGE\n\n\x00more trash").unwrap();
+        s.write_all(b"\x00\xff\x13GARBAGE\n\n\x00more trash")
+            .unwrap();
         let _ = s.read(&mut [0u8; 128]);
     }
     // Send a frame with an unknown command after CONNECT.
@@ -141,13 +144,16 @@ fn replication_resumes_after_interruption() {
 fn malformed_policy_files_are_rejected_not_misread() {
     // Fail closed: a policy that does not parse must never be half-loaded.
     for bad in [
-        "unit x {",                         // unterminated
-        "user u {\n privileged \n}",        // users cannot be privileged
+        "unit x {",                               // unterminated
+        "user u {\n privileged \n}",              // users cannot be privileged
         "unit x {\n teleport label:conf:a/b \n}", // unknown privilege
-        "unit x {\n clearance garbage \n}", // bad label
-        "unit x {\n}\nunit x {\n}",         // duplicate
+        "unit x {\n clearance garbage \n}",       // bad label
+        "unit x {\n}\nunit x {\n}",               // duplicate
     ] {
-        assert!(bad.parse::<Policy>().is_err(), "accepted bad policy: {bad:?}");
+        assert!(
+            bad.parse::<Policy>().is_err(),
+            "accepted bad policy: {bad:?}"
+        );
     }
 }
 
