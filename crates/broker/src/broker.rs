@@ -115,6 +115,39 @@ impl fmt::Display for TopicPattern {
 /// "subscriptions include unique identifiers").
 pub type SubscriptionKey = (String, String);
 
+/// Where a subscription's deliveries go.
+///
+/// The engine and in-process consumers use channels; the reactor-based
+/// STOMP frontend registers a callback that serialises the frame straight
+/// into the connection's bounded outbound queue — no per-subscription
+/// pump thread.
+enum DeliveryTarget {
+    /// A channel endpoint owned by the subscriber.
+    Channel(Sender<Delivery>),
+    /// A callback invoked on the publisher's thread. Returns whether the
+    /// subscriber is still alive; a dead sink stops counting as a
+    /// delivery (like a disconnected channel).
+    Sink(Box<dyn Fn(Delivery) -> bool + Send + Sync>),
+}
+
+impl fmt::Debug for DeliveryTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryTarget::Channel(_) => f.write_str("Channel"),
+            DeliveryTarget::Sink(_) => f.write_str("Sink"),
+        }
+    }
+}
+
+impl DeliveryTarget {
+    fn deliver(&self, delivery: Delivery) -> bool {
+        match self {
+            DeliveryTarget::Channel(sender) => sender.send(delivery).is_ok(),
+            DeliveryTarget::Sink(sink) => sink(delivery),
+        }
+    }
+}
+
 /// One registered subscription, shared between the directory and every
 /// index slot that routes to it.
 #[derive(Debug)]
@@ -123,7 +156,7 @@ struct SubEntry {
     topic: TopicPattern,
     selector: Option<Selector>,
     clearance: PrivilegeSet,
-    sender: Sender<Delivery>,
+    target: DeliveryTarget,
 }
 
 /// An event as delivered to one subscriber: tagged with the subscription id
@@ -323,12 +356,62 @@ impl Broker {
         clearance: PrivilegeSet,
     ) -> Receiver<Delivery> {
         let (tx, rx) = unbounded();
+        self.register(
+            client,
+            subscription_id,
+            topic,
+            selector,
+            clearance,
+            DeliveryTarget::Channel(tx),
+        );
+        rx
+    }
+
+    /// Registers a subscription whose deliveries are pushed through
+    /// `sink` **on the publisher's thread** instead of a channel. The
+    /// sink returns whether the subscriber is still alive; `false` makes
+    /// the delivery count as suppressed, exactly like a disconnected
+    /// channel (the entry itself is removed by
+    /// [`Broker::unsubscribe`]/[`Broker::unsubscribe_all`]).
+    ///
+    /// This is the delivery path of the reactor STOMP frontend: the sink
+    /// serialises the frame into the connection's bounded outbound queue,
+    /// so ten thousand idle subscribers cost ten thousand parked *fds*,
+    /// not ten thousand parked threads. Sinks must not block.
+    pub fn subscribe_sink(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<Selector>,
+        clearance: PrivilegeSet,
+        sink: impl Fn(Delivery) -> bool + Send + Sync + 'static,
+    ) {
+        self.register(
+            client,
+            subscription_id,
+            topic,
+            selector,
+            clearance,
+            DeliveryTarget::Sink(Box::new(sink)),
+        );
+    }
+
+    fn register(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<Selector>,
+        clearance: PrivilegeSet,
+        target: DeliveryTarget,
+    ) {
         let entry = Arc::new(SubEntry {
             sub_id: Arc::from(subscription_id),
             topic: TopicPattern::parse(topic),
             selector,
             clearance,
-            sender: tx,
+            target,
         });
         let key = (client.to_string(), subscription_id.to_string());
         // Index updates happen while the directory lock is held so that
@@ -341,7 +424,6 @@ impl Broker {
         let replaced = directory.insert(key, Arc::clone(&entry));
         self.reindex(Some(&entry), replaced.as_ref());
         drop(directory);
-        rx
     }
 
     /// Whether `entry` is indexed in shard `index`.
@@ -489,7 +571,7 @@ impl Broker {
             subscription_id: Arc::clone(&entry.sub_id),
             event: Arc::clone(event),
         };
-        if entry.sender.send(delivery).is_ok() {
+        if entry.target.deliver(delivery) {
             local.delivered += 1;
             1
         } else {
@@ -824,6 +906,34 @@ mod tests {
         let a = rx1.recv().unwrap().event;
         let b = rx2.recv().unwrap().event;
         assert!(Arc::ptr_eq(&a, &b), "subscribers must share the Arc");
+    }
+
+    #[test]
+    fn sink_subscriptions_deliver_inline_and_report_liveness() {
+        let broker = Broker::new();
+        let got: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
+        let alive = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let sink_got = Arc::clone(&got);
+        let sink_alive = Arc::clone(&alive);
+        broker.subscribe_sink("u", "1", "/t", None, PrivilegeSet::new(), move |delivery| {
+            sink_got.lock().push(delivery.event.topic().to_string());
+            sink_alive.load(std::sync::atomic::Ordering::SeqCst)
+        });
+        assert_eq!(broker.publish(&labelled("/t", &[])), 1);
+        assert_eq!(got.lock().as_slice(), ["/t".to_string()]);
+        assert_eq!(broker.stats().delivered(), 1);
+
+        // A dead sink no longer counts as a delivery (like a dropped
+        // channel receiver), and label filtering still precedes it.
+        alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(broker.publish(&labelled("/t", &[])), 0);
+        assert_eq!(
+            broker.publish(&labelled("/t", &[Label::conf("e", "p/1")])),
+            0
+        );
+        assert_eq!(got.lock().len(), 2, "uncleared event must not reach sink");
+        assert_eq!(broker.stats().label_filtered(), 1);
+        assert!(broker.unsubscribe("u", "1"));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 mod broker;
 mod client;
 mod server;
+mod threaded;
 pub mod wire;
 
 pub use broker::{
@@ -42,4 +43,5 @@ pub use broker::{
     SHARD_COUNT,
 };
 pub use client::{ClientDelivery, ClientError, EventClient};
-pub use server::BrokerServer;
+pub use server::{BrokerServer, OUTBOX_CAP};
+pub use threaded::ThreadedBrokerServer;

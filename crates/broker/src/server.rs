@@ -2,75 +2,81 @@
 //! connection the privileges its `login` principal holds in the policy file
 //! (§4.1: "privileges associated with labels are assigned directly to units
 //! ... through a policy specification file").
+//!
+//! # Connection model
+//!
+//! The seed held every subscriber on three parked threads (reader, writer,
+//! delivery pump); ten thousand idle subscribers meant thirty thousand
+//! threads. This version multiplexes all connections over one
+//! `safeweb-reactor` epoll loop:
+//!
+//! * frames are decoded incrementally on the reactor thread and their
+//!   effects (login, subscribe, publish) run as per-connection FIFO jobs
+//!   on the bounded worker pool, so frame order is preserved without a
+//!   reader thread;
+//! * broker deliveries reach a subscriber through a **sink**
+//!   ([`Broker::subscribe_sink`]): the publisher's thread serialises the
+//!   `MESSAGE` frame straight into the connection's bounded outbound
+//!   queue and the reactor flushes it with nonblocking writes — an idle
+//!   subscriber is a registered fd, not a parked thread;
+//! * the outbound queue is capped ([`OUTBOX_CAP`]); a subscriber that
+//!   stops reading while deliveries accumulate is disconnected rather
+//!   than allowed to buffer unbounded memory in the broker process.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
-use safeweb_labels::{Policy, PrincipalKind};
+use safeweb_labels::{Policy, PrincipalKind, PrivilegeSet};
+use safeweb_reactor::{ConnHandle, Protocol, Reactor, ReactorConfig, SendError};
 use safeweb_selector::Selector;
-use safeweb_stomp::{Command, Frame, TcpTransport, Transport};
+use safeweb_stomp::codec::{encode, Decoder};
+use safeweb_stomp::{Command, Frame};
 
-use crate::broker::{Broker, Delivery};
+use crate::broker::Broker;
 use crate::wire::{
     event_to_frame, frame_to_event, DESTINATION_HEADER, SELECTOR_HEADER, SUBSCRIPTION_HEADER,
 };
 
-/// A running broker server; dropping it stops accepting new connections.
+/// Per-connection outbound queue cap. A subscriber further behind than
+/// this is a slow consumer and is disconnected (the alternative is the
+/// broker buffering without bound on its behalf).
+pub const OUTBOX_CAP: usize = 4 * 1024 * 1024;
+
+/// A running broker server; dropping it stops the reactor and closes all
+/// connections.
 #[derive(Debug)]
 pub struct BrokerServer {
     addr: SocketAddr,
     broker: Broker,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Reactor,
 }
 
 impl BrokerServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections, validating logins against `policy`.
+    /// serving connections, validating logins against `policy`.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind and reactor setup errors.
     pub fn bind(addr: &str, broker: Broker, policy: Policy) -> io::Result<BrokerServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_broker = broker.clone();
         let policy = Arc::new(policy);
-        let accept_thread = std::thread::Builder::new()
-            .name("safeweb-broker-accept".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match conn {
-                        Ok(stream) => {
-                            let broker = accept_broker.clone();
-                            let policy = Arc::clone(&policy);
-                            std::thread::Builder::new()
-                                .name("safeweb-broker-conn".to_string())
-                                .spawn(move || {
-                                    let _ = serve_connection(stream, broker, &policy);
-                                })
-                                .expect("spawn connection thread");
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawn accept thread");
+        let conn_broker = broker.clone();
+        let config = ReactorConfig {
+            name: "safeweb-broker".to_string(),
+            outbox_cap: OUTBOX_CAP,
+            // Idle subscribers are the working set here: never reap them.
+            idle_timeout: None,
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::bind(addr, config, move || {
+            Box::new(StompConn::new(conn_broker.clone(), Arc::clone(&policy)))
+        })?;
         Ok(BrokerServer {
-            addr: local,
+            addr: reactor.addr(),
             broker,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            reactor,
         })
     }
 
@@ -84,23 +90,15 @@ impl BrokerServer {
         &self.broker
     }
 
-    /// Stops accepting connections. Existing connections continue until
-    /// their peers disconnect.
-    pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+    /// Connections currently held by the reactor.
+    pub fn active_connections(&self) -> usize {
+        self.reactor.active_connections()
     }
-}
 
-impl Drop for BrokerServer {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// Stops the server: no new connections, existing ones closed and
+    /// their subscriptions cleaned up. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.reactor.shutdown();
     }
 }
 
@@ -108,127 +106,179 @@ impl Drop for BrokerServer {
 /// the same unit clobber each other's subscriptions.
 static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
 
-fn serve_connection(stream: TcpStream, broker: Broker, policy: &Policy) -> io::Result<()> {
-    let mut transport = TcpTransport::new(stream.try_clone()?);
-
-    // Expect CONNECT first.
-    let connect = match transport.recv_frame()? {
-        Some(f) if f.command() == Command::Connect => f,
-        Some(_) => {
-            let _ = transport
-                .send_frame(&Frame::new(Command::Error).with_header("message", "expected CONNECT"));
-            return Ok(());
-        }
-        None => return Ok(()),
-    };
-    let login = connect.header("login").unwrap_or("anonymous").to_string();
-    let privileges = policy.privileges(PrincipalKind::Unit, &login);
-    let client_id = format!("{login}#{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed));
-
-    transport.send_frame(&Frame::new(Command::Connected).with_header("session", &client_id))?;
-
-    // Writer thread: serialises outbound MESSAGE frames.
-    let (out_tx, out_rx): (Sender<Frame>, Receiver<Frame>) = unbounded();
-    let writer_stream = stream.try_clone()?;
-    let writer = std::thread::Builder::new()
-        .name("safeweb-broker-writer".to_string())
-        .spawn(move || {
-            let mut t = TcpTransport::new(writer_stream);
-            while let Ok(frame) = out_rx.recv() {
-                if t.send_frame(&frame).is_err() {
-                    break;
-                }
-            }
-        })
-        .expect("spawn writer thread");
-
-    let result = reader_loop(&mut transport, &broker, &privileges, &client_id, &out_tx);
-
-    broker.unsubscribe_all(&client_id);
-    drop(out_tx);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-    let _ = writer.join();
-    result
+/// Session state established by `CONNECT`, shared between the reactor-side
+/// protocol and the worker jobs that apply frame effects.
+struct Session {
+    client_id: String,
+    privileges: PrivilegeSet,
 }
 
-fn reader_loop(
-    transport: &mut TcpTransport,
-    broker: &Broker,
-    privileges: &safeweb_labels::PrivilegeSet,
-    client_id: &str,
-    out_tx: &Sender<Frame>,
-) -> io::Result<()> {
-    loop {
-        let frame = match transport.recv_frame() {
-            Ok(Some(f)) => f,
-            Ok(None) => return Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let _ =
-                    out_tx.send(Frame::new(Command::Error).with_header("message", e.to_string()));
-                return Err(e);
-            }
-            Err(e) => return Err(e),
-        };
-        match frame.command() {
-            Command::Disconnect => return Ok(()),
-            Command::Subscribe => {
-                let Some(dest) = frame.header(DESTINATION_HEADER) else {
-                    let _ = out_tx.send(error_frame("SUBSCRIBE requires destination"));
-                    continue;
-                };
-                let sub_id = frame.header("id").unwrap_or("0").to_string();
-                let selector = match frame.header(SELECTOR_HEADER) {
-                    Some(src) => match Selector::parse(src) {
-                        Ok(sel) => Some(sel),
-                        Err(e) => {
-                            let _ = out_tx.send(error_frame(&format!("bad selector: {e}")));
-                            continue;
-                        }
-                    },
-                    None => None,
-                };
-                let rx = broker.subscribe(client_id, &sub_id, dest, selector, privileges.clone());
-                spawn_delivery_pump(rx, out_tx.clone());
-            }
-            Command::Unsubscribe => {
-                let sub_id = frame.header("id").unwrap_or("0");
-                broker.unsubscribe(client_id, sub_id);
-            }
-            Command::Send => match frame_to_event(&frame) {
-                Ok(event) => {
-                    // The event is owned here: hand it straight to the
-                    // Arc-based path instead of the defensive-clone
-                    // `publish(&event)` entry point.
-                    broker.publish_arc(std::sync::Arc::new(event));
-                    if let Some(receipt) = frame.header("receipt") {
-                        let _ = out_tx
-                            .send(Frame::new(Command::Receipt).with_header("receipt-id", receipt));
-                    }
-                }
-                Err(e) => {
-                    let _ = out_tx.send(error_frame(&format!("bad SEND: {e}")));
-                }
-            },
-            other => {
-                let _ = out_tx.send(error_frame(&format!("unexpected {other}")));
-            }
+struct SessionShared {
+    broker: Broker,
+    policy: Arc<Policy>,
+    session: Mutex<Option<Session>>,
+}
+
+/// Per-connection STOMP state machine (decoding on the reactor thread,
+/// frame effects on the pool through the connection FIFO).
+struct StompConn {
+    decoder: Decoder,
+    shared: Arc<SessionShared>,
+    dead: bool,
+}
+
+impl StompConn {
+    fn new(broker: Broker, policy: Arc<Policy>) -> StompConn {
+        StompConn {
+            decoder: Decoder::new(),
+            shared: Arc::new(SessionShared {
+                broker,
+                policy,
+                session: Mutex::new(None),
+            }),
+            dead: false,
         }
     }
 }
 
-fn spawn_delivery_pump(rx: crossbeam::channel::Receiver<Delivery>, out_tx: Sender<Frame>) {
-    std::thread::Builder::new()
-        .name("safeweb-broker-pump".to_string())
-        .spawn(move || {
-            while let Ok(delivery) = rx.recv() {
-                let mut frame = event_to_frame(&delivery.event, Command::Message);
-                frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.to_string());
-                if out_tx.send(frame).is_err() {
-                    break;
+impl Protocol for StompConn {
+    fn on_bytes(&mut self, data: &[u8], conn: &ConnHandle) {
+        if self.dead {
+            return;
+        }
+        self.decoder.feed(data);
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let disconnect = frame.command() == Command::Disconnect;
+                    let shared = Arc::clone(&self.shared);
+                    let io = conn.clone();
+                    conn.dispatch(move || handle_frame(&shared, frame, &io));
+                    if disconnect {
+                        // Per STOMP, nothing meaningful follows DISCONNECT.
+                        self.dead = true;
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(error) => {
+                    self.dead = true;
+                    let io = conn.clone();
+                    conn.dispatch(move || {
+                        let _ = io.send(encode(&error_frame(&error.to_string())));
+                        io.close_after_flush();
+                    });
+                    return;
                 }
             }
-        })
-        .expect("spawn delivery pump");
+        }
+    }
+
+    fn on_eof(&mut self, conn: &ConnHandle) {
+        self.dead = true;
+        let io = conn.clone();
+        // Through the FIFO: effects of frames already dispatched (e.g. a
+        // receipt for a final SEND) still go out.
+        conn.dispatch(move || io.close_after_flush());
+    }
+
+    fn on_close(&mut self, conn: &ConnHandle) {
+        let shared = Arc::clone(&self.shared);
+        // FIFO-ordered after any in-flight frame jobs, so a queued
+        // SUBSCRIBE cannot resurrect state after this cleanup.
+        conn.dispatch(move || {
+            let session = shared.session.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(session) = session.as_ref() {
+                shared.broker.unsubscribe_all(&session.client_id);
+            }
+        });
+    }
+}
+
+fn handle_frame(shared: &Arc<SessionShared>, frame: Frame, io: &ConnHandle) {
+    let mut session = shared.session.lock().unwrap_or_else(|e| e.into_inner());
+    match (frame.command(), session.as_ref()) {
+        (Command::Connect, None) => {
+            let login = frame.header("login").unwrap_or("anonymous");
+            let privileges = shared.policy.privileges(PrincipalKind::Unit, login);
+            let client_id = format!("{login}#{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed));
+            let connected = Frame::new(Command::Connected).with_header("session", &client_id);
+            *session = Some(Session {
+                client_id,
+                privileges,
+            });
+            let _ = io.send(encode(&connected));
+        }
+        (_, None) => {
+            let _ = io.send(encode(&error_frame("expected CONNECT")));
+            io.close_after_flush();
+        }
+        (Command::Disconnect, Some(_)) => {
+            io.close_after_flush();
+        }
+        (Command::Subscribe, Some(session)) => {
+            let Some(dest) = frame.header(DESTINATION_HEADER) else {
+                let _ = io.send(encode(&error_frame("SUBSCRIBE requires destination")));
+                return;
+            };
+            let sub_id = frame.header("id").unwrap_or("0");
+            let selector = match frame.header(SELECTOR_HEADER) {
+                Some(src) => match Selector::parse(src) {
+                    Ok(sel) => Some(sel),
+                    Err(e) => {
+                        let _ = io.send(encode(&error_frame(&format!("bad selector: {e}"))));
+                        return;
+                    }
+                },
+                None => None,
+            };
+            let sink_io = io.clone();
+            shared.broker.subscribe_sink(
+                &session.client_id,
+                sub_id,
+                dest,
+                selector,
+                session.privileges.clone(),
+                move |delivery| {
+                    let mut frame = event_to_frame(&delivery.event, Command::Message);
+                    frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.to_string());
+                    match sink_io.send(encode(&frame)) {
+                        Ok(()) => true,
+                        Err(SendError::Overflow) => {
+                            // Backpressure policy: a subscriber this far
+                            // behind is disconnected, not buffered for.
+                            sink_io.close();
+                            false
+                        }
+                        Err(SendError::Closed) => false,
+                    }
+                },
+            );
+        }
+        (Command::Unsubscribe, Some(session)) => {
+            let sub_id = frame.header("id").unwrap_or("0");
+            shared.broker.unsubscribe(&session.client_id, sub_id);
+        }
+        (Command::Send, Some(_)) => match frame_to_event(&frame) {
+            Ok(event) => {
+                // The event is owned here: hand it straight to the
+                // Arc-based path instead of the defensive-clone
+                // `publish(&event)` entry point.
+                shared.broker.publish_arc(std::sync::Arc::new(event));
+                if let Some(receipt) = frame.header("receipt") {
+                    let receipt_frame =
+                        Frame::new(Command::Receipt).with_header("receipt-id", receipt);
+                    let _ = io.send(encode(&receipt_frame));
+                }
+            }
+            Err(e) => {
+                let _ = io.send(encode(&error_frame(&format!("bad SEND: {e}"))));
+            }
+        },
+        (other, Some(_)) => {
+            let _ = io.send(encode(&error_frame(&format!("unexpected {other}"))));
+        }
+    }
 }
 
 fn error_frame(message: &str) -> Frame {

@@ -1,0 +1,248 @@
+//! The pre-reactor thread-per-connection STOMP server, retained as the
+//! baseline the idle-connection benches compare against.
+//!
+//! Every connection costs a reader thread, a writer thread, and one
+//! delivery-pump thread per subscription — the scaling wall that
+//! motivated the reactor frontend (`crates/reactor`). Protocol semantics
+//! are identical to [`crate::BrokerServer`]; only the connection model
+//! differs. The historic accept-loop fragility (one transient `accept()`
+//! error permanently stopped the server) is fixed here too: errors are
+//! logged and retried after a short backoff.
+//!
+//! New code should use [`crate::BrokerServer`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use safeweb_labels::{Policy, PrincipalKind};
+use safeweb_selector::Selector;
+use safeweb_stomp::{Command, Frame, TcpTransport, Transport};
+
+use crate::broker::{Broker, Delivery};
+use crate::wire::{
+    event_to_frame, frame_to_event, DESTINATION_HEADER, SELECTOR_HEADER, SUBSCRIPTION_HEADER,
+};
+
+/// A running thread-per-connection broker server; dropping it stops
+/// accepting new connections.
+#[derive(Debug)]
+pub struct ThreadedBrokerServer {
+    addr: SocketAddr,
+    broker: Broker,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ThreadedBrokerServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, validating logins against `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, broker: Broker, policy: Policy) -> io::Result<ThreadedBrokerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_broker = broker.clone();
+        let policy = Arc::new(policy);
+        let accept_thread = std::thread::Builder::new()
+            .name("safeweb-broker-accept".to_string())
+            .spawn(move || {
+                loop {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let broker = accept_broker.clone();
+                            let policy = Arc::clone(&policy);
+                            std::thread::Builder::new()
+                                .name("safeweb-broker-conn".to_string())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, broker, &policy);
+                                })
+                                .expect("spawn connection thread");
+                        }
+                        Err(e) => {
+                            // Transient errors (EMFILE, ECONNABORTED, ...)
+                            // must not kill the server; back off and retry.
+                            eprintln!("safeweb-broker (threaded): accept error (retrying): {e}");
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(ThreadedBrokerServer {
+            addr: local,
+            broker,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying embedded broker (shared with all connections).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Stops accepting connections. Existing connections continue until
+    /// their peers disconnect.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ThreadedBrokerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Connection-unique client names (separate sequence from the reactor
+/// server's; ids only need process-local uniqueness).
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn serve_connection(stream: TcpStream, broker: Broker, policy: &Policy) -> io::Result<()> {
+    let mut transport = TcpTransport::new(stream.try_clone()?);
+
+    // Expect CONNECT first.
+    let connect = match transport.recv_frame()? {
+        Some(f) if f.command() == Command::Connect => f,
+        Some(_) => {
+            let _ = transport
+                .send_frame(&Frame::new(Command::Error).with_header("message", "expected CONNECT"));
+            return Ok(());
+        }
+        None => return Ok(()),
+    };
+    let login = connect.header("login").unwrap_or("anonymous").to_string();
+    let privileges = policy.privileges(PrincipalKind::Unit, &login);
+    let client_id = format!("{login}#t{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed));
+
+    transport.send_frame(&Frame::new(Command::Connected).with_header("session", &client_id))?;
+
+    // Writer thread: serialises outbound MESSAGE frames.
+    let (out_tx, out_rx): (Sender<Frame>, Receiver<Frame>) = unbounded();
+    let writer_stream = stream.try_clone()?;
+    let writer = std::thread::Builder::new()
+        .name("safeweb-broker-writer".to_string())
+        .spawn(move || {
+            let mut t = TcpTransport::new(writer_stream);
+            while let Ok(frame) = out_rx.recv() {
+                if t.send_frame(&frame).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer thread");
+
+    let result = reader_loop(&mut transport, &broker, &privileges, &client_id, &out_tx);
+
+    broker.unsubscribe_all(&client_id);
+    drop(out_tx);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    transport: &mut TcpTransport,
+    broker: &Broker,
+    privileges: &safeweb_labels::PrivilegeSet,
+    client_id: &str,
+    out_tx: &Sender<Frame>,
+) -> io::Result<()> {
+    loop {
+        let frame = match transport.recv_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ =
+                    out_tx.send(Frame::new(Command::Error).with_header("message", e.to_string()));
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        match frame.command() {
+            Command::Disconnect => return Ok(()),
+            Command::Subscribe => {
+                let Some(dest) = frame.header(DESTINATION_HEADER) else {
+                    let _ = out_tx.send(error_frame("SUBSCRIBE requires destination"));
+                    continue;
+                };
+                let sub_id = frame.header("id").unwrap_or("0").to_string();
+                let selector = match frame.header(SELECTOR_HEADER) {
+                    Some(src) => match Selector::parse(src) {
+                        Ok(sel) => Some(sel),
+                        Err(e) => {
+                            let _ = out_tx.send(error_frame(&format!("bad selector: {e}")));
+                            continue;
+                        }
+                    },
+                    None => None,
+                };
+                let rx = broker.subscribe(client_id, &sub_id, dest, selector, privileges.clone());
+                spawn_delivery_pump(rx, out_tx.clone());
+            }
+            Command::Unsubscribe => {
+                let sub_id = frame.header("id").unwrap_or("0");
+                broker.unsubscribe(client_id, sub_id);
+            }
+            Command::Send => match frame_to_event(&frame) {
+                Ok(event) => {
+                    broker.publish_arc(std::sync::Arc::new(event));
+                    if let Some(receipt) = frame.header("receipt") {
+                        let _ = out_tx
+                            .send(Frame::new(Command::Receipt).with_header("receipt-id", receipt));
+                    }
+                }
+                Err(e) => {
+                    let _ = out_tx.send(error_frame(&format!("bad SEND: {e}")));
+                }
+            },
+            other => {
+                let _ = out_tx.send(error_frame(&format!("unexpected {other}")));
+            }
+        }
+    }
+}
+
+fn spawn_delivery_pump(rx: crossbeam::channel::Receiver<Delivery>, out_tx: Sender<Frame>) {
+    std::thread::Builder::new()
+        .name("safeweb-broker-pump".to_string())
+        .spawn(move || {
+            while let Ok(delivery) = rx.recv() {
+                let mut frame = event_to_frame(&delivery.event, Command::Message);
+                frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.to_string());
+                if out_tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn delivery pump");
+}
+
+fn error_frame(message: &str) -> Frame {
+    Frame::new(Command::Error).with_header("message", message)
+}

@@ -156,6 +156,160 @@ fn disconnect_cleans_up_subscriptions() {
     assert_eq!(server.broker().subscription_count(), 0);
 }
 
+use safeweb_reactor::sys::os_thread_count as thread_count;
+
+#[test]
+fn idle_subscribers_do_not_cost_threads() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    let mut active = EventClient::connect(&addr, "mdt_a").unwrap();
+    active.subscribe("/patient_report", None).unwrap();
+
+    let before = thread_count();
+    let idle: Vec<EventClient> = (0..100)
+        .map(|_| {
+            let mut c = EventClient::connect(&addr, "nosy").unwrap();
+            c.subscribe("/patient_report", None).unwrap();
+            c
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(server.broker().subscription_count(), 101);
+
+    // The seed spent ≥3 threads per connection; the reactor holds them
+    // as registered fds. Allow generous slack for unrelated test threads.
+    let after = thread_count();
+    assert!(
+        after < before + 20,
+        "100 idle subscribers grew threads {before} -> {after}"
+    );
+
+    // The crowd being parked must not break delivery to a live consumer.
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(
+            &Event::new("/patient_report")
+                .unwrap()
+                .with_labels([Label::conf("ecric.org.uk", "mdt/a")]),
+        )
+        .unwrap();
+    assert!(active.next_delivery().is_ok());
+    drop(idle);
+}
+
+#[test]
+fn abrupt_disconnects_do_not_stop_the_accept_loop() {
+    // Regression companion to the reactor-level EMFILE test
+    // (`safeweb-reactor/tests/accept_resilience.rs`): a burst of
+    // connections torn down abruptly (RST via SO_LINGER-like drop before
+    // the server touches them) must leave the server accepting. The seed
+    // broke its accept loop on the first `accept()` error.
+    let server = start_server();
+    let addr = server.addr().to_string();
+    for _ in 0..50 {
+        let s = std::net::TcpStream::connect(server.addr()).unwrap();
+        drop(s);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut consumer = EventClient::connect(&addr, "mdt_a").unwrap();
+    consumer.subscribe("/t", None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(&Event::new("/t").unwrap().with_labels([]))
+        .unwrap();
+    assert!(consumer.next_delivery().is_ok());
+}
+
+#[test]
+fn slow_consumer_is_disconnected_not_buffered_unboundedly() {
+    use safeweb_stomp::{Command, Frame, TcpTransport, Transport};
+
+    let server = start_server();
+    let addr = server.addr().to_string();
+
+    // A raw subscriber that never reads deliveries.
+    let mut slow = TcpTransport::connect(&addr).unwrap();
+    slow.send_frame(&Frame::new(Command::Connect).with_header("login", "producer"))
+        .unwrap();
+    assert_eq!(
+        slow.recv_frame().unwrap().unwrap().command(),
+        Command::Connected
+    );
+    slow.send_frame(
+        &Frame::new(Command::Subscribe)
+            .with_header("destination", "/flood")
+            .with_header("id", "1"),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(server.broker().subscription_count(), 1);
+
+    // Flood well past the outbound cap without the subscriber reading.
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    let payload = "x".repeat(64 * 1024);
+    let total = (2 * safeweb_broker::OUTBOX_CAP / payload.len()) + 64;
+    for _ in 0..total {
+        producer
+            .publish(
+                &Event::new("/flood")
+                    .unwrap()
+                    .with_payload(payload.clone())
+                    .with_labels([]),
+            )
+            .unwrap();
+    }
+
+    // Backpressure policy: the slow consumer is dropped and its
+    // subscription cleaned up, rather than the broker buffering ~entire
+    // flood on its behalf.
+    let mut gone = false;
+    for _ in 0..100 {
+        if server.broker().subscription_count() == 0 {
+            gone = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(gone, "slow consumer was never disconnected");
+}
+
+#[test]
+fn threaded_baseline_still_serves_the_same_protocol() {
+    // The pre-reactor server is kept as the bench baseline; hold it to
+    // the same core flow so comparisons stay apples-to-apples.
+    let broker = Broker::new();
+    let mut server =
+        safeweb_broker::ThreadedBrokerServer::bind("127.0.0.1:0", broker, policy()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut consumer = EventClient::connect(&addr, "mdt_a").unwrap();
+    consumer.subscribe("/patient_report", None).unwrap();
+    let mut nosy = EventClient::connect(&addr, "nosy").unwrap();
+    nosy.subscribe("/patient_report", None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut producer = EventClient::connect(&addr, "producer").unwrap();
+    producer
+        .publish(
+            &Event::new("/patient_report")
+                .unwrap()
+                .with_attr("type", "cancer")
+                .with_labels([Label::conf("ecric.org.uk", "mdt/a")]),
+        )
+        .unwrap();
+
+    let delivery = consumer.next_delivery().unwrap();
+    assert_eq!(delivery.event.topic(), "/patient_report");
+    assert!(nosy
+        .next_delivery_timeout(Duration::from_millis(200))
+        .unwrap()
+        .is_none());
+    server.shutdown();
+}
+
 #[test]
 fn multiple_subscriptions_are_disambiguated_by_id() {
     let server = start_server();

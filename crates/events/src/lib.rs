@@ -2,7 +2,7 @@
 //!
 //! The SafeWeb event model (§4.1): an event is a set of key-value
 //! attribute pairs plus an optional data payload, all untyped strings. A
-//! [`LabelledEvent`] pairs an event with the [`LabelSet`] the middleware
+//! [`LabelledEvent`] pairs an event with the [`LabelSet`](safeweb_labels::LabelSet) the middleware
 //! tracks as the event propagates between processing units.
 //!
 //! ```

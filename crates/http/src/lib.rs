@@ -6,8 +6,11 @@
 //! provides the HTTP layer (TLS is out of scope per DESIGN.md §5 — the IFC
 //! contribution is transport-agnostic), including:
 //!
-//! * request parsing with size bounds ([`server::MAX_HEAD`], [`server::MAX_BODY`]),
-//! * keep-alive connections,
+//! * a resumable, size-bounded request parser ([`RequestParser`], bounds
+//!   [`MAX_HEAD`]/[`MAX_BODY`]),
+//! * a keep-alive server ([`HttpServer`]) multiplexed over the shared
+//!   `safeweb-reactor` epoll loop — thread count is `1 + workers`
+//!   regardless of connection count,
 //! * HTTP basic authentication helpers (with an in-tree Base64),
 //! * a blocking client for tests and the benchmark harness.
 
@@ -19,5 +22,8 @@ pub mod client;
 mod message;
 pub mod server;
 
-pub use message::{url_decode, url_encode, Headers, Method, Request, Response};
+pub use message::{
+    url_decode, url_encode, Headers, Method, ParseError, Request, RequestParser, Response,
+    MAX_BODY, MAX_HEAD,
+};
 pub use server::{Handler, HttpServer};

@@ -1,9 +1,15 @@
-//! HTTP requests and responses.
+//! HTTP requests and responses, plus the resumable request parser driven
+//! by the reactor frontend.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::base64;
+
+/// Maximum accepted request body, bounding memory under hostile input.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Maximum accepted header section size.
+pub const MAX_HEAD: usize = 64 * 1024;
 
 /// HTTP request methods used by the SafeWeb frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -355,9 +361,274 @@ impl Response {
     }
 }
 
+/// Error produced while parsing a request from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request is malformed; the message is suitable for a 400 body.
+    Bad(String),
+    /// Head or body exceeds [`MAX_HEAD`]/[`MAX_BODY`] (a 413).
+    TooLarge,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Bad(msg) => write!(f, "malformed request: {msg}"),
+            ParseError::TooLarge => write!(f, "request exceeds size bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A fully parsed head waiting for its body bytes.
+#[derive(Debug)]
+struct PendingHead {
+    method: Method,
+    target: String,
+    headers: Headers,
+    content_length: usize,
+}
+
+/// A resumable, incremental HTTP/1.1 request parser.
+///
+/// The reactor frontend feeds whatever bytes the socket yields
+/// ([`RequestParser::feed`]) and drains complete requests
+/// ([`RequestParser::next_request`]) — the parser state survives across
+/// readiness events, so a request head split over many TCP segments
+/// costs no blocking reads and no per-connection thread. Size bounds
+/// ([`MAX_HEAD`], [`MAX_BODY`]) are enforced while data accumulates,
+/// before a hostile peer can buffer unbounded memory.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted after each request).
+    pos: usize,
+    /// Bytes of `buf` already scanned for the head terminator, so a head
+    /// trickling in across many reads is scanned once, not re-scanned
+    /// from the front each time (which would be quadratic on the shared
+    /// reactor thread).
+    scanned: usize,
+    /// Parsed head of the in-progress request, once complete.
+    head: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// Creates an empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the parser sits at a request boundary (EOF here is a clean
+    /// connection close; EOF mid-request is a truncation).
+    pub fn is_idle(&self) -> bool {
+        self.head.is_none() && self.buf.len() == self.pos
+    }
+
+    /// Attempts to extract the next complete request.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on malformed or oversized input; the parser state
+    /// is then undefined and the connection should be closed after the
+    /// error response.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.head.is_none() {
+            let pending = self.buf.len() - self.pos;
+            // Resume the terminator scan where the previous call left
+            // off, stepping back two bytes for a terminator spanning the
+            // chunk boundary (`\n` / `\n\r` already buffered).
+            let resume = (self.scanned.max(self.pos) - self.pos).saturating_sub(2);
+            let found = find_head_end(&self.buf[self.pos..], resume);
+            self.scanned = self.buf.len();
+            let Some((head_end, body_start)) = found else {
+                if pending > MAX_HEAD {
+                    return Err(ParseError::TooLarge);
+                }
+                return Ok(None);
+            };
+            if head_end > MAX_HEAD {
+                return Err(ParseError::TooLarge);
+            }
+            let head = parse_head(&self.buf[self.pos..self.pos + head_end])?;
+            self.pos += body_start;
+            self.head = Some(head);
+        }
+        let content_length = self.head.as_ref().expect("head parsed").content_length;
+        if self.buf.len() - self.pos < content_length {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed");
+        let body = self.buf[self.pos..self.pos + content_length].to_vec();
+        self.pos += content_length;
+        // Compact: drop the consumed prefix so pipelined peers cannot
+        // grow the buffer without bound.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        self.scanned = 0;
+        Ok(Some(Request::from_parts(
+            head.method,
+            &head.target,
+            head.headers,
+            body,
+        )))
+    }
+}
+
+/// Finds the end of the head (the blank line) scanning from `start`,
+/// tolerating bare-`\n` line endings. Returns `(head_end, body_start)`
+/// relative to `buf`.
+fn find_head_end(buf: &[u8], start: usize) -> Option<(usize, usize)> {
+    let mut i = start;
+    while i + 1 < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1] == b'\n' {
+                return Some((i, i + 2));
+            }
+            if buf[i + 1] == b'\r' && buf.get(i + 2) == Some(&b'\n') {
+                return Some((i, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_head(head: &[u8]) -> Result<PendingHead, ParseError> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| ParseError::Bad("head is not valid UTF-8".to_string()))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().unwrap_or_default();
+    if request_line.is_empty() {
+        return Err(ParseError::Bad("empty request line".to_string()));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::from_keyword)
+        .ok_or_else(|| ParseError::Bad("bad method".to_string()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing target".to_string()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("unsupported HTTP version".to_string()));
+    }
+
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("malformed header {line:?}")))?;
+        headers.set(name.trim(), value.trim().to_string());
+    }
+
+    let content_length = match headers.get("content-length") {
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ParseError::Bad("bad content-length".to_string()))?;
+            if len > MAX_BODY {
+                return Err(ParseError::TooLarge);
+            }
+            len
+        }
+        None => 0,
+    };
+
+    Ok(PendingHead {
+        method,
+        target,
+        headers,
+        content_length,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parser_handles_partial_feeds() {
+        let wire = b"POST /submit?x=1 HTTP/1.1\r\ncontent-length: 7\r\nx-a: b\r\n\r\npayload";
+        let mut parser = RequestParser::new();
+        for chunk in wire.chunks(3) {
+            parser.feed(chunk);
+        }
+        let request = parser.next_request().unwrap().unwrap();
+        assert_eq!(request.method(), Method::Post);
+        assert_eq!(request.path(), "/submit");
+        assert_eq!(request.query("x"), Some("1"));
+        assert_eq!(request.headers().get("x-a"), Some("b"));
+        assert_eq!(request.body(), b"payload");
+        assert!(parser.is_idle());
+        assert!(parser.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn parser_returns_none_until_body_complete() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nab");
+        assert!(parser.next_request().unwrap().is_none());
+        assert!(!parser.is_idle());
+        parser.feed(b"cd");
+        let request = parser.next_request().unwrap().unwrap();
+        assert_eq!(request.body(), b"abcd");
+    }
+
+    #[test]
+    fn parser_extracts_pipelined_requests_in_order() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(parser.next_request().unwrap().unwrap().path(), "/a");
+        assert_eq!(parser.next_request().unwrap().unwrap().path(), "/b");
+        assert!(parser.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"NONSENSE\r\n\r\n");
+        assert!(matches!(parser.next_request(), Err(ParseError::Bad(_))));
+
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/2.0\r\n\r\n");
+        assert!(matches!(parser.next_request(), Err(ParseError::Bad(_))));
+
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n");
+        assert!(matches!(parser.next_request(), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn parser_enforces_size_bounds() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            format!(
+                "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        );
+        assert!(matches!(parser.next_request(), Err(ParseError::TooLarge)));
+
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        parser.feed(&vec![b'h'; MAX_HEAD + 2]);
+        assert!(matches!(parser.next_request(), Err(ParseError::TooLarge)));
+    }
 
     #[test]
     fn query_parsing_and_decoding() {

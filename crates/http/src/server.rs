@@ -1,66 +1,69 @@
-//! A small threaded HTTP/1.1 server with keep-alive.
+//! The HTTP/1.1 frontend, served from the shared connection reactor.
+//!
+//! The seed implementation dedicated one blocking thread to every
+//! connection; this version keeps the exact same [`Handler`] API but
+//! multiplexes all connections over one `safeweb-reactor` event loop:
+//!
+//! * reads are buffered and parsed incrementally by
+//!   [`crate::message::RequestParser`] — a request head split across TCP
+//!   segments holds buffer state, not a thread;
+//! * each complete request is dispatched to the reactor's bounded worker
+//!   pool through the connection's FIFO, so pipelined responses keep
+//!   wire order;
+//! * responses are queued on the connection's bounded outbox and flushed
+//!   by nonblocking writes.
+//!
+//! Thread count is `1 + workers` regardless of connection count.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::message::{Headers, Method, Request, Response};
+use safeweb_reactor::{ConnHandle, Protocol, Reactor, ReactorConfig};
 
-/// Maximum accepted request body, bounding memory under hostile input.
-pub const MAX_BODY: usize = 8 * 1024 * 1024;
-/// Maximum accepted header section size.
-pub const MAX_HEAD: usize = 64 * 1024;
+use crate::message::{Method, ParseError, Request, RequestParser, Response};
+
+pub use crate::message::{MAX_BODY, MAX_HEAD};
+
 /// Requests served per connection before it is closed.
 const MAX_KEEPALIVE_REQUESTS: usize = 1000;
+/// Idle connections are reaped after this long (the seed's per-read
+/// timeout, carried over as an idle timeout).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Pipelined requests in flight per connection before reads pause.
+const MAX_PIPELINED: usize = 32;
 
 /// The application callback type.
 pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
 
-/// A running HTTP server; dropping it stops the accept loop.
+/// A running HTTP server; dropping it stops the reactor, the workers and
+/// every connection.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Reactor,
 }
 
 impl HttpServer {
-    /// Binds to `addr` (port 0 for ephemeral) and serves `handler` on a
-    /// thread per connection.
+    /// Binds to `addr` (port 0 for ephemeral) and serves `handler` from
+    /// the reactor's worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind and reactor setup errors.
     pub fn bind(addr: &str, handler: Handler) -> io::Result<HttpServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name("safeweb-http-accept".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { break };
-                    let handler = Arc::clone(&handler);
-                    std::thread::Builder::new()
-                        .name("safeweb-http-conn".to_string())
-                        .spawn(move || {
-                            let _ = serve_connection(stream, handler);
-                        })
-                        .expect("spawn http connection thread");
-                }
-            })
-            .expect("spawn http accept thread");
+        let config = ReactorConfig {
+            name: "safeweb-http".to_string(),
+            idle_timeout: Some(IDLE_TIMEOUT),
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::bind(addr, config, move || {
+            Box::new(HttpConn::new(Arc::clone(&handler)))
+        })?;
         Ok(HttpServer {
-            addr: local,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            addr: reactor.addr(),
+            reactor,
         })
     }
 
@@ -69,148 +72,108 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting new connections.
+    /// Connections currently held by the reactor.
+    pub fn active_connections(&self) -> usize {
+        self.reactor.active_connections()
+    }
+
+    /// Stops the server: no new connections, existing ones closed,
+    /// in-flight handlers drained. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        self.reactor.shutdown();
+    }
+}
+
+/// Per-connection HTTP state machine (runs on the reactor thread).
+struct HttpConn {
+    handler: Handler,
+    parser: RequestParser,
+    served: usize,
+    /// No further input is interpreted (parse error sent, EOF seen, or
+    /// keep-alive budget exhausted).
+    dead: bool,
+}
+
+impl HttpConn {
+    fn new(handler: Handler) -> HttpConn {
+        HttpConn {
+            handler,
+            parser: RequestParser::new(),
+            served: 0,
+            dead: false,
+        }
+    }
+}
+
+impl Protocol for HttpConn {
+    fn on_bytes(&mut self, data: &[u8], conn: &ConnHandle) {
+        if self.dead {
             return;
         }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve_connection(stream: TcpStream, handler: Handler) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut stream = stream;
-
-    for _ in 0..MAX_KEEPALIVE_REQUESTS {
-        let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean EOF
-            Err(ParseError::Io(e)) => return Err(e),
-            Err(ParseError::Bad(msg)) => {
-                let resp = Response::new(400).with_body(msg);
-                write_response(&mut stream, &resp, true)?;
-                return Ok(());
+        self.parser.feed(data);
+        loop {
+            match self.parser.next_request() {
+                Ok(Some(request)) => {
+                    self.served += 1;
+                    let close = request
+                        .headers()
+                        .get("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                        || self.served >= MAX_KEEPALIVE_REQUESTS;
+                    let head_only = request.method() == Method::Head;
+                    let handler = Arc::clone(&self.handler);
+                    let io = conn.clone();
+                    conn.dispatch(move || {
+                        let response = handler(request);
+                        let _ = io.send(encode_response(&response, close, head_only));
+                        if close {
+                            io.close_after_flush();
+                        } else if io.pending_jobs() <= MAX_PIPELINED / 2 {
+                            // Cheap no-op unless reads were paused below.
+                            io.resume_reads();
+                        }
+                    });
+                    if close {
+                        self.dead = true;
+                        return;
+                    }
+                    if conn.pending_jobs() >= MAX_PIPELINED {
+                        conn.pause_reads();
+                    }
+                }
+                Ok(None) => return,
+                Err(error) => {
+                    self.dead = true;
+                    let response = match error {
+                        ParseError::TooLarge => Response::new(413),
+                        ParseError::Bad(msg) => Response::new(400).with_body(msg),
+                    };
+                    let io = conn.clone();
+                    // Through the FIFO, so it follows any in-flight
+                    // responses for earlier pipelined requests.
+                    conn.dispatch(move || {
+                        let _ = io.send(encode_response(&response, true, false));
+                        io.close_after_flush();
+                    });
+                    return;
+                }
             }
-            Err(ParseError::TooLarge) => {
-                let resp = Response::new(413);
-                write_response(&mut stream, &resp, true)?;
-                return Ok(());
-            }
-        };
-        let close = request
-            .headers()
-            .get("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let head_only = request.method() == Method::Head;
-        let response = handler(request);
-        write_response_ex(&mut stream, &response, close, head_only)?;
-        if close {
-            return Ok(());
         }
     }
-    Ok(())
-}
 
-enum ParseError {
-    Io(io::Error),
-    Bad(String),
-    TooLarge,
-}
-
-impl From<io::Error> for ParseError {
-    fn from(e: io::Error) -> ParseError {
-        ParseError::Io(e)
+    fn on_eof(&mut self, conn: &ConnHandle) {
+        self.dead = true;
+        let io = conn.clone();
+        // FIFO again: responses for requests already dispatched still go
+        // out before the connection closes.
+        conn.dispatch(move || io.close_after_flush());
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ParseError> {
-    // Request line.
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    let line = line.trim_end();
-    if line.is_empty() {
-        return Err(ParseError::Bad("empty request line".to_string()));
-    }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .and_then(Method::from_keyword)
-        .ok_or_else(|| ParseError::Bad("bad method".to_string()))?;
-    let target = parts
-        .next()
-        .ok_or_else(|| ParseError::Bad("missing target".to_string()))?
-        .to_string();
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(ParseError::Bad("unsupported HTTP version".to_string()));
-    }
-
-    // Headers.
-    let mut headers = Headers::new();
-    let mut head_size = line.len();
-    loop {
-        let mut hline = String::new();
-        let n = reader.read_line(&mut hline)?;
-        if n == 0 {
-            return Err(ParseError::Bad("truncated headers".to_string()));
-        }
-        head_size += n;
-        if head_size > MAX_HEAD {
-            return Err(ParseError::TooLarge);
-        }
-        let hline = hline.trim_end();
-        if hline.is_empty() {
-            break;
-        }
-        let (name, value) = hline
-            .split_once(':')
-            .ok_or_else(|| ParseError::Bad(format!("malformed header {hline:?}")))?;
-        headers.set(name.trim(), value.trim().to_string());
-    }
-
-    // Body.
-    let body = match headers.get("content-length") {
-        Some(len) => {
-            let len: usize = len
-                .parse()
-                .map_err(|_| ParseError::Bad("bad content-length".to_string()))?;
-            if len > MAX_BODY {
-                return Err(ParseError::TooLarge);
-            }
-            let mut body = vec![0u8; len];
-            reader.read_exact(&mut body)?;
-            body
-        }
-        None => Vec::new(),
-    };
-
-    Ok(Some(Request::from_parts(method, &target, headers, body)))
-}
-
-fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
-    write_response_ex(stream, response, close, false)
-}
-
-fn write_response_ex(
-    stream: &mut TcpStream,
-    response: &Response,
-    close: bool,
-    head_only: bool,
-) -> io::Result<()> {
+/// Serialises a response, always emitting `content-length` and a
+/// `connection` header; a HEAD response carries the would-be body's
+/// length but no body bytes.
+fn encode_response(response: &Response, close: bool, head_only: bool) -> Vec<u8> {
     let mut head = format!("HTTP/1.1 {} {}\r\n", response.status(), response.reason());
     for (k, v) in response.headers().iter() {
         if k == "content-length" || k == "connection" {
@@ -225,17 +188,19 @@ fn write_response_ex(
         "connection: keep-alive\r\n"
     });
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    let mut bytes = head.into_bytes();
     if !head_only {
-        stream.write_all(response.body())?;
+        bytes.extend_from_slice(response.body());
     }
-    stream.flush()
+    bytes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn echo_server() -> HttpServer {
         HttpServer::bind(
@@ -285,6 +250,43 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Ten requests in one write; responses must come back in order,
+        // each from a separate worker job.
+        let mut wire = Vec::new();
+        for i in 0..10 {
+            wire.extend_from_slice(format!("GET /p{i} HTTP/1.1\r\n\r\n").as_bytes());
+        }
+        s.write_all(&wire).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 10 * 40 {
+            let mut buf = [0u8; 4096];
+            let n = s.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+            let text = String::from_utf8_lossy(&got);
+            if (0..10).all(|i| text.contains(&format!("/p{i}"))) {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&got);
+        let positions: Vec<usize> = (0..10)
+            .map(|i| text.find(&format!("GET /p{i} ")).expect("response present"))
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            positions, sorted,
+            "pipelined responses out of order: {text}"
+        );
+    }
+
+    #[test]
     fn malformed_request_gets_400() {
         let server = echo_server();
         let mut s = TcpStream::connect(server.addr()).unwrap();
@@ -320,5 +322,18 @@ mod tests {
         assert!(resp.body().is_empty());
         // content-length still describes the would-be body.
         assert_ne!(resp.headers().get("content-length"), Some("0"));
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        let resp = client::send(
+            &addr,
+            Request::new(Method::Get, "/bye").with_header("connection", "close"),
+        )
+        .unwrap();
+        assert_eq!(resp.status(), 200);
+        assert_eq!(resp.headers().get("connection"), Some("close"));
     }
 }

@@ -1,0 +1,341 @@
+//! Cross-thread connection handles: outbound queues, close flags and the
+//! per-connection dispatch FIFO.
+//!
+//! The reactor thread owns the socket and the protocol state machine;
+//! everything else (worker jobs, broker delivery sinks) talks to a
+//! connection through a cloneable [`ConnHandle`]. A handle can queue
+//! outbound bytes (bounded by the connection's backpressure cap), request
+//! a close, pause/resume reads, and dispatch jobs that run **in FIFO
+//! order per connection** on the shared worker pool — the property that
+//! keeps pipelined HTTP responses and STOMP frame effects in order
+//! without a thread per connection.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel::Sender;
+
+use crate::sys::EventFd;
+
+/// A unit of work for the pool.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+/// Control messages from handles to the reactor thread.
+#[derive(Debug)]
+pub(crate) enum Command {
+    /// The connection's outbox gained data: flush or arm write interest.
+    Flush(u64),
+    /// Close the connection now.
+    Close(u64),
+    /// Stop reading from the connection.
+    PauseReads(u64),
+    /// Start reading from the connection again.
+    ResumeReads(u64),
+    /// Stop the whole reactor.
+    Shutdown,
+}
+
+/// The command mailbox + wakeup pair shared by every handle of a reactor.
+pub(crate) struct ReactorShared {
+    cmds: Mutex<Vec<Command>>,
+    wake: EventFd,
+}
+
+impl ReactorShared {
+    pub(crate) fn new(wake: EventFd) -> ReactorShared {
+        ReactorShared {
+            cmds: Mutex::new(Vec::new()),
+            wake,
+        }
+    }
+
+    /// Queues a command, posting a wakeup only on the empty→non-empty
+    /// transition (one `eventfd` write covers any burst, e.g. a broker
+    /// fan-out touching thousands of connections).
+    pub(crate) fn push(&self, cmd: Command) {
+        let was_empty = {
+            let mut cmds = self.cmds.lock().unwrap_or_else(|e| e.into_inner());
+            let was_empty = cmds.is_empty();
+            cmds.push(cmd);
+            was_empty
+        };
+        if was_empty {
+            self.wake.wake();
+        }
+    }
+
+    /// Takes the queued commands (reactor thread only).
+    pub(crate) fn drain(&self) -> Vec<Command> {
+        std::mem::take(&mut *self.cmds.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub(crate) fn wake_fd(&self) -> i32 {
+        self.wake.raw_fd()
+    }
+
+    pub(crate) fn drain_wakeups(&self) {
+        self.wake.drain();
+    }
+}
+
+impl fmt::Debug for ReactorShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReactorShared").finish_non_exhaustive()
+    }
+}
+
+/// Failure to queue outbound bytes on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The connection is closed or closing; the bytes were dropped.
+    Closed,
+    /// Queuing the bytes would exceed the connection's backpressure cap.
+    /// The caller decides the policy — the STOMP frontend disconnects the
+    /// slow consumer; see `BrokerServer`.
+    Overflow,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Closed => write!(f, "connection is closed"),
+            SendError::Overflow => write!(f, "outbound queue over backpressure cap"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// The outbound byte queue of one connection.
+#[derive(Debug)]
+pub(crate) struct Outbox {
+    /// Queued chunks; the front chunk is partially written up to
+    /// `front_pos`.
+    pub(crate) chunks: VecDeque<Vec<u8>>,
+    pub(crate) front_pos: usize,
+    /// Total unwritten bytes across all chunks.
+    pub(crate) len: usize,
+    /// Backpressure cap: sends beyond this fail with
+    /// [`SendError::Overflow`].
+    pub(crate) cap: usize,
+    /// No further sends are accepted.
+    pub(crate) closed: bool,
+    /// Close the connection once the queue drains.
+    pub(crate) close_after_flush: bool,
+}
+
+impl Outbox {
+    fn new(cap: usize) -> Outbox {
+        Outbox {
+            chunks: VecDeque::new(),
+            front_pos: 0,
+            len: 0,
+            cap,
+            closed: false,
+            close_after_flush: false,
+        }
+    }
+}
+
+/// Reactor-side + handle-side shared state for one connection.
+pub(crate) struct ConnShared {
+    pub(crate) token: u64,
+    pub(crate) reactor: Arc<ReactorShared>,
+    pub(crate) out: Mutex<Outbox>,
+    /// Per-connection job FIFO (see [`ConnHandle::dispatch`]).
+    queue: Mutex<VecDeque<Job>>,
+    /// Whether a drain task for `queue` is scheduled or running.
+    scheduled: AtomicBool,
+    /// Jobs dispatched but not yet finished; protocols use this for read
+    /// backpressure.
+    pending_jobs: AtomicUsize,
+    pool: Option<Sender<Job>>,
+}
+
+impl fmt::Debug for ConnShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConnShared")
+            .field("token", &self.token)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConnShared {
+    pub(crate) fn new(
+        token: u64,
+        reactor: Arc<ReactorShared>,
+        cap: usize,
+        pool: Option<Sender<Job>>,
+    ) -> ConnShared {
+        ConnShared {
+            token,
+            reactor,
+            out: Mutex::new(Outbox::new(cap)),
+            queue: Mutex::new(VecDeque::new()),
+            scheduled: AtomicBool::new(false),
+            pending_jobs: AtomicUsize::new(0),
+            pool,
+        }
+    }
+}
+
+/// How many queued jobs one drain task runs before re-queuing itself, so
+/// a busy connection cannot monopolise a pool worker.
+const DRAIN_SLICE: usize = 32;
+
+fn drain_queue(shared: Arc<ConnShared>) {
+    let mut ran = 0;
+    loop {
+        if ran == DRAIN_SLICE {
+            // Yield the worker: requeue the drain task at the pool's tail.
+            if let Some(pool) = &shared.pool {
+                let again = Arc::clone(&shared);
+                let _ = pool.send(Box::new(move || drain_queue(again)));
+                return;
+            }
+        }
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.pop_front()
+        };
+        match job {
+            Some(job) => {
+                job();
+                shared.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+                ran += 1;
+            }
+            None => {
+                shared.scheduled.store(false, Ordering::SeqCst);
+                // Re-check: a dispatch may have raced the store above.
+                let empty = shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty();
+                if empty || shared.scheduled.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle to one reactor connection.
+#[derive(Debug, Clone)]
+pub struct ConnHandle {
+    pub(crate) shared: Arc<ConnShared>,
+}
+
+impl ConnHandle {
+    /// Queues `bytes` for writing and wakes the reactor.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] if the connection is closed or closing,
+    /// [`SendError::Overflow`] if the bytes would exceed the connection's
+    /// backpressure cap (nothing is queued in either case).
+    pub fn send(&self, bytes: Vec<u8>) -> Result<(), SendError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let was_empty = {
+            let mut out = self.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+            if out.closed {
+                return Err(SendError::Closed);
+            }
+            if out.len + bytes.len() > out.cap {
+                return Err(SendError::Overflow);
+            }
+            let was_empty = out.len == 0;
+            out.len += bytes.len();
+            out.chunks.push_back(bytes);
+            was_empty
+        };
+        if was_empty {
+            // Non-empty outboxes already have a flush pending or write
+            // interest armed; appends under the outbox lock serialise
+            // against the reactor's flush, so the transition is exact.
+            self.shared.reactor.push(Command::Flush(self.shared.token));
+        }
+        Ok(())
+    }
+
+    /// Closes the connection, dropping any unwritten outbound bytes.
+    pub fn close(&self) {
+        {
+            let mut out = self.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+            out.closed = true;
+        }
+        self.shared.reactor.push(Command::Close(self.shared.token));
+    }
+
+    /// Refuses further sends and closes the connection once everything
+    /// already queued has been written.
+    pub fn close_after_flush(&self) {
+        {
+            let mut out = self.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+            out.closed = true;
+            out.close_after_flush = true;
+        }
+        self.shared.reactor.push(Command::Flush(self.shared.token));
+    }
+
+    /// Whether the connection is closed or closing.
+    pub fn is_closed(&self) -> bool {
+        self.shared
+            .out
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .closed
+    }
+
+    /// Stops reading from the connection until [`ConnHandle::resume_reads`].
+    /// Idempotent.
+    pub fn pause_reads(&self) {
+        self.shared
+            .reactor
+            .push(Command::PauseReads(self.shared.token));
+    }
+
+    /// Resumes reading. Idempotent.
+    pub fn resume_reads(&self) {
+        self.shared
+            .reactor
+            .push(Command::ResumeReads(self.shared.token));
+    }
+
+    /// Runs `job` on the worker pool. Jobs dispatched through one handle
+    /// run strictly in dispatch order (an actor-style FIFO), so a
+    /// protocol can hand off every parsed request/frame and still get
+    /// in-order effects.
+    pub fn dispatch(&self, job: impl FnOnce() + Send + 'static) {
+        let Some(pool) = &self.shared.pool else {
+            return;
+        };
+        self.shared.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(Box::new(job));
+        }
+        if !self.shared.scheduled.swap(true, Ordering::SeqCst) {
+            let shared = Arc::clone(&self.shared);
+            let _ = pool.send(Box::new(move || drain_queue(shared)));
+        }
+    }
+
+    /// Jobs dispatched on this connection that have not finished yet.
+    pub fn pending_jobs(&self) -> usize {
+        self.shared.pending_jobs.load(Ordering::SeqCst)
+    }
+
+    /// Unwritten outbound bytes currently queued.
+    pub fn outbox_len(&self) -> usize {
+        self.shared
+            .out
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len
+    }
+}

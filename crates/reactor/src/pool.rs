@@ -1,0 +1,115 @@
+//! A small fixed-size worker pool.
+//!
+//! The reactor thread must never block on application work (a password
+//! hash, a broker fan-out), so ready connections hand their parsed
+//! requests and frames to this pool. The pool is *bounded in threads*,
+//! not in queue depth — per-connection dispatch FIFOs
+//! ([`crate::conn::ConnHandle::dispatch`]) cap how much any one
+//! connection can enqueue, which bounds the queue transitively.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed set of worker threads draining a shared job queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `size` workers (at least one), named `{name}-worker-{i}`.
+    pub fn new(name: &str, size: usize) -> WorkerPool {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn(move || loop {
+                        // A stop flag (not sender-drop) ends the loop:
+                        // connection handles hold sender clones that can
+                        // outlive the pool, and shutdown must still
+                        // terminate. Queued jobs are drained first —
+                        // recv keeps returning work until empty.
+                        match rx.recv_timeout(Duration::from_millis(20)) {
+                            Ok(job) => job(),
+                            Err(RecvTimeoutError::Timeout) => {
+                                if stop.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    })
+                    .expect("spawn reactor worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            stop,
+            workers,
+        }
+    }
+
+    /// Enqueues a job. Jobs submitted after [`WorkerPool::shutdown`] are
+    /// silently dropped.
+    pub fn execute(&self, job: Job) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+    }
+
+    /// A handle that can enqueue jobs from other threads.
+    pub fn sender(&self) -> Option<Sender<Job>> {
+        self.tx.clone()
+    }
+
+    /// Stops accepting jobs, lets the workers drain what is queued, and
+    /// joins them.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_jobs_and_drains_on_shutdown() {
+        let mut pool = WorkerPool::new("test", 2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let count = Arc::clone(&count);
+            pool.execute(Box::new(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        // Post-shutdown jobs are dropped, not panicking.
+        pool.execute(Box::new(|| unreachable!("job after shutdown")));
+    }
+}

@@ -1,0 +1,589 @@
+//! The reactor core: one epoll thread multiplexing every connection of a
+//! listener, with protocol state machines driven by readiness events.
+//!
+//! # Threading model
+//!
+//! * **One reactor thread** owns the epoll instance, the listener, every
+//!   socket and every protocol state machine. It does the nonblocking
+//!   reads/writes and the (cheap, incremental) protocol parsing.
+//! * **A bounded worker pool** runs application work — HTTP handlers,
+//!   STOMP frame effects — dispatched through per-connection FIFOs
+//!   ([`ConnHandle::dispatch`]), so one process holds tens of thousands
+//!   of idle connections with `workers + 1` threads instead of a thread
+//!   per connection.
+//! * **Everything else** (worker jobs, broker delivery sinks on
+//!   publisher threads) reaches a connection only through [`ConnHandle`]:
+//!   queue bytes, close, pause reads. Handles post commands to the
+//!   reactor's mailbox and wake it via an `eventfd`.
+//!
+//! # Robustness
+//!
+//! A transient `accept()` failure (`EMFILE`, `ECONNABORTED`, ...) is
+//! logged and retried after a short backoff — it never stops the accept
+//! loop (the pre-reactor frontends died on the first such error). Slow
+//! consumers are bounded by per-connection outbound caps; exceeding the
+//! cap surfaces as [`crate::SendError::Overflow`] to the protocol, which
+//! picks the policy (the STOMP frontend disconnects the subscriber).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::conn::{Command, ConnHandle, ConnShared, ReactorShared};
+use crate::pool::WorkerPool;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Token of the wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Token of the listening socket.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+/// Most bytes read from one connection per readiness event, for fairness
+/// (level-triggered epoll re-reports whatever is left).
+const READ_BUDGET: usize = 256 * 1024;
+/// Most connections accepted per readiness event, for fairness.
+const ACCEPT_BUDGET: usize = 256;
+/// Backoff before re-arming the listener after an `accept()` error.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// A connection-oriented protocol state machine, driven by the reactor.
+///
+/// All callbacks run on the reactor thread and must not block: hand
+/// anything heavier than parsing to the pool via
+/// [`ConnHandle::dispatch`].
+pub trait Protocol: Send {
+    /// Bytes arrived from the peer.
+    fn on_bytes(&mut self, data: &[u8], conn: &ConnHandle);
+
+    /// The peer closed its writing half (clean EOF). The default closes
+    /// the connection; override to flush pending output first (the
+    /// reactor stops reading either way, so an override must still
+    /// eventually close).
+    fn on_eof(&mut self, conn: &ConnHandle) {
+        conn.close();
+    }
+
+    /// The connection is gone (peer reset, error, close requested, or
+    /// reactor shutdown). Last callback; dispatch cleanup work here.
+    fn on_close(&mut self, conn: &ConnHandle) {
+        let _ = conn;
+    }
+}
+
+/// Tuning knobs for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Thread-name prefix for the reactor and worker threads.
+    pub name: String,
+    /// Worker pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Per-connection outbound queue cap in bytes; see
+    /// [`crate::SendError::Overflow`].
+    pub outbox_cap: usize,
+    /// Close connections idle (no reads, no writes) longer than this.
+    /// `None` keeps idle connections forever — what the STOMP frontend
+    /// wants for parked subscribers.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8);
+        ReactorConfig {
+            name: "safeweb".to_string(),
+            workers,
+            outbox_cap: 8 * 1024 * 1024,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// A running reactor serving one listener; dropping it shuts the whole
+/// frontend down (accept loop, connections, workers).
+#[derive(Debug)]
+pub struct Reactor {
+    addr: SocketAddr,
+    shared: Arc<ReactorShared>,
+    active: Arc<AtomicUsize>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Binds `addr` (port 0 for ephemeral) and starts the reactor thread
+    /// and worker pool. `factory` builds one [`Protocol`] per accepted
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and epoll setup failures.
+    pub fn bind<F>(addr: &str, config: ReactorConfig, factory: F) -> io::Result<Reactor>
+    where
+        F: Fn() -> Box<dyn Protocol> + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wake = EventFd::new()?;
+        let shared = Arc::new(ReactorShared::new(wake));
+        epoll.add(shared.wake_fd(), EPOLLIN, WAKE_TOKEN)?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN)?;
+        let active = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(&config.name, config.workers);
+        let core = Core {
+            epoll,
+            shared: Arc::clone(&shared),
+            listener,
+            factory: Box::new(factory),
+            pool,
+            config: config.clone(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            active: Arc::clone(&active),
+            reaccept_at: None,
+            next_sweep: Instant::now(),
+            stopping: false,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("{}-reactor", config.name))
+            .spawn(move || core.run())
+            .expect("spawn reactor thread");
+        Ok(Reactor {
+            addr: local,
+            shared,
+            active,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently registered.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, closes every connection, drains queued jobs and
+    /// joins all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.push(Command::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One slab slot; `gen` disambiguates commands aimed at a previous
+/// occupant of the same index.
+struct Slot {
+    gen: u32,
+    state: Option<ConnState>,
+}
+
+struct ConnState {
+    stream: TcpStream,
+    protocol: Box<dyn Protocol>,
+    shared: Arc<ConnShared>,
+    /// Readiness mask currently registered with epoll.
+    interest: u32,
+    read_paused: bool,
+    last_activity: Instant,
+}
+
+impl ConnState {
+    fn handle(&self) -> ConnHandle {
+        ConnHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+struct Core {
+    epoll: Epoll,
+    shared: Arc<ReactorShared>,
+    listener: TcpListener,
+    factory: Box<dyn Fn() -> Box<dyn Protocol> + Send>,
+    pool: WorkerPool,
+    config: ReactorConfig,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    read_buf: Vec<u8>,
+    active: Arc<AtomicUsize>,
+    /// When set, the listener is disarmed after an accept error until
+    /// this instant.
+    reaccept_at: Option<Instant>,
+    next_sweep: Instant,
+    stopping: bool,
+}
+
+impl Core {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 1024];
+        while !self.stopping {
+            let timeout = self.poll_timeout();
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!(
+                        "safeweb-reactor[{}]: epoll_wait failed: {e}",
+                        self.config.name
+                    );
+                    break;
+                }
+            };
+            let now = Instant::now();
+            for event in &events[..n] {
+                let (token, mask) = (event.data, event.events);
+                if token == WAKE_TOKEN {
+                    self.shared.drain_wakeups();
+                } else if token == LISTEN_TOKEN {
+                    self.accept_ready(now);
+                } else if let Some(idx) = self.lookup(token) {
+                    self.conn_ready(idx, mask, now);
+                }
+            }
+            self.process_commands();
+            self.maybe_rearm_listener(now);
+            self.maybe_sweep(now);
+        }
+        self.teardown();
+    }
+
+    fn poll_timeout(&self) -> i32 {
+        let mut timeout: i32 = -1;
+        if self.config.idle_timeout.is_some() {
+            timeout = 500;
+        }
+        if let Some(at) = self.reaccept_at {
+            let ms = at
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .min(i32::MAX as u128) as i32
+                + 1;
+            timeout = if timeout < 0 { ms } else { timeout.min(ms) };
+        }
+        timeout
+    }
+
+    fn lookup(&self, token: u64) -> Option<usize> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        match self.slots.get(idx) {
+            Some(slot) if slot.gen == gen && slot.state.is_some() => Some(idx),
+            _ => None,
+        }
+    }
+
+    // ---- accepting -----------------------------------------------------
+
+    fn accept_ready(&mut self, now: Instant) {
+        if self.reaccept_at.is_some() {
+            return; // disarmed after an error; wait out the backoff
+        }
+        for _ in 0..ACCEPT_BUDGET {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.register_conn(stream, now),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // A transient accept failure (EMFILE, ECONNABORTED,
+                    // EINTR storm, ...) must never stop the server: log,
+                    // disarm the listener briefly so a persistent error
+                    // cannot spin the loop, and retry.
+                    eprintln!(
+                        "safeweb-reactor[{}]: accept error (retrying in {:?}): {e}",
+                        self.config.name, ACCEPT_BACKOFF
+                    );
+                    let _ = self
+                        .epoll
+                        .modify(self.listener.as_raw_fd(), 0, LISTEN_TOKEN);
+                    self.reaccept_at = Some(now + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn maybe_rearm_listener(&mut self, now: Instant) {
+        if let Some(at) = self.reaccept_at {
+            if now >= at {
+                self.reaccept_at = None;
+                let _ = self
+                    .epoll
+                    .modify(self.listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN);
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream, now: Instant) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot {
+                gen: 0,
+                state: None,
+            });
+            self.slots.len() - 1
+        });
+        let gen = self.slots[idx].gen;
+        let token = (u64::from(gen) << 32) | idx as u64;
+        let shared = Arc::new(ConnShared::new(
+            token,
+            Arc::clone(&self.shared),
+            self.config.outbox_cap,
+            self.pool.sender(),
+        ));
+        let state = ConnState {
+            stream,
+            protocol: (self.factory)(),
+            shared,
+            interest: EPOLLIN | EPOLLRDHUP,
+            read_paused: false,
+            last_activity: now,
+        };
+        if self
+            .epoll
+            .add(state.stream.as_raw_fd(), state.interest, token)
+            .is_err()
+        {
+            self.free.push(idx);
+            return; // conn dropped; epoll table exhausted
+        }
+        self.slots[idx].state = Some(state);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- per-connection events -----------------------------------------
+
+    fn conn_ready(&mut self, idx: usize, mask: u32, now: Instant) {
+        let mut close = false;
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            close = self.read_ready(idx, now);
+        } else if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            close = true;
+        }
+        if !close && mask & EPOLLOUT != 0 {
+            close = self.flush_ready(idx, now);
+        }
+        if close {
+            self.close_conn(idx);
+        }
+    }
+
+    /// Reads until drained/budget and feeds the protocol. Returns whether
+    /// the connection must be closed now.
+    fn read_ready(&mut self, idx: usize, now: Instant) -> bool {
+        let buf = &mut self.read_buf;
+        let Some(state) = self.slots[idx].state.as_mut() else {
+            return false;
+        };
+        if state.read_paused {
+            return false;
+        }
+        let mut total = 0;
+        loop {
+            match state.stream.read(buf) {
+                Ok(0) => {
+                    // Clean EOF. Stop reading (level-triggered epoll would
+                    // otherwise spin) and let the protocol pick shutdown
+                    // or flush-then-close.
+                    state.last_activity = now;
+                    state.read_paused = true;
+                    set_interest(&self.epoll, state, desired_interest(state));
+                    let handle = state.handle();
+                    state.protocol.on_eof(&handle);
+                    return false;
+                }
+                Ok(n) => {
+                    state.last_activity = now;
+                    let handle = state.handle();
+                    state.protocol.on_bytes(&buf[..n], &handle);
+                    total += n;
+                    if total >= READ_BUDGET {
+                        return false; // fairness; epoll re-reports the rest
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Writes queued outbound bytes. Returns whether the connection must
+    /// be closed now.
+    fn flush_ready(&mut self, idx: usize, now: Instant) -> bool {
+        let Some(state) = self.slots[idx].state.as_mut() else {
+            return false;
+        };
+        match flush_outbox(state) {
+            Err(_) => true,
+            Ok((drained, close_after_flush)) => {
+                if drained && close_after_flush {
+                    return true;
+                }
+                state.last_activity = now;
+                set_interest(&self.epoll, state, desired_interest(state));
+                false
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        let Some(mut state) = slot.state.take() else {
+            return;
+        };
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        let _ = self.epoll.delete(state.stream.as_raw_fd());
+        {
+            let mut out = state.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+            out.closed = true;
+            out.chunks.clear();
+            out.len = 0;
+        }
+        let handle = state.handle();
+        state.protocol.on_close(&handle);
+        // `state` drops here, closing the socket.
+    }
+
+    // ---- commands & timers ---------------------------------------------
+
+    fn process_commands(&mut self) {
+        for cmd in self.shared.drain() {
+            match cmd {
+                Command::Flush(token) => {
+                    if let Some(idx) = self.lookup(token) {
+                        if self.flush_ready(idx, Instant::now()) {
+                            self.close_conn(idx);
+                        }
+                    }
+                }
+                Command::Close(token) => {
+                    if let Some(idx) = self.lookup(token) {
+                        self.close_conn(idx);
+                    }
+                }
+                Command::PauseReads(token) => self.set_paused(token, true),
+                Command::ResumeReads(token) => self.set_paused(token, false),
+                Command::Shutdown => self.stopping = true,
+            }
+        }
+    }
+
+    fn set_paused(&mut self, token: u64, paused: bool) {
+        if let Some(idx) = self.lookup(token) {
+            let state = self.slots[idx].state.as_mut().expect("looked up");
+            if state.read_paused != paused {
+                state.read_paused = paused;
+                set_interest(&self.epoll, state, desired_interest(state));
+            }
+        }
+    }
+
+    fn maybe_sweep(&mut self, now: Instant) {
+        let Some(timeout) = self.config.idle_timeout else {
+            return;
+        };
+        if now < self.next_sweep {
+            return;
+        }
+        self.next_sweep = now + Duration::from_secs(1);
+        let idle: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let state = slot.state.as_ref()?;
+                (now.duration_since(state.last_activity) > timeout).then_some(idx)
+            })
+            .collect();
+        for idx in idle {
+            self.close_conn(idx);
+        }
+    }
+
+    fn teardown(&mut self) {
+        for idx in 0..self.slots.len() {
+            self.close_conn(idx);
+        }
+        // Workers drain already-queued jobs (including on_close cleanup
+        // dispatched just above) before exiting.
+        self.pool.shutdown();
+    }
+}
+
+/// The epoll mask a connection should be registered for.
+///
+/// A paused connection drops `EPOLLRDHUP` along with `EPOLLIN`: epoll is
+/// level-triggered, so keeping RDHUP armed while `read_ready` no-ops
+/// would spin the reactor at 100% CPU whenever a half-closed peer sits
+/// behind a paused (or EOF'd, close-pending) connection. A fully dead
+/// peer still surfaces as `EPOLLERR`/`EPOLLHUP`, which cannot be masked.
+fn desired_interest(state: &ConnState) -> u32 {
+    let mut mask = 0;
+    if !state.read_paused {
+        mask |= EPOLLIN | EPOLLRDHUP;
+    }
+    let out = state.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+    if out.len > 0 {
+        mask |= EPOLLOUT;
+    }
+    mask
+}
+
+fn set_interest(epoll: &Epoll, state: &mut ConnState, want: u32) {
+    if want != state.interest {
+        let _ = epoll.modify(state.stream.as_raw_fd(), want, state.shared.token);
+        state.interest = want;
+    }
+}
+
+/// Writes as much of the outbox as the socket accepts.
+///
+/// Returns `(drained, close_after_flush)`.
+fn flush_outbox(state: &mut ConnState) -> io::Result<(bool, bool)> {
+    let mut out = state.shared.out.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let pos = out.front_pos;
+        let wrote = match out.chunks.front() {
+            None => break,
+            Some(front) => match state.stream.write(&front[pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok((false, out.close_after_flush))
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            },
+        };
+        out.front_pos += wrote;
+        out.len -= wrote;
+        let front_len = out.chunks.front().map(Vec::len).unwrap_or(0);
+        if out.front_pos == front_len {
+            out.chunks.pop_front();
+            out.front_pos = 0;
+        }
+    }
+    Ok((true, out.close_after_flush))
+}

@@ -3,9 +3,10 @@
 //! The build environment has no access to crates.io, so this crate
 //! reimplements the `proptest` subset SafeWeb's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_filter` /
 //!   `prop_flat_map` / `prop_recursive` / `boxed`,
-//! * value sources: [`Just`], integer ranges, tuples, [`any`],
+//! * value sources: [`Just`](strategy::Just), integer ranges, tuples,
+//!   [`any`](strategy::any),
 //!   string-pattern strategies (`"[a-z]{1,8}"`, `"\\PC{0,16}"`),
 //!   [`collection::vec`], [`collection::btree_map`], [`char::range`],
 //! * the [`proptest!`] runner macro with `prop_assert!`,

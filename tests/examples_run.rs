@@ -1,0 +1,34 @@
+//! The documented examples must keep working: `quickstart` and
+//! `event_pipeline` (the two cheap, deterministic ones) are run to
+//! completion as part of tier-1. The heavier examples (`mdt_portal`,
+//! `vulnerability_injection`, `federation`) are exercised indirectly by
+//! the integration suites and CI's `cargo build --examples` step.
+
+use std::process::Command;
+
+fn run_example(name: &str, expect: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "example {name} failed ({}):\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        output.status
+    );
+    assert!(
+        stdout.contains(expect),
+        "example {name} did not print {expect:?}:\n{stdout}"
+    );
+}
+
+/// One test, two examples, run sequentially: nested cargo invocations
+/// contend on the target-dir lock, so parallel test fns would only
+/// serialise anyway.
+#[test]
+fn quickstart_and_event_pipeline_run_to_completion() {
+    run_example("quickstart", "quickstart OK");
+    run_example("event_pipeline", "event_pipeline OK");
+}
