@@ -1,0 +1,175 @@
+//! **E9 — backend document-store scaling** (beyond the paper).
+//!
+//! The ROADMAP drives the portal benches into the application database:
+//! this bench isolates the three docstore mechanisms that keep the
+//! backend flat as the synthetic registry grows 10×.
+//!
+//! * **View queries**: the incrementally indexed `query_view` versus the
+//!   seed's linear scan over every document — per-MDT record listings
+//!   must cost the same at 2 000 and at 20 000 documents.
+//! * **Prefix listings**: `scan_prefix` range queries versus a
+//!   `starts_with` scan for a fixed id family.
+//! * **Changes feed**: sustained writes with auto-compaction keep the
+//!   feed (and therefore replication scans and memory) bounded; the
+//!   deduplicated replicator writes each document once per batch however
+//!   many superseded revisions the feed holds.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safeweb_docstore::{DocStore, Document, Replicator};
+use safeweb_json::{jobject, Value};
+use safeweb_labels::{Label, LabelSet};
+
+/// Records per MDT — the page size the portal renders; constant across
+/// scales, as in the paper's front page.
+const RECORDS_PER_MDT: usize = 100;
+/// Base number of MDTs (the 10× configuration holds ten times as many).
+const BASE_MDTS: usize = 20;
+
+/// Builds a store shaped like the portal's application database:
+/// `record-*` documents labelled and bucketed by `mdt_id`, a `metrics-*`
+/// document per MDT, and a small fixed `regional-*` family.
+fn portal_shaped_store(mdts: usize) -> DocStore {
+    let store = DocStore::new("bench-app");
+    store.create_view("by_mid", "mdt_id");
+    for m in 0..mdts {
+        let mdt = format!("mdt-{m}");
+        for r in 0..RECORDS_PER_MDT {
+            let id = format!("record-{m:04}-{r:04}");
+            store
+                .put(
+                    &id,
+                    jobject! {"mdt_id" => mdt.as_str(), "case_id" => r as i64},
+                    LabelSet::singleton(Label::conf("e", &format!("mdt/{mdt}"))),
+                    None,
+                )
+                .unwrap();
+        }
+        store
+            .put(
+                &format!("metrics-{mdt}"),
+                jobject! {"mdt_id" => mdt.as_str(), "cases" => RECORDS_PER_MDT as i64},
+                LabelSet::new(),
+                None,
+            )
+            .unwrap();
+    }
+    for region in 0..5 {
+        store
+            .put(
+                &format!("regional-{region}"),
+                jobject! {"region" => region as i64},
+                LabelSet::new(),
+                None,
+            )
+            .unwrap();
+    }
+    store
+}
+
+/// The seed's `query_view`: filter every document on body-field equality.
+fn linear_view_scan(store: &DocStore, field: &str, key: &Value) -> Vec<Document> {
+    store.scan(|d| d.body().get(field) == Some(key))
+}
+
+fn time_per_call(mut f: impl FnMut() -> usize, calls: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..calls {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / calls as f64
+}
+
+fn bench_docstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("docstore_view_query");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+
+    let mut summary: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for scale in [1usize, 10] {
+        let mdts = BASE_MDTS * scale;
+        let store = portal_shaped_store(mdts);
+        // Query a bucket in the middle of the keyspace.
+        let key = Value::Str(format!("mdt-{}", mdts / 2));
+
+        group.bench_function(format!("indexed/{}x", scale), |b| {
+            b.iter(|| store.query_view("by_mid", &key).unwrap().len());
+        });
+        group.bench_function(format!("scan/{}x", scale), |b| {
+            b.iter(|| linear_view_scan(&store, "mdt_id", &key).len());
+        });
+
+        let indexed_us = time_per_call(|| store.query_view("by_mid", &key).unwrap().len(), 200);
+        let scan_us = time_per_call(|| linear_view_scan(&store, "mdt_id", &key).len(), 50);
+        let prefix_us = time_per_call(|| store.scan_prefix("regional-").len(), 200);
+        summary.push((scale, indexed_us, scan_us, prefix_us));
+    }
+    group.finish();
+
+    eprintln!("\n=== E9: document-store scaling (registry grown 10x) ===");
+    for (scale, indexed_us, scan_us, prefix_us) in &summary {
+        eprintln!(
+            "  {:>2}x docs ({} records): indexed view {:>8.1} us | linear scan {:>8.1} us | regional- prefix {:>6.1} us",
+            scale,
+            BASE_MDTS * scale * RECORDS_PER_MDT,
+            indexed_us,
+            scan_us,
+            prefix_us,
+        );
+    }
+    if let [(_, i1, s1, p1), (_, i10, s10, p10)] = summary.as_slice() {
+        eprintln!(
+            "  growth 1x -> 10x: indexed view {:.1}x | linear scan {:.1}x | prefix {:.1}x  (flat ~= 1.0)",
+            i10 / i1,
+            s10 / s1,
+            p10 / p1
+        );
+    }
+
+    // --- Changes feed: bounded under sustained writes ------------------
+    let bounded = DocStore::new("bounded");
+    let unbounded = DocStore::new("unbounded");
+    unbounded.set_changes_retention(0); // the seed's behaviour
+    for store in [&bounded, &unbounded] {
+        for m in 0..BASE_MDTS {
+            let id = format!("metrics-{m}");
+            let mut rev = None;
+            for v in 0..2_000i64 {
+                rev = Some(
+                    store
+                        .put(&id, jobject! {"v" => v}, LabelSet::new(), rev.as_ref())
+                        .unwrap(),
+                );
+            }
+        }
+    }
+    eprintln!(
+        "\n  sustained writes ({} updates over {} docs):",
+        2_000 * BASE_MDTS,
+        BASE_MDTS
+    );
+    eprintln!(
+        "    changes-feed entries: compacting {:>6} | unbounded (seed) {:>6}",
+        bounded.changes_len(),
+        unbounded.changes_len()
+    );
+
+    // --- Replication: deduplicated batches -----------------------------
+    let dst = DocStore::new("dmz");
+    let mut rep = Replicator::new(unbounded.clone(), dst.clone());
+    let report = rep.run_once();
+    eprintln!(
+        "    replicating {} feed entries: {} docs written, target seq {} (seed wrote one per entry)",
+        2_000 * BASE_MDTS,
+        report.docs_written,
+        dst.seq()
+    );
+    assert_eq!(report.docs_written as usize, BASE_MDTS);
+    assert_eq!(dst.seq() as usize, BASE_MDTS);
+}
+
+criterion_group!(benches, bench_docstore);
+criterion_main!(benches);

@@ -203,6 +203,15 @@ impl SafeWebDeployment {
         &self.policy
     }
 
+    /// The Intranet→DMZ replication checkpoint after the most recent run,
+    /// or `None` once replication has been stopped. Persist this across
+    /// restarts and hand it to
+    /// [`safeweb_docstore::ReplicationHandle::start_from`] to resume
+    /// replication without re-transferring the whole history.
+    pub fn replication_checkpoint(&self) -> Option<u64> {
+        self.replication.as_ref().map(|r| r.checkpoint())
+    }
+
     /// Violations recorded by the engine so far.
     pub fn engine_violations(&self) -> Vec<safeweb_engine::Violation> {
         self.engine_handle

@@ -9,7 +9,13 @@
 //!
 //! * JSON documents with `_id`/`_rev` MVCC conflict detection,
 //! * by-field views (CouchRest's `Records.by_mid` in Listing 2),
-//! * a changes feed and **one-way push replication** with checkpoints,
+//!   **incrementally indexed** so queries are lookups rather than scans,
+//! * id-prefix range queries over the ordered id space
+//!   ([`DocStore::scan_prefix`]),
+//! * a **compacting changes feed** (bounded at one latest entry per live
+//!   document plus a recent tail) and **one-way push replication** with
+//!   resumable checkpoints, per-batch deduplication, and a full-resync
+//!   fallback once a checkpoint predates the compaction horizon,
 //! * a **read-only mode** for the DMZ replica, enforcing requirement S1.
 //!
 //! Security labels are first-class document metadata (not body fields), so
@@ -24,4 +30,4 @@ mod store;
 
 pub use document::{Document, Revision};
 pub use replication::{ReplicationHandle, ReplicationReport, Replicator};
-pub use store::{Change, DocStore, StoreError};
+pub use store::{Change, DocStore, StoreError, DEFAULT_CHANGES_RETENTION};

@@ -5,8 +5,22 @@
 //! Replication is strictly one-way (source → target), preserving the
 //! unidirectional data-flow requirement S1: the Intranet instance pushes
 //! into the DMZ replica; nothing ever flows back.
+//!
+//! Each run is one of two modes:
+//!
+//! * **Incremental** — the common case: fetch the changes feed past the
+//!   checkpoint, deduplicate it per document id (only the newest change
+//!   per id matters; superseded revisions were already overwritten at the
+//!   source), and apply one write or deletion per distinct id.
+//! * **Full resync** — the fallback when the checkpoint predates the
+//!   source's [compaction horizon](DocStore::compacted_seq): the feed
+//!   below the horizon has dropped tombstones, so an incremental pass
+//!   could silently *miss deletions*. Instead the source is snapshotted,
+//!   every differing document is copied, and target documents absent from
+//!   the source are swept away.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -25,22 +39,32 @@ pub struct Replicator {
 /// Summary of one replication run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReplicationReport {
-    /// Documents written to the target.
+    /// Distinct documents written to the target.
     pub docs_written: u64,
-    /// Deletions applied to the target.
+    /// Distinct deletions applied to the target.
     pub docs_deleted: u64,
     /// The checkpoint after the run.
     pub checkpoint: u64,
+    /// Whether this run fell back to a full resync because the checkpoint
+    /// predated the source's compaction horizon.
+    pub resynced: bool,
 }
 
 impl Replicator {
     /// Creates a replicator from `source` into `target`, starting from
     /// sequence 0.
     pub fn new(source: DocStore, target: DocStore) -> Replicator {
+        Replicator::with_checkpoint(source, target, 0)
+    }
+
+    /// Creates a replicator resuming from a previously saved `checkpoint`
+    /// (e.g. [`Replicator::checkpoint`] persisted across a restart), so a
+    /// restarted replicator does not re-transfer the whole history.
+    pub fn with_checkpoint(source: DocStore, target: DocStore, checkpoint: u64) -> Replicator {
         Replicator {
             source,
             target,
-            checkpoint: 0,
+            checkpoint,
         }
     }
 
@@ -52,32 +76,94 @@ impl Replicator {
     /// Pushes all changes since the checkpoint. Interrupted runs are safe
     /// to retry: replication is idempotent (last write per id wins, and the
     /// checkpoint only advances after the batch applies).
+    ///
+    /// The batch is deduplicated per document id before any write: the
+    /// newest change wins, so a document updated many times since the last
+    /// run is fetched and written exactly once, and
+    /// [`ReplicationReport::docs_written`] counts distinct documents —
+    /// not feed entries. Writes whose revision already matches the target
+    /// are skipped, keeping the target's sequence number from inflating.
     pub fn run_once(&mut self) -> ReplicationReport {
+        if self.checkpoint < self.source.compacted_seq() {
+            // Entries at or below the horizon were compacted; deletions
+            // there are gone from the feed. Incremental replication would
+            // silently leave ghosts on the target — resync instead.
+            return self.full_resync();
+        }
         let changes = self.source.changes_since(self.checkpoint);
+        // Re-check after the fetch: a compaction can race in between and
+        // drop tombstones out of the range just read. `compacted_seq` is
+        // monotonic, so passing this second check proves the feed was
+        // still intact when it was copied (later compactions cannot
+        // corrupt the copy).
+        if self.checkpoint < self.source.compacted_seq() {
+            return self.full_resync();
+        }
         let mut report = ReplicationReport {
             checkpoint: self.checkpoint,
             ..ReplicationReport::default()
         };
         let mut max_seq = self.checkpoint;
-        for change in changes {
+        // Dedupe the batch: only each id's newest change is applied.
+        let mut latest: BTreeMap<&str, &crate::store::Change> = BTreeMap::new();
+        for change in &changes {
             max_seq = max_seq.max(change.seq);
+            latest.insert(change.id.as_str(), change);
+        }
+        for (id, change) in latest {
             match change.rev {
                 Some(_) => {
-                    // Fetch the *current* version; intermediate revisions
-                    // may already be superseded.
-                    if let Some(doc) = self.source.get(&change.id) {
-                        self.target.apply_replicated(doc);
-                        report.docs_written += 1;
+                    // Fetch the *current* version; the changed revision may
+                    // already be superseded (or deleted — then a later
+                    // tombstone past `max_seq` covers it next run).
+                    if let Some(doc) = self.source.get(id) {
+                        if self.target.get(id).is_none_or(|d| d.rev() != doc.rev()) {
+                            self.target.apply_replicated(doc);
+                            report.docs_written += 1;
+                        }
                     }
                 }
                 None => {
-                    self.target.apply_replicated_delete(&change.id);
-                    report.docs_deleted += 1;
+                    if self.target.apply_replicated_delete(id) {
+                        report.docs_deleted += 1;
+                    }
                 }
             }
         }
         self.checkpoint = max_seq;
         report.checkpoint = max_seq;
+        report
+    }
+
+    /// Full resync: snapshot the source, copy every document whose
+    /// revision differs, and sweep target documents the source no longer
+    /// holds (the "tombstone sweep" — deletions compacted out of the feed
+    /// are reconstructed by absence).
+    fn full_resync(&mut self) -> ReplicationReport {
+        let (seq, docs) = self.source.snapshot();
+        let mut report = ReplicationReport {
+            checkpoint: seq,
+            resynced: true,
+            ..ReplicationReport::default()
+        };
+        let mut live = std::collections::BTreeSet::new();
+        for doc in docs {
+            live.insert(doc.id().to_string());
+            if self
+                .target
+                .get(doc.id())
+                .is_none_or(|d| d.rev() != doc.rev())
+            {
+                self.target.apply_replicated(doc);
+                report.docs_written += 1;
+            }
+        }
+        for id in self.target.ids() {
+            if !live.contains(&id) && self.target.apply_replicated_delete(&id) {
+                report.docs_deleted += 1;
+            }
+        }
+        self.checkpoint = seq;
         report
     }
 }
@@ -87,21 +173,40 @@ impl Replicator {
 #[derive(Debug)]
 pub struct ReplicationHandle {
     stop: Arc<AtomicBool>,
+    checkpoint: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ReplicationHandle {
     /// Starts a background thread replicating `source` → `target` every
-    /// `interval`.
+    /// `interval`, from sequence 0 (a fresh target).
     pub fn start(source: DocStore, target: DocStore, interval: Duration) -> ReplicationHandle {
+        ReplicationHandle::start_from(source, target, interval, 0)
+    }
+
+    /// Starts periodic replication resuming from `checkpoint` — the value
+    /// a previous handle reported via [`ReplicationHandle::checkpoint`].
+    /// Resuming skips the already-transferred history instead of pushing
+    /// everything from sequence 0 again; a checkpoint that has fallen
+    /// behind the source's compaction horizon degrades safely into a full
+    /// resync on the first run.
+    pub fn start_from(
+        source: DocStore,
+        target: DocStore,
+        interval: Duration,
+        checkpoint: u64,
+    ) -> ReplicationHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let shared_checkpoint = Arc::new(AtomicU64::new(checkpoint));
+        let shared_checkpoint2 = Arc::clone(&shared_checkpoint);
         let thread = std::thread::Builder::new()
             .name("safeweb-replication".to_string())
             .spawn(move || {
-                let mut replicator = Replicator::new(source, target);
+                let mut replicator = Replicator::with_checkpoint(source, target, checkpoint);
                 while !stop2.load(Ordering::SeqCst) {
-                    replicator.run_once();
+                    let report = replicator.run_once();
+                    shared_checkpoint2.store(report.checkpoint, Ordering::SeqCst);
                     // Sleep in short slices so stop is responsive.
                     let mut remaining = interval;
                     while !stop2.load(Ordering::SeqCst) && remaining > Duration::ZERO {
@@ -114,8 +219,16 @@ impl ReplicationHandle {
             .expect("spawn replication thread");
         ReplicationHandle {
             stop,
+            checkpoint: shared_checkpoint,
             thread: Some(thread),
         }
+    }
+
+    /// The checkpoint after the most recent completed run. Persist this
+    /// and hand it to [`ReplicationHandle::start_from`] to resume after a
+    /// restart.
+    pub fn checkpoint(&self) -> u64 {
+        self.checkpoint.load(Ordering::SeqCst)
     }
 
     /// Stops the loop and joins the thread.
@@ -161,6 +274,7 @@ mod tests {
         let mut rep = Replicator::new(src.clone(), dst.clone());
         let report = rep.run_once();
         assert_eq!(report.docs_written, 2);
+        assert!(!report.resynced);
         assert_eq!(dst.len(), 2);
         let doc = dst.get("r1").unwrap();
         assert!(doc.labels().contains(&Label::conf("e", "mdt/a")));
@@ -216,6 +330,101 @@ mod tests {
     }
 
     #[test]
+    fn superseded_revisions_are_written_once_not_per_change() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let mut rev = src
+            .put("a", jobject! {"v" => 0}, LabelSet::new(), None)
+            .unwrap();
+        for v in 1..10 {
+            rev = src
+                .put("a", jobject! {"v" => v}, LabelSet::new(), Some(&rev))
+                .unwrap();
+        }
+        src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let report = rep.run_once();
+        // Ten feed entries for "a", but one fetch and one write: the
+        // report counts distinct documents...
+        assert_eq!(report.docs_written, 2);
+        // ...and the target's own sequence number advanced once per
+        // document, not once per superseded revision.
+        assert_eq!(dst.seq(), 2);
+        assert_eq!(
+            dst.get("a")
+                .unwrap()
+                .body()
+                .get("v")
+                .and_then(Value::as_i64),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn put_then_delete_in_one_batch_applies_only_the_delete() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let rev = src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        src.delete("a", &rev).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let report = rep.run_once();
+        // The batch dedupes to the tombstone; the target never held "a",
+        // so nothing is written and nothing is deleted.
+        assert_eq!(report.docs_written, 0);
+        assert_eq!(report.docs_deleted, 0);
+        assert!(dst.get("a").is_none());
+        assert_eq!(dst.seq(), 0);
+    }
+
+    #[test]
+    fn replicator_resumes_from_saved_checkpoint() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        for i in 0..5 {
+            src.put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
+                .unwrap();
+        }
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let saved = rep.run_once().checkpoint;
+        drop(rep);
+        src.put("later", jobject! {}, LabelSet::new(), None)
+            .unwrap();
+        // A restarted replicator with the saved checkpoint transfers only
+        // the new document.
+        let mut resumed = Replicator::with_checkpoint(src.clone(), dst.clone(), saved);
+        assert_eq!(resumed.checkpoint(), saved);
+        let report = resumed.run_once();
+        assert_eq!(report.docs_written, 1);
+        assert!(!report.resynced);
+        assert_eq!(src.ids(), dst.ids());
+    }
+
+    #[test]
+    fn stale_checkpoint_triggers_full_resync_with_tombstone_sweep() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        let rev_a = src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let saved = rep.run_once().checkpoint;
+        drop(rep);
+
+        // The source deletes "a" and compacts the tombstone away.
+        src.delete("a", &rev_a).unwrap();
+        src.put("c", jobject! {}, LabelSet::new(), None).unwrap();
+        src.compact_changes(0);
+        assert!(saved < src.compacted_seq());
+
+        let mut resumed = Replicator::with_checkpoint(src.clone(), dst.clone(), saved);
+        let report = resumed.run_once();
+        assert!(report.resynced, "stale checkpoint must force a resync");
+        assert_eq!(report.docs_deleted, 1, "the swept ghost of \"a\"");
+        assert_eq!(report.docs_written, 1, "the new document \"c\"");
+        assert_eq!(src.ids(), dst.ids());
+        assert!(dst.get("a").is_none(), "compacted delete must still apply");
+    }
+
+    #[test]
     fn periodic_replication_runs_until_stopped() {
         let src = DocStore::new("s");
         let dst = DocStore::new("d");
@@ -234,6 +443,84 @@ mod tests {
         src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         assert!(dst.get("b").is_none());
+    }
+
+    #[test]
+    fn periodic_replication_resumes_from_checkpoint() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        src.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let handle = ReplicationHandle::start(src.clone(), dst.clone(), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.checkpoint() == 0 {
+            assert!(std::time::Instant::now() < deadline, "no checkpoint");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let saved = handle.checkpoint();
+        handle.stop();
+
+        // "Restart": resume from the persisted checkpoint; the target's
+        // sequence number shows the old history was not re-pushed.
+        let seq_before = dst.seq();
+        src.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        let resumed = ReplicationHandle::start_from(
+            src.clone(),
+            dst.clone(),
+            Duration::from_millis(5),
+            saved,
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dst.get("b").is_none() {
+            assert!(std::time::Instant::now() < deadline, "resume never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        resumed.stop();
+        assert_eq!(dst.seq(), seq_before + 1, "history was re-transferred");
+    }
+
+    /// Stress the compaction/replication race: a writer churns documents
+    /// (puts and deletes) with an aggressive retention while a replicator
+    /// runs concurrently. If `run_once` trusted a feed that a concurrent
+    /// compaction had already punched tombstones out of, deleted documents
+    /// would survive as ghosts on the target.
+    #[test]
+    fn concurrent_compaction_and_replication_converge() {
+        let src = DocStore::new("s");
+        let dst = DocStore::new("d");
+        src.set_changes_retention(4);
+        let writer_src = src.clone();
+        let writer = std::thread::spawn(move || {
+            for round in 0..200u32 {
+                for id in 0..6u32 {
+                    let id = format!("doc-{id}");
+                    let rev = writer_src.get(&id).map(|d| d.rev().clone());
+                    writer_src
+                        .put(
+                            &id,
+                            jobject! {"round" => round},
+                            LabelSet::new(),
+                            rev.as_ref(),
+                        )
+                        .unwrap();
+                }
+                // Delete a rotating victim so tombstones keep entering
+                // (and being compacted out of) the feed.
+                let victim = format!("doc-{}", round % 6);
+                if let Some(doc) = writer_src.get(&victim) {
+                    writer_src.delete(&victim, doc.rev()).unwrap();
+                }
+            }
+        });
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        while !writer.is_finished() {
+            rep.run_once();
+        }
+        writer.join().unwrap();
+        rep.run_once();
+        assert_eq!(src.ids(), dst.ids(), "ghost documents on the target");
+        for id in src.ids() {
+            assert_eq!(src.get(&id).unwrap().rev(), dst.get(&id).unwrap().rev());
+        }
     }
 
     #[test]

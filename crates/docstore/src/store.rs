@@ -1,9 +1,9 @@
-//! The document store: MVCC puts, by-key views, a changes feed, and a
-//! read-only mode for DMZ replicas (§5.1: "The DMZ instance is read-only
-//! in order to prevent modifications by the web frontend, thus satisfying
-//! requirement S1").
+//! The document store: MVCC puts, incrementally indexed views, a
+//! compacting changes feed, and a read-only mode for DMZ replicas (§5.1:
+//! "The DMZ instance is read-only in order to prevent modifications by the
+//! web frontend, thus satisfying requirement S1").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,6 +13,12 @@ use safeweb_json::Value;
 use safeweb_labels::LabelSet;
 
 use crate::document::{Document, Revision};
+
+/// Default bound on the verbatim tail of the changes feed: once more than
+/// twice this many entries pile up beyond one per live document, the feed
+/// is compacted down to the latest entry per id plus this many recent
+/// entries. See [`DocStore::set_changes_retention`].
+pub const DEFAULT_CHANGES_RETENTION: usize = 1024;
 
 /// Errors from store operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,17 +66,161 @@ pub struct Change {
     pub rev: Option<Revision>,
 }
 
+/// A registered view: the indexed body field plus the index itself,
+/// maintained incrementally on every write. Index keys are the
+/// deterministic JSON encoding of the field value (objects serialise with
+/// sorted keys), so equal values always collide on the same bucket.
 #[derive(Debug, Default)]
+struct View {
+    field: String,
+    index: BTreeMap<String, BTreeSet<String>>,
+}
+
+#[derive(Debug)]
 struct Inner {
     docs: BTreeMap<String, Document>,
     seq: u64,
+    /// Strictly seq-ascending, so lookups can binary-search.
     changes: Vec<Change>,
-    /// view name → body field the view indexes.
-    views: BTreeMap<String, String>,
+    /// Horizon of the last compaction: entries with `seq <=
+    /// compacted_seq` have been reduced to one latest entry per live id,
+    /// and delete tombstones below it are gone.
+    compacted_seq: u64,
+    /// Auto-compaction threshold (0 = never compact automatically).
+    changes_retention: usize,
+    views: BTreeMap<String, View>,
     read_only: bool,
 }
 
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            docs: BTreeMap::new(),
+            seq: 0,
+            changes: Vec::new(),
+            compacted_seq: 0,
+            changes_retention: DEFAULT_CHANGES_RETENTION,
+            views: BTreeMap::new(),
+            read_only: false,
+        }
+    }
+}
+
+/// The index key for a field value, or `None` when the value cannot be
+/// indexed faithfully: non-finite floats serialise to JSON `null`, so
+/// keying them by [`Value::to_json`] would make `NaN`/`Infinity` collide
+/// with each other and with real `null`s. Such values are simply never
+/// indexed (and never matched) — `NaN` does not even equal itself, so the
+/// seed's equality scan never matched it either.
+fn index_key(value: &Value) -> Option<String> {
+    fn finite(value: &Value) -> bool {
+        match value {
+            Value::Float(f) => f.is_finite(),
+            Value::Array(items) => items.iter().all(finite),
+            Value::Object(map) => map.values().all(finite),
+            _ => true,
+        }
+    }
+    finite(value).then(|| value.to_json())
+}
+
+fn index_doc(views: &mut BTreeMap<String, View>, doc: &Document) {
+    for view in views.values_mut() {
+        if let Some(key) = doc.body().get(&view.field).and_then(index_key) {
+            view.index
+                .entry(key)
+                .or_default()
+                .insert(doc.id().to_string());
+        }
+    }
+}
+
+fn unindex_doc(views: &mut BTreeMap<String, View>, doc: &Document) {
+    for view in views.values_mut() {
+        if let Some(key) = doc.body().get(&view.field).and_then(index_key) {
+            if let Some(ids) = view.index.get_mut(&key) {
+                ids.remove(doc.id());
+                if ids.is_empty() {
+                    view.index.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+impl Inner {
+    /// Replaces (or inserts) `doc`, keeping every view index in sync —
+    /// including re-indexing when the indexed field's value changed.
+    fn store_doc(&mut self, doc: Document) {
+        if let Some(old) = self.docs.get(doc.id()) {
+            unindex_doc(&mut self.views, old);
+        }
+        index_doc(&mut self.views, &doc);
+        self.docs.insert(doc.id().to_string(), doc);
+    }
+
+    fn remove_doc(&mut self, id: &str) -> Option<Document> {
+        let doc = self.docs.remove(id)?;
+        unindex_doc(&mut self.views, &doc);
+        Some(doc)
+    }
+
+    fn record_change(&mut self, id: String, rev: Option<Revision>) {
+        self.seq += 1;
+        self.changes.push(Change {
+            seq: self.seq,
+            id,
+            rev,
+        });
+        self.maybe_compact();
+    }
+
+    /// Auto-compaction: amortised so the feed stays at `O(live docs +
+    /// retention)` entries while each write pays `O(live/retention)`.
+    fn maybe_compact(&mut self) {
+        let retention = self.changes_retention;
+        if retention == 0 || self.changes.len() < self.docs.len() + 2 * retention {
+            return;
+        }
+        let horizon = self.changes[self.changes.len() - retention - 1].seq;
+        self.compact_to(horizon);
+    }
+
+    /// Compacts every entry with `seq <= horizon` down to the latest entry
+    /// per still-live id. Tombstones and superseded revisions below the
+    /// horizon are dropped; a replication checkpoint below `compacted_seq`
+    /// can therefore no longer be served incrementally and must full-resync
+    /// ([`crate::Replicator`] does this automatically).
+    fn compact_to(&mut self, horizon: u64) {
+        let cut = self.changes.partition_point(|c| c.seq <= horizon);
+        self.compacted_seq = self.compacted_seq.max(horizon);
+        if cut == 0 {
+            return;
+        }
+        let suffix = self.changes.split_off(cut);
+        let prefix = std::mem::take(&mut self.changes);
+        // An id "seen" at a higher seq supersedes every earlier entry.
+        let mut seen: HashSet<String> = suffix.iter().map(|c| c.id.clone()).collect();
+        let mut kept: Vec<Change> = Vec::new();
+        for change in prefix.into_iter().rev() {
+            let newest = seen.insert(change.id.clone());
+            if newest && change.rev.is_some() && self.docs.contains_key(&change.id) {
+                kept.push(change);
+            }
+        }
+        kept.reverse();
+        self.changes = kept;
+        self.changes.extend(suffix);
+    }
+}
+
 /// A CouchDB-style document database. Cheap to clone (shared state).
+///
+/// Views are *incrementally indexed*: [`DocStore::create_view`] builds a
+/// `field value → document ids` index which every subsequent write keeps
+/// current, so [`DocStore::query_view`] is a lookup, not a scan. Id-prefix
+/// families (`record-*`) are served by [`DocStore::scan_prefix`] /
+/// [`DocStore::count_prefix`] as ordered-map range queries.
 ///
 /// ```
 /// use safeweb_docstore::DocStore;
@@ -149,14 +299,8 @@ impl DocStore {
             }
         };
         let doc = Document::new(id.to_string(), new_rev.clone(), labels, body);
-        inner.docs.insert(id.to_string(), doc);
-        inner.seq += 1;
-        let change = Change {
-            seq: inner.seq,
-            id: id.to_string(),
-            rev: Some(new_rev.clone()),
-        };
-        inner.changes.push(change);
+        inner.store_doc(doc);
+        inner.record_change(id.to_string(), Some(new_rev.clone()));
         Ok(new_rev)
     }
 
@@ -173,14 +317,8 @@ impl DocStore {
         }
         match inner.docs.get(id) {
             Some(doc) if doc.rev() == expected_rev => {
-                inner.docs.remove(id);
-                inner.seq += 1;
-                let change = Change {
-                    seq: inner.seq,
-                    id: id.to_string(),
-                    rev: None,
-                };
-                inner.changes.push(change);
+                inner.remove_doc(id);
+                inner.record_change(id.to_string(), None);
                 Ok(())
             }
             other => Err(StoreError::Conflict {
@@ -212,33 +350,52 @@ impl DocStore {
 
     /// Registers a view indexing `field` of document bodies, CouchRest's
     /// `by_<field>` idiom (the paper's Listing 2 uses `Records.by_mid`).
+    ///
+    /// The index over the documents already stored is built immediately;
+    /// every later [`DocStore::put`] / [`DocStore::delete`] / replication
+    /// write maintains it incrementally (including moving a document
+    /// between buckets when the indexed field's value changes).
     pub fn create_view(&self, view: &str, field: &str) {
-        self.inner
-            .write()
-            .views
-            .insert(view.to_string(), field.to_string());
+        let mut inner = self.inner.write();
+        let mut v = View {
+            field: field.to_string(),
+            index: BTreeMap::new(),
+        };
+        for doc in inner.docs.values() {
+            if let Some(key) = doc.body().get(field).and_then(index_key) {
+                v.index.entry(key).or_default().insert(doc.id().to_string());
+            }
+        }
+        inner.views.insert(view.to_string(), v);
     }
 
-    /// Queries a view: documents whose indexed field equals `key`.
+    /// Queries a view: documents whose indexed field equals `key`, in id
+    /// order. An index lookup — `O(log buckets + matches)`, independent of
+    /// store size.
+    ///
+    /// Keys containing non-finite floats never match anything (JSON
+    /// cannot represent them, and `NaN` does not equal itself).
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownView`] if the view was never created.
     pub fn query_view(&self, view: &str, key: &Value) -> Result<Vec<Document>, StoreError> {
         let inner = self.inner.read();
-        let field = inner
+        let view = inner
             .views
             .get(view)
             .ok_or_else(|| StoreError::UnknownView(view.to_string()))?;
-        Ok(inner
-            .docs
-            .values()
-            .filter(|d| d.body().get(field) == Some(key))
-            .cloned()
+        let Some(ids) = index_key(key).and_then(|k| view.index.get(&k)) else {
+            return Ok(Vec::new());
+        };
+        Ok(ids
+            .iter()
+            .map(|id| inner.docs.get(id).expect("view index in sync").clone())
             .collect())
     }
 
-    /// Scans all documents with a predicate over bodies.
+    /// Scans all documents with a predicate over bodies. `O(n)` — prefer
+    /// [`DocStore::query_view`] or [`DocStore::scan_prefix`] on hot paths.
     pub fn scan(&self, mut predicate: impl FnMut(&Document) -> bool) -> Vec<Document> {
         self.inner
             .read()
@@ -249,20 +406,91 @@ impl DocStore {
             .collect()
     }
 
+    /// All documents whose id starts with `prefix`, in id order: a range
+    /// query over the ordered id map (`O(log n + matches)`), serving id
+    /// families like `record-*` without walking the whole store.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<Document> {
+        self.inner
+            .read()
+            .docs
+            .range(prefix.to_string()..)
+            .take_while(|(id, _)| id.starts_with(prefix))
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// Counts documents whose id starts with `prefix` without cloning them.
+    pub fn count_prefix(&self, prefix: &str) -> usize {
+        self.inner
+            .read()
+            .docs
+            .range(prefix.to_string()..)
+            .take_while(|(id, _)| id.starts_with(prefix))
+            .count()
+    }
+
     /// The current sequence number (grows with every write).
     pub fn seq(&self) -> u64 {
         self.inner.read().seq
     }
 
-    /// Changes with `seq > since`, for replication.
+    /// Changes with `seq > since`, for replication. A binary search into
+    /// the seq-sorted feed plus a copy of the tail.
+    ///
+    /// When `since` predates [`DocStore::compacted_seq`], the result is
+    /// *incomplete*: compaction has dropped tombstones and superseded
+    /// entries below the horizon, so callers must fall back to a full
+    /// resync instead (as [`crate::Replicator::run_once`] does).
     pub fn changes_since(&self, since: u64) -> Vec<Change> {
-        self.inner
-            .read()
-            .changes
-            .iter()
-            .filter(|c| c.seq > since)
-            .cloned()
-            .collect()
+        let inner = self.inner.read();
+        let start = inner.changes.partition_point(|c| c.seq <= since);
+        inner.changes[start..].to_vec()
+    }
+
+    /// The compaction horizon: change entries at or below this sequence
+    /// number may have been compacted away (deletions silently so). A
+    /// replication checkpoint below the horizon cannot be served
+    /// incrementally.
+    pub fn compacted_seq(&self) -> u64 {
+        self.inner.read().compacted_seq
+    }
+
+    /// Number of entries currently held by the changes feed (diagnostics:
+    /// bounded at `O(live docs + retention)` when auto-compaction is on).
+    pub fn changes_len(&self) -> usize {
+        self.inner.read().changes.len()
+    }
+
+    /// Sets the auto-compaction retention (default
+    /// [`DEFAULT_CHANGES_RETENTION`]): the feed keeps at least this many
+    /// most-recent entries verbatim and compacts everything older once the
+    /// feed exceeds `live docs + 2 × retention` entries. `0` disables
+    /// auto-compaction (the seed's unbounded behaviour).
+    pub fn set_changes_retention(&self, retention: usize) {
+        self.inner.write().changes_retention = retention;
+    }
+
+    /// Compacts the changes feed now, keeping the most recent
+    /// `retain_recent` entries verbatim and one latest entry per live id
+    /// below that horizon. Tombstones below the horizon are dropped —
+    /// replication checkpoints older than the horizon then require a full
+    /// resync.
+    pub fn compact_changes(&self, retain_recent: usize) {
+        let mut inner = self.inner.write();
+        if inner.changes.len() <= retain_recent {
+            return;
+        }
+        let horizon = inner.changes[inner.changes.len() - retain_recent - 1].seq;
+        inner.compact_to(horizon);
+    }
+
+    /// An atomic snapshot of the store: the sequence number and every live
+    /// document, taken under one read lock. Full replication resyncs use
+    /// this so the checkpoint they install is consistent with the
+    /// documents they copied.
+    pub fn snapshot(&self) -> (u64, Vec<Document>) {
+        let inner = self.inner.read();
+        (inner.seq, inner.docs.values().cloned().collect())
     }
 
     /// Applies a replicated document directly, bypassing MVCC and the
@@ -273,27 +501,19 @@ impl DocStore {
         let mut inner = self.inner.write();
         let id = doc.id().to_string();
         let rev = doc.rev().clone();
-        inner.docs.insert(id.clone(), doc);
-        inner.seq += 1;
-        let change = Change {
-            seq: inner.seq,
-            id,
-            rev: Some(rev),
-        };
-        inner.changes.push(change);
+        inner.store_doc(doc);
+        inner.record_change(id, Some(rev));
     }
 
-    /// Applies a replicated deletion.
-    pub(crate) fn apply_replicated_delete(&self, id: &str) {
+    /// Applies a replicated deletion; returns whether a document was
+    /// actually removed (so replication reports count real deletions).
+    pub(crate) fn apply_replicated_delete(&self, id: &str) -> bool {
         let mut inner = self.inner.write();
-        if inner.docs.remove(id).is_some() {
-            inner.seq += 1;
-            let change = Change {
-                seq: inner.seq,
-                id: id.to_string(),
-                rev: None,
-            };
-            inner.changes.push(change);
+        if inner.remove_doc(id).is_some() {
+            inner.record_change(id.to_string(), None);
+            true
+        } else {
+            false
         }
     }
 }
@@ -413,6 +633,125 @@ mod tests {
     }
 
     #[test]
+    fn view_created_after_puts_indexes_existing_docs() {
+        let store = DocStore::new("t");
+        store
+            .put("r1", jobject! {"kind" => "m"}, LabelSet::new(), None)
+            .unwrap();
+        store
+            .put("r2", jobject! {"kind" => "r"}, LabelSet::new(), None)
+            .unwrap();
+        store.create_view("by_kind", "kind");
+        let hits = store.query_view("by_kind", &Value::from("m")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id(), "r1");
+    }
+
+    #[test]
+    fn view_index_follows_field_changes_and_deletes() {
+        let store = DocStore::new("t");
+        store.create_view("by_mid", "mdt_id");
+        let rev = store
+            .put("r1", jobject! {"mdt_id" => "a"}, LabelSet::new(), None)
+            .unwrap();
+        // Update moves the doc to another bucket.
+        let rev = store
+            .put(
+                "r1",
+                jobject! {"mdt_id" => "b"},
+                LabelSet::new(),
+                Some(&rev),
+            )
+            .unwrap();
+        assert!(store
+            .query_view("by_mid", &Value::from("a"))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            store.query_view("by_mid", &Value::from("b")).unwrap().len(),
+            1
+        );
+        // Dropping the field removes it from the index entirely.
+        let rev = store
+            .put("r1", jobject! {"other" => 1}, LabelSet::new(), Some(&rev))
+            .unwrap();
+        assert!(store
+            .query_view("by_mid", &Value::from("b"))
+            .unwrap()
+            .is_empty());
+        // Restore and delete: bucket empties again.
+        let rev = store
+            .put(
+                "r1",
+                jobject! {"mdt_id" => "b"},
+                LabelSet::new(),
+                Some(&rev),
+            )
+            .unwrap();
+        store.delete("r1", &rev).unwrap();
+        assert!(store
+            .query_view("by_mid", &Value::from("b"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn non_finite_floats_never_match_views() {
+        let store = DocStore::new("t");
+        store.create_view("by_v", "v");
+        store
+            .put("nan", jobject! {"v" => f64::NAN}, LabelSet::new(), None)
+            .unwrap();
+        store
+            .put(
+                "inf",
+                jobject! {"v" => f64::INFINITY},
+                LabelSet::new(),
+                None,
+            )
+            .unwrap();
+        store
+            .put("null", jobject! {"v" => Value::Null}, LabelSet::new(), None)
+            .unwrap();
+        // Non-finite floats serialise to JSON null; they must NOT collide
+        // with each other or with a real null bucket.
+        let nulls = store.query_view("by_v", &Value::Null).unwrap();
+        assert_eq!(nulls.len(), 1);
+        assert_eq!(nulls[0].id(), "null");
+        assert!(store
+            .query_view("by_v", &Value::Float(f64::NAN))
+            .unwrap()
+            .is_empty());
+        assert!(store
+            .query_view("by_v", &Value::Float(f64::INFINITY))
+            .unwrap()
+            .is_empty());
+        // Updating a non-finite doc must not corrupt the index either.
+        let rev = store.get("inf").unwrap().rev().clone();
+        store
+            .put("inf", jobject! {"v" => 1}, LabelSet::new(), Some(&rev))
+            .unwrap();
+        assert_eq!(store.query_view("by_v", &Value::from(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_is_a_range_query() {
+        let store = DocStore::new("t");
+        for id in ["metrics-a", "record-1", "record-2", "record-3", "zz"] {
+            store.put(id, jobject! {}, LabelSet::new(), None).unwrap();
+        }
+        let records = store.scan_prefix("record-");
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|d| d.id().starts_with("record-")));
+        assert_eq!(store.count_prefix("record-"), 3);
+        assert_eq!(store.count_prefix("metrics-"), 1);
+        assert_eq!(store.count_prefix("nothing-"), 0);
+        // Prefix results arrive in id order.
+        let ids: Vec<&str> = records.iter().map(Document::id).collect();
+        assert_eq!(ids, ["record-1", "record-2", "record-3"]);
+    }
+
+    #[test]
     fn changes_feed_tracks_writes_and_deletes() {
         let store = DocStore::new("t");
         let rev = store.put("a", jobject! {}, LabelSet::new(), None).unwrap();
@@ -424,6 +763,103 @@ mod tests {
         let tail = store.changes_since(2);
         assert_eq!(tail.len(), 1);
         assert_eq!(tail[0].id, "a");
+    }
+
+    #[test]
+    fn changes_since_matches_linear_filter() {
+        let store = DocStore::new("t");
+        for i in 0..20 {
+            store
+                .put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
+                .unwrap();
+        }
+        for since in 0..=21 {
+            let got = store.changes_since(since);
+            let expected: Vec<Change> = store
+                .changes_since(0)
+                .into_iter()
+                .filter(|c| c.seq > since)
+                .collect();
+            assert_eq!(got, expected, "since={since}");
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_latest_entry_per_live_id() {
+        let store = DocStore::new("t");
+        let mut rev = store
+            .put("a", jobject! {"v" => 0}, LabelSet::new(), None)
+            .unwrap();
+        for v in 1..10 {
+            rev = store
+                .put("a", jobject! {"v" => v}, LabelSet::new(), Some(&rev))
+                .unwrap();
+        }
+        let rev_b = store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        store.delete("b", &rev_b).unwrap();
+        assert_eq!(store.changes_len(), 12);
+
+        store.compact_changes(0);
+        // One entry survives: a's latest put. b's tombstone is dropped.
+        let feed = store.changes_since(0);
+        assert_eq!(feed.len(), 1);
+        assert_eq!(feed[0].id, "a");
+        assert_eq!(feed[0].rev.as_ref(), Some(&rev));
+        assert_eq!(store.compacted_seq(), 12);
+        // The live data is untouched.
+        assert_eq!(store.get("a").unwrap().rev(), &rev);
+        assert!(store.get("b").is_none());
+    }
+
+    #[test]
+    fn compaction_retains_recent_tail_verbatim() {
+        let store = DocStore::new("t");
+        for i in 0..10 {
+            store
+                .put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
+                .unwrap();
+        }
+        store.compact_changes(4);
+        assert_eq!(store.compacted_seq(), 6);
+        // The last four entries are untouched; the rest keep one entry per
+        // live id (all ten docs are live, so nothing is actually dropped).
+        assert_eq!(store.changes_len(), 10);
+        let tail = store.changes_since(6);
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].seq, 7);
+    }
+
+    #[test]
+    fn auto_compaction_bounds_feed_under_sustained_writes() {
+        let store = DocStore::new("t");
+        store.set_changes_retention(16);
+        let mut rev = store
+            .put("hot", jobject! {"v" => 0}, LabelSet::new(), None)
+            .unwrap();
+        for v in 1..500 {
+            rev = store
+                .put("hot", jobject! {"v" => v}, LabelSet::new(), Some(&rev))
+                .unwrap();
+        }
+        // One live doc + retention 16: the feed must stay near 1 + 2*16,
+        // not grow to 500.
+        assert!(
+            store.changes_len() <= 1 + 2 * 16,
+            "feed unbounded: {} entries",
+            store.changes_len()
+        );
+        assert_eq!(store.seq(), 500);
+        // Churn through distinct ids: tombstones must not accumulate.
+        for i in 0..500 {
+            let id = format!("tmp-{i}");
+            let r = store.put(&id, jobject! {}, LabelSet::new(), None).unwrap();
+            store.delete(&id, &r).unwrap();
+        }
+        assert!(
+            store.changes_len() <= 1 + 2 * 16,
+            "tombstones accumulated: {} entries",
+            store.changes_len()
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests: replication converges — after any interleaving of
-//! writes, updates and deletes followed by replication, the target's live
-//! documents equal the source's.
+//! writes, updates, deletes and changes-feed compactions followed by
+//! replication, the target's live documents equal the source's (compaction
+//! may force the replicator through its full-resync path; the outcome must
+//! be indistinguishable).
 
 use proptest::prelude::*;
 use safeweb_docstore::{DocStore, Replicator};
@@ -13,6 +15,7 @@ enum Op {
     Update(u8, i64),
     Delete(u8),
     Replicate,
+    Compact(u8),
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -21,6 +24,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u8..6, any::<i64>()).prop_map(|(id, v)| Op::Update(id, v)),
         (0u8..6).prop_map(Op::Delete),
         Just(Op::Replicate),
+        (0u8..6).prop_map(Op::Compact),
     ]
 }
 
@@ -61,6 +65,7 @@ proptest! {
                     }
                 }
                 Op::Replicate => { rep.run_once(); }
+                Op::Compact(retain) => { src.compact_changes(retain as usize); }
             }
         }
         // Final replication: stores must converge exactly.

@@ -163,11 +163,7 @@ impl MdtPortal {
     pub fn wait_for_pipeline(&self, timeout: Duration) {
         let deadline = Instant::now() + timeout;
         loop {
-            let records = self
-                .deployment
-                .dmz_db()
-                .scan(|d| d.id().starts_with("record-"))
-                .len();
+            let records = self.deployment.dmz_db().count_prefix("record-");
             if records >= self.expected_records {
                 return;
             }

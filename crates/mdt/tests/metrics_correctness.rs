@@ -56,10 +56,7 @@ fn metrics_count_distinct_cases() {
 fn average_completeness_matches_records() {
     let portal = portal();
     let mdt = &portal.mdts()[0];
-    let records = portal
-        .deployment()
-        .dmz_db()
-        .scan(|d| d.id().starts_with("record-"));
+    let records = portal.deployment().dmz_db().scan_prefix("record-");
     assert_eq!(records.len(), 10);
     let sum: f64 = records
         .iter()
@@ -96,7 +93,7 @@ fn aggregate_documents_carry_aggregate_labels() {
     let record = portal
         .deployment()
         .dmz_db()
-        .scan(|d| d.id().starts_with("record-"))
+        .scan_prefix("record-")
         .into_iter()
         .next()
         .expect("a record");
@@ -133,10 +130,7 @@ fn aggregate_documents_carry_aggregate_labels() {
 #[test]
 fn records_contain_joined_case_fields() {
     let portal = portal();
-    let records = portal
-        .deployment()
-        .dmz_db()
-        .scan(|d| d.id().starts_with("record-"));
+    let records = portal.deployment().dmz_db().scan_prefix("record-");
     // Every record has the tumour join; treatments exist for ~80%.
     for doc in &records {
         assert!(doc.body().get("site").is_some(), "{:?}", doc.id());

@@ -38,10 +38,7 @@ fn get(app: &safeweb_web::SafeWebApp, path: &str, user: &str) -> (u16, String) {
 fn pipeline_delivers_labelled_records_to_dmz() {
     let portal = small_portal();
     // Every patient produced a record in the DMZ replica, with labels.
-    let records = portal
-        .deployment()
-        .dmz_db()
-        .scan(|d| d.id().starts_with("record-"));
+    let records = portal.deployment().dmz_db().scan_prefix("record-");
     assert_eq!(records.len(), 16);
     for doc in &records {
         assert!(
@@ -54,12 +51,12 @@ fn pipeline_delivers_labelled_records_to_dmz() {
     assert!(!portal
         .deployment()
         .dmz_db()
-        .scan(|d| d.id().starts_with("metrics-"))
+        .scan_prefix("metrics-")
         .is_empty());
     assert!(!portal
         .deployment()
         .dmz_db()
-        .scan(|d| d.id().starts_with("regional-"))
+        .scan_prefix("regional-")
         .is_empty());
     // No unit violated policy.
     assert!(portal.deployment().engine_violations().is_empty());

@@ -129,6 +129,9 @@ impl<'a> Ctx<'a> {
     /// documents: this is §4.4 step 2, where "SafeWeb's taint tracking
     /// library transparently adds the labels produced by units in the
     /// backend to the data fetched from the application database".
+    ///
+    /// Views are incrementally indexed by the store, so this is a lookup
+    /// whose cost scales with the result set, not the database size.
     pub fn records_by(&self, view: &str, key: &str) -> Vec<SValue> {
         self.records
             .query_view(view, &safeweb_json::Value::from(key))

@@ -37,16 +37,8 @@ fn main() {
     portal.wait_for_pipeline(Duration::from_secs(60));
     println!(
         "pipeline settled: {} records, {} metric docs in the DMZ replica",
-        portal
-            .deployment()
-            .dmz_db()
-            .scan(|d| d.id().starts_with("record-"))
-            .len(),
-        portal
-            .deployment()
-            .dmz_db()
-            .scan(|d| d.id().starts_with("metrics-"))
-            .len(),
+        portal.deployment().dmz_db().scan_prefix("record-").len(),
+        portal.deployment().dmz_db().scan_prefix("metrics-").len(),
     );
 
     let app = portal.frontend(&VulnConfig::default());
