@@ -13,6 +13,14 @@
 //!   feed (and therefore replication scans and memory) bounded; the
 //!   deduplicated replicator writes each document once per batch however
 //!   many superseded revisions the feed holds.
+//! * **Durable mode**: the WAL tax on the put path (append + frame +
+//!   checksum per write) and the snapshot-then-replay recovery cost of
+//!   [`DocStore::open`].
+//!
+//! `SAFEWEB_BENCH_SMOKE=1` (CI) shrinks the fixed workloads ~10× on top
+//! of the criterion shim's sample caps; `SAFEWEB_BENCH_JSON` records the
+//! medians that `bench_gate` compares against
+//! `crates/bench/baselines/docstore.json`.
 
 use std::time::{Duration, Instant};
 
@@ -130,6 +138,7 @@ fn bench_docstore(c: &mut Criterion) {
     }
 
     // --- Changes feed: bounded under sustained writes ------------------
+    let updates_per_doc: i64 = if criterion::smoke_run() { 200 } else { 2_000 };
     let bounded = DocStore::new("bounded");
     let unbounded = DocStore::new("unbounded");
     unbounded.set_changes_retention(0); // the seed's behaviour
@@ -137,7 +146,7 @@ fn bench_docstore(c: &mut Criterion) {
         for m in 0..BASE_MDTS {
             let id = format!("metrics-{m}");
             let mut rev = None;
-            for v in 0..2_000i64 {
+            for v in 0..updates_per_doc {
                 rev = Some(
                     store
                         .put(&id, jobject! {"v" => v}, LabelSet::new(), rev.as_ref())
@@ -148,7 +157,7 @@ fn bench_docstore(c: &mut Criterion) {
     }
     eprintln!(
         "\n  sustained writes ({} updates over {} docs):",
-        2_000 * BASE_MDTS,
+        updates_per_doc as usize * BASE_MDTS,
         BASE_MDTS
     );
     eprintln!(
@@ -163,12 +172,78 @@ fn bench_docstore(c: &mut Criterion) {
     let report = rep.run_once();
     eprintln!(
         "    replicating {} feed entries: {} docs written, target seq {} (seed wrote one per entry)",
-        2_000 * BASE_MDTS,
+        updates_per_doc as usize * BASE_MDTS,
         report.docs_written,
         dst.seq()
     );
     assert_eq!(report.docs_written as usize, BASE_MDTS);
     assert_eq!(dst.seq() as usize, BASE_MDTS);
+
+    // --- Durable mode: the WAL tax and recovery cost -------------------
+    let dir = std::env::temp_dir().join(format!("safeweb-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = DocStore::open(&dir).expect("open durable bench store");
+    durable.set_snapshot_every(0); // measure pure appends, then recovery replay
+    let memory = DocStore::new("memory");
+    let mut group = c.benchmark_group("docstore_persistence");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let mut n = 0u64;
+    group.bench_function("put/memory", |b| {
+        b.iter(|| {
+            n += 1;
+            memory
+                .put(
+                    &format!("doc-{n}"),
+                    jobject! {"n" => n as i64, "payload" => "0123456789abcdef"},
+                    LabelSet::new(),
+                    None,
+                )
+                .unwrap()
+        });
+    });
+    let mut m = 0u64;
+    group.bench_function("put/durable-os-buffered", |b| {
+        b.iter(|| {
+            m += 1;
+            durable
+                .put(
+                    &format!("doc-{m}"),
+                    jobject! {"n" => m as i64, "payload" => "0123456789abcdef"},
+                    LabelSet::new(),
+                    None,
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+
+    // Recovery: replay the whole WAL the puts above just wrote.
+    let wal_bytes = durable.wal_len().unwrap_or(0);
+    drop(durable);
+    let start = Instant::now();
+    let recovered = DocStore::open(&dir).expect("recovery open");
+    let replay = start.elapsed();
+    eprintln!(
+        "\n  durable recovery: {} docs / {:.1} KiB of WAL replayed in {:.1} ms ({:.0} docs/s)",
+        recovered.len(),
+        wal_bytes as f64 / 1024.0,
+        replay.as_secs_f64() * 1e3,
+        recovered.len() as f64 / replay.as_secs_f64().max(1e-9),
+    );
+    // Snapshot + truncate, then recovery reads the snapshot instead.
+    recovered.snapshot_now().expect("snapshot");
+    drop(recovered);
+    let start = Instant::now();
+    let from_snap = DocStore::open(&dir).expect("snapshot open");
+    eprintln!(
+        "  durable recovery from snapshot: {} docs in {:.1} ms",
+        from_snap.len(),
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    drop(from_snap);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, bench_docstore);

@@ -1,0 +1,88 @@
+//! Bench regression gate: compares a bench run's machine-readable
+//! medians (the JSON the criterion shim writes under
+//! `SAFEWEB_BENCH_JSON`) against a recorded baseline and fails — exit
+//! code 1 — when any gated bench regressed past the allowed ratio.
+//!
+//! ```sh
+//! SAFEWEB_BENCH_JSON=BENCH_docstore.json \
+//!     cargo bench -p safeweb-bench --bench docstore
+//! cargo run -p safeweb-bench --bin bench_gate -- \
+//!     BENCH_docstore.json crates/bench/baselines/docstore.json
+//! ```
+//!
+//! The baseline records medians (µs/iter) from a developer machine; CI
+//! hosts differ, so the default gate only fires on a >3× regression —
+//! wide enough to absorb runner variance, tight enough to catch an
+//! accidental O(n) slip on the indexed-view path (which regressed ~25×
+//! at the bench's 10× scale in the seed). Only keys present in the
+//! baseline are gated; extra measurements pass through freely.
+
+use std::process::ExitCode;
+
+use safeweb_json::Value;
+
+fn load(path: &str) -> Value {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Value::parse(&raw).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-ratio" {
+            let v = it.next().expect("--max-ratio needs a value");
+            max_ratio = v.parse().expect("--max-ratio must be a number");
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [measured_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <measured.json> <baseline.json> [--max-ratio N]");
+        return ExitCode::FAILURE;
+    };
+
+    let measured = load(measured_path);
+    let baseline = load(baseline_path);
+    let measured = measured
+        .get("benches")
+        .and_then(Value::as_object)
+        .expect("measured file has a benches object");
+    let gated = baseline
+        .get("benches")
+        .and_then(Value::as_object)
+        .expect("baseline file has a benches object");
+
+    eprintln!(
+        "bench gate: {} gated benches, max allowed ratio {max_ratio:.1}x \
+         ({measured_path} vs {baseline_path})",
+        gated.len()
+    );
+    let mut failures = 0u32;
+    for (name, base) in gated {
+        let base_us = base.as_f64().expect("baseline medians are numbers");
+        let Some(got_us) = measured.get(name).and_then(Value::as_f64) else {
+            eprintln!("  FAIL {name}: gated bench missing from the measured run");
+            failures += 1;
+            continue;
+        };
+        let ratio = if base_us > 0.0 {
+            got_us / base_us
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if ratio > max_ratio { "FAIL" } else { "  ok" };
+        eprintln!("  {verdict} {name}: {got_us:.1} us vs baseline {base_us:.1} us ({ratio:.2}x)");
+        if ratio > max_ratio {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench gate: {failures} regression(s) past {max_ratio:.1}x — failing");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench gate: all gated benches within budget");
+    ExitCode::SUCCESS
+}

@@ -60,6 +60,7 @@ pub fn bench_portal(tracking: bool) -> (MdtPortal, SafeWebApp) {
         auth_iterations: BENCH_AUTH_ITERATIONS,
         replication_interval: Duration::from_millis(10),
         label_tracking: tracking,
+        ..PortalConfig::default()
     });
     portal.wait_for_pipeline(Duration::from_secs(120));
     let mut app = portal.frontend(&VulnConfig::default());

@@ -3,6 +3,7 @@
 //! replicated one-way into a read-only DMZ instance, and the enforcing
 //! web frontend on top.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,6 +37,7 @@ pub struct SafeWebBuilder {
     auth_config: AuthConfig,
     engine_options: EngineOptions,
     app_views: Vec<(String, String)>,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for SafeWebBuilder {
@@ -55,6 +57,7 @@ impl SafeWebBuilder {
             auth_config: AuthConfig::default(),
             engine_options: EngineOptions::default(),
             app_views: Vec::new(),
+            data_dir: None,
         }
     }
 
@@ -107,20 +110,44 @@ impl SafeWebBuilder {
         self
     }
 
+    /// Runs the deployment in **durable mode**: the Intranet application
+    /// database and the DMZ replica persist under
+    /// `dir/app-intranet` and `dir/app-dmz` through write-ahead logs with
+    /// periodic snapshots, and Intranet→DMZ replication resumes from the
+    /// replica's durably recorded checkpoint after a restart (no full
+    /// re-transfer). Views are re-declared per build via
+    /// [`SafeWebBuilder::app_view`] and rebuilt from the recovered
+    /// documents.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> SafeWebBuilder {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
     /// Wires and starts everything: broker, engine (units subscribed),
     /// application database + read-only DMZ replica + periodic replication,
     /// and the web user store.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError`] if a unit cannot be wired to the broker.
+    /// Returns [`EngineError`] if a unit cannot be wired to the broker,
+    /// or [`EngineError::Storage`] if durable mode
+    /// ([`SafeWebBuilder::data_dir`]) cannot open or recover its stores.
     pub fn build(self) -> Result<SafeWebDeployment, EngineError> {
         let topology = ZoneTopology::ecric();
         let broker = Broker::new();
 
         // Application DB lives in the Intranet; replica in the DMZ.
-        let app_db = DocStore::new("app-intranet");
-        let dmz_db = DocStore::new("app-dmz");
+        // Durable mode recovers both from their write-ahead logs.
+        let (app_db, dmz_db) = match &self.data_dir {
+            Some(dir) => {
+                let open = |name: &str| {
+                    DocStore::open(dir.join(name))
+                        .map_err(|e| EngineError::Storage(format!("{name}: {e}")))
+                };
+                (open("app-intranet")?, open("app-dmz")?)
+            }
+            None => (DocStore::new("app-intranet"), DocStore::new("app-dmz")),
+        };
         dmz_db.set_read_only(true);
         for (view, field) in &self.app_views {
             app_db.create_view(view, field);
@@ -128,11 +155,20 @@ impl SafeWebBuilder {
         }
 
         // Replication pushes Intranet → DMZ; assert the firewall allows it.
+        // A durable replica resumes from its recovered checkpoint instead
+        // of re-transferring the whole history.
         topology
             .check(Zone::Intranet, Zone::Dmz)
             .expect("ECRIC topology always allows intranet→DMZ");
-        let replication =
-            ReplicationHandle::start(app_db.clone(), dmz_db.clone(), self.replication_interval);
+        let replication = if dmz_db.is_durable() {
+            ReplicationHandle::start_durable(
+                app_db.clone(),
+                dmz_db.clone(),
+                self.replication_interval,
+            )
+        } else {
+            ReplicationHandle::start(app_db.clone(), dmz_db.clone(), self.replication_interval)
+        };
 
         let mut engine = Engine::new(Arc::new(broker.clone()), self.policy.clone())
             .with_options(self.engine_options);
@@ -204,12 +240,19 @@ impl SafeWebDeployment {
     }
 
     /// The Intranet→DMZ replication checkpoint after the most recent run,
-    /// or `None` once replication has been stopped. Persist this across
-    /// restarts and hand it to
-    /// [`safeweb_docstore::ReplicationHandle::start_from`] to resume
-    /// replication without re-transferring the whole history.
+    /// or `None` once replication has been stopped. In durable mode
+    /// ([`SafeWebBuilder::data_dir`]) this is persisted through the DMZ
+    /// replica's write-ahead log automatically and the next build resumes
+    /// from it; for in-memory deployments, persist it yourself and hand
+    /// it to [`safeweb_docstore::ReplicationHandle::start_from`].
     pub fn replication_checkpoint(&self) -> Option<u64> {
         self.replication.as_ref().map(|r| r.checkpoint())
+    }
+
+    /// Whether the application database and DMZ replica persist to disk
+    /// (the deployment was built with [`SafeWebBuilder::data_dir`]).
+    pub fn is_durable(&self) -> bool {
+        self.app_db.is_durable()
     }
 
     /// Violations recorded by the engine so far.

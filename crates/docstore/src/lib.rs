@@ -16,7 +16,13 @@
 //!   document plus a recent tail) and **one-way push replication** with
 //!   resumable checkpoints, per-batch deduplication, and a full-resync
 //!   fallback once a checkpoint predates the compaction horizon,
-//! * a **read-only mode** for the DMZ replica, enforcing requirement S1.
+//! * a **read-only mode** for the DMZ replica, enforcing requirement S1,
+//! * an optional **durable mode** ([`DocStore::open`]): an append-only,
+//!   checksummed write-ahead log plus periodic snapshots with log
+//!   truncation, recovering documents *and* the replication checkpoint
+//!   after a crash (views and the changes feed are rebuilt, not
+//!   serialised). The record format is documented in `wal.rs` and in the
+//!   repository's `ARCHITECTURE.md`.
 //!
 //! Security labels are first-class document metadata (not body fields), so
 //! application code cannot accidentally strip them.
@@ -26,8 +32,11 @@
 
 mod document;
 mod replication;
+mod snapshot;
 mod store;
+mod wal;
 
 pub use document::{Document, Revision};
 pub use replication::{ReplicationHandle, ReplicationReport, Replicator};
-pub use store::{Change, DocStore, StoreError, DEFAULT_CHANGES_RETENTION};
+pub use store::{Change, DocStore, StoreError, DEFAULT_CHANGES_RETENTION, DEFAULT_SNAPSHOT_EVERY};
+pub use wal::{WalError, WalSync};

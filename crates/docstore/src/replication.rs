@@ -84,6 +84,14 @@ impl Replicator {
     /// not feed entries. Writes whose revision already matches the target
     /// are skipped, keeping the target's sequence number from inflating.
     pub fn run_once(&mut self) -> ReplicationReport {
+        if self.checkpoint > self.source.seq() {
+            // The checkpoint claims history the source does not have: the
+            // source store was lost and recreated (or the checkpoint
+            // belongs to another source). Incremental replication would
+            // sit forever on an empty feed while the stores silently
+            // diverge — resync and adopt the source's real sequence.
+            return self.full_resync();
+        }
         if self.checkpoint < self.source.compacted_seq() {
             // Entries at or below the horizon were compacted; deletions
             // there are gone from the feed. Incremental replication would
@@ -184,12 +192,34 @@ impl ReplicationHandle {
         ReplicationHandle::start_from(source, target, interval, 0)
     }
 
+    /// Starts periodic replication into a **durable** target
+    /// ([`DocStore::open`]), resuming from the checkpoint the target
+    /// recovered from its write-ahead log
+    /// ([`DocStore::replication_checkpoint_persisted`]). After a restart
+    /// this picks up exactly where the last completed run left off — no
+    /// re-transfer, no manual checkpoint plumbing. Falls back to sequence
+    /// 0 (a full first pass) when the target is in-memory.
+    pub fn start_durable(
+        source: DocStore,
+        target: DocStore,
+        interval: Duration,
+    ) -> ReplicationHandle {
+        let checkpoint = target.replication_checkpoint_persisted().unwrap_or(0);
+        ReplicationHandle::start_from(source, target, interval, checkpoint)
+    }
+
     /// Starts periodic replication resuming from `checkpoint` — the value
     /// a previous handle reported via [`ReplicationHandle::checkpoint`].
     /// Resuming skips the already-transferred history instead of pushing
     /// everything from sequence 0 again; a checkpoint that has fallen
     /// behind the source's compaction horizon degrades safely into a full
     /// resync on the first run.
+    ///
+    /// When the target is durable, every completed run's checkpoint is
+    /// additionally persisted through the target's write-ahead log
+    /// (after the run's writes, so a recovered checkpoint never claims
+    /// more than what was applied); restarts can then resume via
+    /// [`ReplicationHandle::start_durable`].
     pub fn start_from(
         source: DocStore,
         target: DocStore,
@@ -203,10 +233,21 @@ impl ReplicationHandle {
         let thread = std::thread::Builder::new()
             .name("safeweb-replication".to_string())
             .spawn(move || {
+                let persist_to = target.is_durable().then(|| target.clone());
                 let mut replicator = Replicator::with_checkpoint(source, target, checkpoint);
+                let mut persisted = None;
                 while !stop2.load(Ordering::SeqCst) {
                     let report = replicator.run_once();
                     shared_checkpoint2.store(report.checkpoint, Ordering::SeqCst);
+                    if let Some(t) = &persist_to {
+                        if persisted != Some(report.checkpoint) {
+                            // A failed append leaves the old (smaller)
+                            // checkpoint in force: safe, re-replicates.
+                            if t.persist_replication_checkpoint(report.checkpoint).is_ok() {
+                                persisted = Some(report.checkpoint);
+                            }
+                        }
+                    }
                     // Sleep in short slices so stop is responsive.
                     let mut remaining = interval;
                     while !stop2.load(Ordering::SeqCst) && remaining > Duration::ZERO {
@@ -422,6 +463,69 @@ mod tests {
         assert_eq!(report.docs_written, 1, "the new document \"c\"");
         assert_eq!(src.ids(), dst.ids());
         assert!(dst.get("a").is_none(), "compacted delete must still apply");
+    }
+
+    /// A checkpoint *ahead of* the source's sequence means the source
+    /// store was lost and recreated: an incremental pass would sit on an
+    /// empty feed forever while the stores diverge. It must resync.
+    #[test]
+    fn checkpoint_ahead_of_source_forces_resync() {
+        let src = DocStore::new("recreated");
+        let dst = DocStore::new("d");
+        // The target still holds state from the source's previous life.
+        dst.put("stale", jobject! {}, LabelSet::new(), None)
+            .unwrap();
+        src.put("fresh", jobject! {}, LabelSet::new(), None)
+            .unwrap();
+
+        // Checkpoint 100 from the old source; the new one is at seq 1.
+        let mut rep = Replicator::with_checkpoint(src.clone(), dst.clone(), 100);
+        let report = rep.run_once();
+        assert!(report.resynced, "stale-source checkpoint must resync");
+        assert_eq!(report.docs_written, 1);
+        assert_eq!(report.docs_deleted, 1, "the old life's ghost is swept");
+        assert_eq!(src.ids(), dst.ids());
+        assert_eq!(
+            rep.checkpoint(),
+            src.seq(),
+            "checkpoint adopts the real seq"
+        );
+        // Subsequent runs are incremental again.
+        assert!(!rep.run_once().resynced);
+    }
+
+    /// A replicated write the durable target cannot log (oversized for
+    /// the WAL) is applied in memory but must wedge checkpoint
+    /// persistence: were the checkpoint to advance past it, the document
+    /// would silently vanish on the next restart and incremental
+    /// replication would never re-send it.
+    #[test]
+    fn unloggable_replicated_write_blocks_checkpoint_persistence() {
+        let dir = std::env::temp_dir().join(format!("safeweb-rep-oversize-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = DocStore::new("s");
+        let dst = DocStore::open(&dir).unwrap();
+        let huge = "x".repeat(64 * 1024 * 1024 + 16);
+        src.put(
+            "big",
+            jobject! {"v" => huge.as_str()},
+            LabelSet::new(),
+            None,
+        )
+        .unwrap();
+        let mut rep = Replicator::new(src.clone(), dst.clone());
+        let report = rep.run_once();
+        // The replica stays correct at runtime...
+        assert_eq!(report.docs_written, 1);
+        assert!(dst.get("big").is_some());
+        // ...but the unlogged apply is sticky: the checkpoint cannot be
+        // persisted past it, so a restart re-replicates instead of
+        // silently losing the document.
+        assert!(dst.persistence_error().is_some());
+        assert!(dst
+            .persist_replication_checkpoint(report.checkpoint)
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

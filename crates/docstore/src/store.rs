@@ -1,10 +1,13 @@
 //! The document store: MVCC puts, incrementally indexed views, a
-//! compacting changes feed, and a read-only mode for DMZ replicas (§5.1:
+//! compacting changes feed, a read-only mode for DMZ replicas (§5.1:
 //! "The DMZ instance is read-only in order to prevent modifications by the
-//! web frontend, thus satisfying requirement S1").
+//! web frontend, thus satisfying requirement S1"), and an optional durable
+//! mode ([`DocStore::open`]) backed by a write-ahead log plus periodic
+//! snapshots.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -13,12 +16,20 @@ use safeweb_json::Value;
 use safeweb_labels::LabelSet;
 
 use crate::document::{Document, Revision};
+use crate::snapshot::{self, WAL_FILE};
+use crate::wal::{self, Record, Wal, WalError, WalSync};
 
 /// Default bound on the verbatim tail of the changes feed: once more than
 /// twice this many entries pile up beyond one per live document, the feed
 /// is compacted down to the latest entry per id plus this many recent
 /// entries. See [`DocStore::set_changes_retention`].
 pub const DEFAULT_CHANGES_RETENTION: usize = 1024;
+
+/// Default number of WAL records between automatic snapshots in a durable
+/// store: the recovery replay and the on-disk log stay bounded while each
+/// snapshot's full-store write is amortised over thousands of appends.
+/// See [`DocStore::set_snapshot_every`].
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 8192;
 
 /// Errors from store operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +48,9 @@ pub enum StoreError {
     UnknownView(String),
     /// The document id is empty or contains control characters.
     BadId(String),
+    /// A durable store failed to append to its write-ahead log; the write
+    /// was **not** applied. Carries the underlying I/O error text.
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -49,6 +63,7 @@ impl fmt::Display for StoreError {
             StoreError::ReadOnly => write!(f, "store is read-only"),
             StoreError::UnknownView(v) => write!(f, "unknown view {v:?}"),
             StoreError::BadId(id) => write!(f, "invalid document id {id:?}"),
+            StoreError::Io(e) => write!(f, "write-ahead log failure: {e}"),
         }
     }
 }
@@ -76,6 +91,36 @@ struct View {
     index: BTreeMap<String, BTreeSet<String>>,
 }
 
+/// The persistence state of a durable store: its open WAL, snapshot
+/// cadence, and the recovered replication checkpoint.
+#[derive(Debug)]
+struct Durability {
+    wal: Wal,
+    dir: PathBuf,
+    /// WAL records between automatic snapshots (0 = manual only).
+    snapshot_every: usize,
+    /// Records appended since the last snapshot.
+    since_snapshot: usize,
+    /// The replication checkpoint this store has durably applied through
+    /// (see [`DocStore::persist_replication_checkpoint`]).
+    rep_checkpoint: u64,
+    /// Sticky WAL-append failure: once set, external writes are refused
+    /// and the checkpoint stops advancing, so recovery can never claim
+    /// more than what actually reached the log.
+    failed: Option<String>,
+    /// Last snapshot failure (non-fatal: the WAL still holds everything).
+    snapshot_error: Option<String>,
+}
+
+impl Drop for Durability {
+    /// Releases the directory's advisory lock. Runs when the last handle
+    /// onto the store drops; a `SIGKILL` skips this, which is why
+    /// acquisition treats dead holders as stale.
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(self.dir.join(wal::LOCK_FILE));
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     docs: BTreeMap<String, Document>,
@@ -90,6 +135,8 @@ struct Inner {
     changes_retention: usize,
     views: BTreeMap<String, View>,
     read_only: bool,
+    /// `Some` iff the store was opened with [`DocStore::open`].
+    durability: Option<Durability>,
 }
 
 impl Default for Inner {
@@ -102,6 +149,7 @@ impl Default for Inner {
             changes_retention: DEFAULT_CHANGES_RETENTION,
             views: BTreeMap::new(),
             read_only: false,
+            durability: None,
         }
     }
 }
@@ -149,6 +197,91 @@ fn unindex_doc(views: &mut BTreeMap<String, View>, doc: &Document) {
 }
 
 impl Inner {
+    /// Appends one WAL record *before* the in-memory mutation it
+    /// describes; a no-op for in-memory stores. The payload closure only
+    /// runs when the store is durable. On failure the mutation must not
+    /// proceed — the caller propagates the error — and an I/O failure is
+    /// sticky: later writes are refused too, so the durable state can
+    /// never silently fall behind the acknowledged state. A *validation*
+    /// refusal (oversized record) touches nothing and is not sticky —
+    /// only that one write is rejected, the store stays healthy.
+    fn persist(&mut self, encode: impl FnOnce() -> String) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &d.failed {
+            return Err(StoreError::Io(format!("log previously failed: {why}")));
+        }
+        match d.wal.append(&encode()) {
+            Ok(()) => {
+                d.since_snapshot += 1;
+                Ok(())
+            }
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::InvalidInput {
+                    d.failed = Some(e.to_string());
+                }
+                Err(StoreError::Io(e.to_string()))
+            }
+        }
+    }
+
+    /// [`Inner::persist`] for the replication-apply path: the apply
+    /// proceeds regardless, so *every* failure — including the non-sticky
+    /// validation refusal — must set the sticky flag. The flag is what
+    /// blocks [`DocStore::persist_replication_checkpoint`]; without it an
+    /// unlogged replicated write would be checkpointed past and silently
+    /// lost on the next recovery.
+    fn apply_persist(&mut self, encode: impl FnOnce() -> String) {
+        if let Err(StoreError::Io(why)) = self.persist(encode) {
+            if let Some(d) = self.durability.as_mut() {
+                if d.failed.is_none() {
+                    d.failed = Some(why);
+                }
+            }
+        }
+    }
+
+    /// Writes a snapshot and truncates the WAL. Failures are recorded but
+    /// non-fatal: every record is still in the log, so recovery is
+    /// unaffected — the snapshot is retried after the next
+    /// `snapshot_every` appends.
+    fn snapshot_locked(&mut self) -> Result<(), StoreError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(StoreError::Io("store is not durable".to_string()));
+        };
+        match snapshot::write(&d.dir, self.seq, d.rep_checkpoint, &self.docs) {
+            Ok(()) => {
+                d.snapshot_error = None;
+                // The snapshot now covers every logged record; a crash
+                // between the rename above and this truncation is safe
+                // because replay skips records at or below the snapshot
+                // sequence.
+                if let Err(e) = d.wal.reset() {
+                    d.failed = Some(e.to_string());
+                    return Err(StoreError::Io(e.to_string()));
+                }
+                d.since_snapshot = 0;
+                Ok(())
+            }
+            Err(e) => {
+                d.snapshot_error = Some(e.to_string());
+                d.since_snapshot = 0; // retry after another full window
+                Err(StoreError::Io(e.to_string()))
+            }
+        }
+    }
+
+    fn maybe_snapshot(&mut self) {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every);
+        if due {
+            let _ = self.snapshot_locked();
+        }
+    }
+
     /// Replaces (or inserts) `doc`, keeping every view index in sync —
     /// including re-indexing when the indexed field's value changed.
     fn store_doc(&mut self, doc: Document) {
@@ -250,9 +383,220 @@ impl DocStore {
         }
     }
 
+    /// Opens (or creates) a **durable** store rooted at directory `path`.
+    ///
+    /// Recovery is snapshot-then-WAL: the snapshot (if any) restores the
+    /// documents, sequence number and replication checkpoint in one step,
+    /// then every WAL record past the snapshot's sequence is replayed in
+    /// order. Replay stops cleanly at the first torn or corrupt record —
+    /// the expected residue of a crash mid-append — discarding that tail.
+    /// Views, prefix ranges and the changes feed are *rebuilt*, not
+    /// deserialised: views re-index on [`DocStore::create_view`], prefix
+    /// queries ride the ordered id map, and the feed restarts at the
+    /// snapshot horizon (so [`DocStore::compacted_seq`] equals the
+    /// snapshot sequence and replication checkpoints older than it full
+    /// resync, exactly as after an in-memory compaction).
+    ///
+    /// Every subsequent [`DocStore::put`] / [`DocStore::delete`] /
+    /// replication apply appends to the WAL *before* mutating memory and
+    /// is durable against process death (`SIGKILL`) when it returns; see
+    /// [`WalSync`] for power-loss durability. The store's name is the
+    /// directory's file name.
+    ///
+    /// One handle graph per directory: the open takes an advisory lock
+    /// (`lock` file carrying the owner pid, reclaimed automatically when
+    /// that process is gone) and a second concurrent open — from this or
+    /// any other process — fails with [`WalError::Locked`] rather than
+    /// letting two writers interleave appends into one log. The lock is
+    /// released when the last clone of the returned store drops.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on filesystem failures, [`WalError::Corrupt`] if
+    /// an existing snapshot fails validation (a torn WAL tail is *not* an
+    /// error), [`WalError::Locked`] if a live handle already owns the
+    /// directory.
+    pub fn open(path: impl AsRef<Path>) -> Result<DocStore, WalError> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        wal::acquire_dir_lock(&dir)?;
+        DocStore::open_locked(&dir).inspect_err(|_| {
+            let _ = std::fs::remove_file(dir.join(wal::LOCK_FILE));
+        })
+    }
+
+    fn open_locked(dir: &Path) -> Result<DocStore, WalError> {
+        let mut inner = Inner::default();
+        let mut rep_checkpoint = 0;
+        if let Some(snap) = snapshot::read(dir)? {
+            inner.seq = snap.seq;
+            inner.compacted_seq = snap.seq;
+            rep_checkpoint = snap.rep_checkpoint;
+            for doc in snap.docs {
+                inner.docs.insert(doc.id().to_string(), doc);
+            }
+        }
+        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        // Replayed records count toward the snapshot window: a workload
+        // of short process lifetimes must still truncate its log once
+        // the accumulated records cross the threshold, instead of
+        // growing the WAL (and the replay time) run over run.
+        let replayed = records.len();
+        for record in records {
+            match record {
+                // Records at or below the snapshot sequence are the
+                // residue of a crash between snapshot rename and WAL
+                // truncation; the snapshot already covers them.
+                Record::Put { seq, doc } if seq > inner.seq => {
+                    let id = doc.id().to_string();
+                    let rev = doc.rev().clone();
+                    inner.docs.insert(id.clone(), doc);
+                    inner.seq = seq;
+                    inner.changes.push(Change {
+                        seq,
+                        id,
+                        rev: Some(rev),
+                    });
+                }
+                Record::Delete { seq, id } if seq > inner.seq => {
+                    inner.docs.remove(&id);
+                    inner.seq = seq;
+                    inner.changes.push(Change { seq, id, rev: None });
+                }
+                Record::Checkpoint { rep } => rep_checkpoint = rep,
+                Record::Put { .. } | Record::Delete { .. } => {}
+            }
+        }
+        inner.maybe_compact();
+        inner.durability = Some(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            since_snapshot: replayed,
+            rep_checkpoint,
+            failed: None,
+            snapshot_error: None,
+        });
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "durable".to_string());
+        Ok(DocStore {
+            name,
+            inner: Arc::new(RwLock::new(inner)),
+        })
+    }
+
     /// The store's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Whether this store persists through a write-ahead log
+    /// ([`DocStore::open`]) rather than living purely in memory.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().durability.is_some()
+    }
+
+    /// The durable store's directory, or `None` for an in-memory store.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.inner.read().durability.as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Sets how many WAL records may accumulate before an automatic
+    /// snapshot + log truncation (default [`DEFAULT_SNAPSHOT_EVERY`];
+    /// 0 = only [`DocStore::snapshot_now`] snapshots). No-op for
+    /// in-memory stores.
+    pub fn set_snapshot_every(&self, records: usize) {
+        if let Some(d) = self.inner.write().durability.as_mut() {
+            d.snapshot_every = records;
+        }
+    }
+
+    /// Sets the WAL flush policy (default [`WalSync::OsBuffered`]:
+    /// `SIGKILL`-durable; [`WalSync::Always`] adds per-record `fdatasync`
+    /// for power-loss durability). No-op for in-memory stores.
+    pub fn set_wal_sync(&self, sync: WalSync) {
+        if let Some(d) = self.inner.write().durability.as_mut() {
+            d.wal.set_sync(sync);
+        }
+    }
+
+    /// Writes a snapshot of the whole store now and truncates the WAL.
+    /// Writers are blocked for the duration.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the store is in-memory or the write fails
+    /// (the WAL is left intact in that case — nothing is lost).
+    pub fn snapshot_now(&self) -> Result<(), StoreError> {
+        self.inner.write().snapshot_locked()
+    }
+
+    /// Current WAL length in bytes (`None` for in-memory stores);
+    /// diagnostics and crash-point tests.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.inner.read().durability.as_ref().map(|d| d.wal.len())
+    }
+
+    /// The first unrecovered persistence failure, if any: a failed WAL
+    /// append (fatal for writes) or the last failed snapshot (non-fatal).
+    pub fn persistence_error(&self) -> Option<String> {
+        let inner = self.inner.read();
+        let d = inner.durability.as_ref()?;
+        d.failed.clone().or_else(|| d.snapshot_error.clone())
+    }
+
+    /// Forces everything appended so far to stable storage (power-loss
+    /// durability on demand, without paying [`WalSync::Always`] on every
+    /// write). No-op for in-memory stores.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the sync fails.
+    pub fn sync_wal(&self) -> Result<(), StoreError> {
+        match self.inner.read().durability.as_ref() {
+            Some(d) => d.wal.sync().map_err(|e| StoreError::Io(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Durably records that this replica has applied the replication
+    /// stream through source sequence `checkpoint`; recovered by
+    /// [`DocStore::replication_checkpoint_persisted`] after a restart.
+    /// The record lands in the same WAL as the replicated writes it
+    /// follows, so a recovered checkpoint never claims more than what was
+    /// actually applied.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the store is in-memory or the log is
+    /// unavailable (including a previous append failure — the checkpoint
+    /// must not outrun lost writes).
+    pub fn persist_replication_checkpoint(&self, checkpoint: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.durability.is_none() {
+            return Err(StoreError::Io("store is not durable".to_string()));
+        }
+        inner.persist(|| wal::encode_checkpoint(checkpoint))?;
+        if let Some(d) = inner.durability.as_mut() {
+            d.rep_checkpoint = checkpoint;
+        }
+        inner.maybe_snapshot();
+        Ok(())
+    }
+
+    /// The durably recorded replication checkpoint (0 until one is
+    /// persisted), or `None` for an in-memory store. Hand this to
+    /// [`crate::ReplicationHandle::start_from`] — or just use
+    /// [`crate::ReplicationHandle::start_durable`] — to resume
+    /// replication after a restart without re-transferring history.
+    pub fn replication_checkpoint_persisted(&self) -> Option<u64> {
+        self.inner
+            .read()
+            .durability
+            .as_ref()
+            .map(|d| d.rep_checkpoint)
     }
 
     /// Switches read-only mode (the DMZ replica runs with `true`).
@@ -299,8 +643,11 @@ impl DocStore {
             }
         };
         let doc = Document::new(id.to_string(), new_rev.clone(), labels, body);
+        let next_seq = inner.seq + 1;
+        inner.persist(|| wal::encode_put(next_seq, &doc))?;
         inner.store_doc(doc);
         inner.record_change(id.to_string(), Some(new_rev.clone()));
+        inner.maybe_snapshot();
         Ok(new_rev)
     }
 
@@ -317,8 +664,11 @@ impl DocStore {
         }
         match inner.docs.get(id) {
             Some(doc) if doc.rev() == expected_rev => {
+                let next_seq = inner.seq + 1;
+                inner.persist(|| wal::encode_delete(next_seq, id))?;
                 inner.remove_doc(id);
                 inner.record_change(id.to_string(), None);
+                inner.maybe_snapshot();
                 Ok(())
             }
             other => Err(StoreError::Conflict {
@@ -501,20 +851,34 @@ impl DocStore {
         let mut inner = self.inner.write();
         let id = doc.id().to_string();
         let rev = doc.rev().clone();
+        // A WAL failure here does not abort the apply — the replica stays
+        // correct at runtime — but it MUST block the checkpoint: recovery
+        // then resumes from a checkpoint predating the unlogged writes
+        // and re-replicates them. `persist` only makes I/O errors sticky,
+        // so force stickiness for validation refusals (oversized record)
+        // too; otherwise the checkpoint would advance past a write that
+        // never reached the log and the document would silently vanish on
+        // restart.
+        let next_seq = inner.seq + 1;
+        inner.apply_persist(|| wal::encode_put(next_seq, &doc));
         inner.store_doc(doc);
         inner.record_change(id, Some(rev));
+        inner.maybe_snapshot();
     }
 
     /// Applies a replicated deletion; returns whether a document was
     /// actually removed (so replication reports count real deletions).
     pub(crate) fn apply_replicated_delete(&self, id: &str) -> bool {
         let mut inner = self.inner.write();
-        if inner.remove_doc(id).is_some() {
-            inner.record_change(id.to_string(), None);
-            true
-        } else {
-            false
+        if !inner.docs.contains_key(id) {
+            return false;
         }
+        let next_seq = inner.seq + 1;
+        inner.apply_persist(|| wal::encode_delete(next_seq, id));
+        inner.remove_doc(id);
+        inner.record_change(id.to_string(), None);
+        inner.maybe_snapshot();
+        true
     }
 }
 
@@ -869,5 +1233,240 @@ mod tests {
         assert!(store
             .put("a\nb", jobject! {}, LabelSet::new(), None)
             .is_err());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "safeweb-docstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            assert!(store.is_durable());
+            assert_eq!(store.path(), Some(dir.clone()));
+            let rev = store
+                .put("a", jobject! {"x" => 1}, labels("p/1"), None)
+                .unwrap();
+            store
+                .put("a", jobject! {"x" => 2}, labels("p/2"), Some(&rev))
+                .unwrap();
+            let rev_b = store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+            store.delete("b", &rev_b).unwrap();
+        }
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.name(), dir.file_name().unwrap().to_str().unwrap());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.seq(), 4);
+        let doc = store.get("a").unwrap();
+        assert_eq!(doc.body().get("x").and_then(Value::as_i64), Some(2));
+        assert_eq!(doc.rev().generation(), 2);
+        assert!(doc.labels().contains(&Label::conf("e", "p/2")));
+        assert!(store.get("b").is_none());
+        // Views are rebuilt, not deserialised.
+        store.create_view("by_x", "x");
+        assert_eq!(store.query_view("by_x", &Value::from(2)).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_recovers_identically() {
+        let dir = temp_dir("snapshot");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            for i in 0..10 {
+                store
+                    .put(&format!("d{i}"), jobject! {"i" => i}, labels("p"), None)
+                    .unwrap();
+            }
+            assert!(store.wal_len().unwrap() > 0);
+            store.snapshot_now().unwrap();
+            assert_eq!(store.wal_len(), Some(0));
+            // Writes after the snapshot land in the (fresh) WAL.
+            store
+                .put("post", jobject! {}, LabelSet::new(), None)
+                .unwrap();
+            assert!(store.wal_len().unwrap() > 0);
+        }
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 11);
+        assert_eq!(store.seq(), 11);
+        assert_eq!(
+            store
+                .get("d7")
+                .unwrap()
+                .body()
+                .get("i")
+                .and_then(Value::as_i64),
+            Some(7)
+        );
+        // The feed restarts at the snapshot horizon: checkpoints below it
+        // resync, checkpoints at or past it are served incrementally.
+        assert_eq!(store.compacted_seq(), 10);
+        assert_eq!(store.changes_since(10).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_fires_on_record_count() {
+        let dir = temp_dir("auto-snap");
+        let store = DocStore::open(&dir).unwrap();
+        store.set_snapshot_every(8);
+        for i in 0..20 {
+            store
+                .put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
+                .unwrap();
+        }
+        // 20 appends with a window of 8: at least two snapshots happened,
+        // so the WAL holds well under 8 records' worth of bytes.
+        assert!(store.wal_len().unwrap() < 8 * 64);
+        drop(store);
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.seq(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replication_checkpoint_roundtrips() {
+        let dir = temp_dir("ckpt");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            assert_eq!(store.replication_checkpoint_persisted(), Some(0));
+            store.persist_replication_checkpoint(7).unwrap();
+            store.persist_replication_checkpoint(42).unwrap();
+        }
+        {
+            let store = DocStore::open(&dir).unwrap();
+            assert_eq!(store.replication_checkpoint_persisted(), Some(42));
+            // Survives a snapshot cycle too (carried in the meta frame).
+            store.snapshot_now().unwrap();
+        }
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.replication_checkpoint_persisted(), Some(42));
+        // In-memory stores have no checkpoint to persist.
+        assert_eq!(DocStore::new("m").replication_checkpoint_persisted(), None);
+        assert!(DocStore::new("m")
+            .persist_replication_checkpoint(1)
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An oversized record is refused at append (writing it would make
+    /// the *next* recovery silently truncate it and everything after it
+    /// away) — and the refusal is a clean per-write error, not a sticky
+    /// store failure.
+    #[test]
+    fn oversized_put_refused_without_wedging_the_store() {
+        let dir = temp_dir("oversize");
+        let store = DocStore::open(&dir).unwrap();
+        let huge = "x".repeat(64 * 1024 * 1024 + 16);
+        assert!(matches!(
+            store.put(
+                "big",
+                jobject! {"v" => huge.as_str()},
+                LabelSet::new(),
+                None
+            ),
+            Err(StoreError::Io(_))
+        ));
+        assert!(store.get("big").is_none(), "refused write must not apply");
+        // Not sticky: normal writes keep working and recovering.
+        store.put("ok", jobject! {}, LabelSet::new(), None).unwrap();
+        assert!(store.persistence_error().is_none());
+        drop(store);
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.ids(), vec!["ok".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A second concurrent open of the same directory must be refused —
+    /// two writers interleaving appends would corrupt the WAL — while a
+    /// lock left behind by a dead process (SIGKILL) is reclaimed.
+    #[test]
+    fn directory_lock_refuses_second_open_and_reclaims_stale() {
+        let dir = temp_dir("lock");
+        let store = DocStore::open(&dir).unwrap();
+        assert!(matches!(
+            DocStore::open(&dir),
+            Err(WalError::Locked { pid: Some(_), .. })
+        ));
+        // A clone keeps the lock alive; only the last drop releases it.
+        let clone = store.clone();
+        drop(store);
+        assert!(matches!(DocStore::open(&dir), Err(WalError::Locked { .. })));
+        drop(clone);
+        let store = DocStore::open(&dir).unwrap();
+        drop(store);
+        // Stale lock from a process that no longer exists: reclaimed.
+        std::fs::write(dir.join("lock"), "4294967294").unwrap();
+        let store = DocStore::open(&dir).unwrap();
+        store.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Records replayed at open count toward the snapshot window, so a
+    /// workload of short process lifetimes still truncates its log once
+    /// the threshold is crossed instead of growing it run over run.
+    #[test]
+    fn replayed_records_count_toward_auto_snapshot() {
+        let dir = temp_dir("replay-window");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            for i in 0..10 {
+                store
+                    .put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
+                    .unwrap();
+            }
+        } // 10 records in the log, no snapshot yet
+        let store = DocStore::open(&dir).unwrap();
+        let replayed_len = store.wal_len().unwrap();
+        assert!(replayed_len > 0);
+        store.set_snapshot_every(8);
+        // The next write sees 10 replayed + 1 ≥ 8 and snapshots, leaving
+        // a WAL far smaller than the replayed backlog.
+        store
+            .put("next", jobject! {}, LabelSet::new(), None)
+            .unwrap();
+        assert!(
+            store.wal_len().unwrap() < replayed_len,
+            "WAL kept growing across restarts: {} -> {}",
+            replayed_len,
+            store.wal_len().unwrap()
+        );
+        drop(store);
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_discarded_and_appends_resume() {
+        let dir = temp_dir("torn");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            store.put("a", jobject! {}, LabelSet::new(), None).unwrap();
+            store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last frame.
+        let wal = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.ids(), vec!["a".to_string()]);
+        assert_eq!(store.seq(), 1);
+        // The tail was truncated away; new writes recover cleanly.
+        store.put("c", jobject! {}, LabelSet::new(), None).unwrap();
+        drop(store);
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.ids(), vec!["a".to_string(), "c".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

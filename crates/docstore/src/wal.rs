@@ -1,0 +1,553 @@
+//! The append-only write-ahead log under a durable [`DocStore`].
+//!
+//! Every acknowledged write appends exactly one record *before* the
+//! in-memory indexes change, so the log is always at least as new as the
+//! state a client was told about. Records are framed as
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────────┐
+//! │ len: u32 LE│ crc32: u32LE│ payload (len B)  │
+//! └────────────┴─────────────┴──────────────────┘
+//! ```
+//!
+//! where the CRC-32 (IEEE polynomial) covers the payload bytes and the
+//! payload is the deterministic JSON encoding of one [`Record`]. On
+//! [`Wal::open`] the file is scanned front to back; the first truncated,
+//! over-long, checksum-mismatched or undecodable frame ends the replay
+//! *cleanly* — everything before it is recovered, the torn tail is
+//! discarded by truncating the file back to the last good frame, and
+//! appends resume from there. A torn tail is the expected outcome of a
+//! crash mid-`write`; it is not an error.
+//!
+//! Durability grade: records reach the kernel page cache on every append
+//! (one `write(2)`, no user-space buffering), which survives `SIGKILL` /
+//! process crashes. [`WalSync::Always`] additionally issues
+//! `fdatasync(2)` per record for power-loss durability at a large
+//! per-write cost; snapshots are always fsynced.
+//!
+//! [`DocStore`]: crate::DocStore
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use safeweb_json::Value;
+use safeweb_labels::LabelSet;
+
+use crate::document::{Document, Revision};
+
+/// Upper bound on one record's payload; a corrupt length header cannot
+/// ask the replayer to allocate gigabytes.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing before each payload (length + checksum).
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// How eagerly WAL appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSync {
+    /// One `write(2)` per record (default): data reaches the kernel page
+    /// cache immediately, surviving process death (`SIGKILL`, panics,
+    /// OOM-kills) but not a host power loss.
+    #[default]
+    OsBuffered,
+    /// `fdatasync(2)` after every record: power-loss durable, at the cost
+    /// of a disk round-trip per acknowledged write.
+    Always,
+}
+
+/// Errors opening or recovering a durable store.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure (open, read, write, rename, sync).
+    Io(std::io::Error),
+    /// A *snapshot* failed validation. Snapshots are written to a
+    /// temporary file and atomically renamed, so — unlike a torn WAL
+    /// tail, which recovery discards silently — a corrupt snapshot means
+    /// real data loss and is surfaced instead of masked.
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What went wrong with it.
+        reason: String,
+    },
+    /// Another live handle — this process or another — holds the store
+    /// directory. Two writers appending to one WAL would interleave
+    /// frames and corrupt it, so the second open is refused instead.
+    Locked {
+        /// The lock file that is held.
+        path: PathBuf,
+        /// The pid recorded in it, when readable.
+        pid: Option<u32>,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            WalError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt persistence file {} at byte {offset}: {reason}",
+                path.display()
+            ),
+            WalError::Locked { path, pid } => match pid {
+                Some(pid) => write!(
+                    f,
+                    "store is locked by live process {pid} ({})",
+                    path.display()
+                ),
+                None => write!(f, "store is locked ({})", path.display()),
+            },
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Record {
+    /// A document write (external put or replication apply) that produced
+    /// store sequence `seq`.
+    Put {
+        /// The store sequence number after this write.
+        seq: u64,
+        /// The written document.
+        doc: Document,
+    },
+    /// A document deletion that produced store sequence `seq`.
+    Delete {
+        /// The store sequence number after this deletion.
+        seq: u64,
+        /// The deleted id.
+        id: String,
+    },
+    /// A replication checkpoint: this replica has applied the source's
+    /// changes feed through sequence `rep`. Carries no store sequence of
+    /// its own.
+    Checkpoint {
+        /// The source sequence replicated through.
+        rep: u64,
+    },
+}
+
+// ---- CRC-32 (IEEE 802.3 polynomial, reflected) --------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial — the same checksum gzip uses).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---- record payload encoding --------------------------------------------
+
+/// Encodes a document as a JSON object `{id, rev, labels, body}`; shared
+/// by WAL put records and snapshot document frames. Bodies round-trip
+/// through JSON, so non-finite floats degrade to `null` on recovery (the
+/// same degradation [`Document::to_wire_json`] applies on the wire).
+pub(crate) fn doc_to_value(doc: &Document) -> Value {
+    let mut v = Value::object();
+    v.set("id", doc.id());
+    v.set("rev", doc.rev().to_string());
+    v.set("labels", doc.labels().to_wire());
+    v.set("body", doc.body().clone());
+    v
+}
+
+/// Decodes [`doc_to_value`]'s encoding; `None` on any missing or
+/// malformed field.
+pub(crate) fn doc_from_value(v: &Value) -> Option<Document> {
+    let id = v.get("id")?.as_str()?.to_string();
+    let rev = Revision::parse(v.get("rev")?.as_str()?)?;
+    let labels = LabelSet::from_wire(v.get("labels")?.as_str()?).ok()?;
+    let body = v.get("body")?.clone();
+    Some(Document::new(id, rev, labels, body))
+}
+
+pub(crate) fn encode_put(seq: u64, doc: &Document) -> String {
+    let mut v = doc_to_value(doc);
+    v.set("op", "put");
+    v.set("seq", seq as i64);
+    v.to_json()
+}
+
+pub(crate) fn encode_delete(seq: u64, id: &str) -> String {
+    let mut v = Value::object();
+    v.set("op", "del");
+    v.set("seq", seq as i64);
+    v.set("id", id);
+    v.to_json()
+}
+
+pub(crate) fn encode_checkpoint(rep: u64) -> String {
+    let mut v = Value::object();
+    v.set("op", "ckpt");
+    v.set("rep", rep as i64);
+    v.to_json()
+}
+
+fn decode_record(payload: &str) -> Option<Record> {
+    let v = Value::parse(payload).ok()?;
+    let seq_of = |v: &Value| v.get("seq").and_then(Value::as_i64).map(|s| s as u64);
+    match v.get("op")?.as_str()? {
+        "put" => Some(Record::Put {
+            seq: seq_of(&v)?,
+            doc: doc_from_value(&v)?,
+        }),
+        "del" => Some(Record::Delete {
+            seq: seq_of(&v)?,
+            id: v.get("id")?.as_str()?.to_string(),
+        }),
+        "ckpt" => Some(Record::Checkpoint {
+            rep: v.get("rep").and_then(Value::as_i64)? as u64,
+        }),
+        _ => None,
+    }
+}
+
+/// Frames `payload` for appending: length, checksum, bytes.
+pub(crate) fn encode_frame(payload: &str) -> Vec<u8> {
+    let bytes = payload.as_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    frame
+}
+
+/// One step of frame decoding: the payload at `buf[offset..]`, or the
+/// reason the frame there is invalid. `Ok(None)` means a clean end of
+/// input (no bytes past `offset`).
+pub(crate) fn decode_frame(buf: &[u8], offset: usize) -> Result<Option<(&str, usize)>, String> {
+    if offset == buf.len() {
+        return Ok(None);
+    }
+    let rest = &buf[offset..];
+    if rest.len() < FRAME_HEADER {
+        return Err(format!("truncated frame header ({} bytes)", rest.len()));
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Err(format!("implausible record length {len}"));
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let Some(payload) = rest[FRAME_HEADER..].get(..len as usize) else {
+        return Err(format!(
+            "truncated payload ({} of {len} bytes)",
+            rest.len() - FRAME_HEADER
+        ));
+    };
+    if crc32(payload) != crc {
+        return Err("checksum mismatch".to_string());
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    Ok(Some((payload, offset + FRAME_HEADER + len as usize)))
+}
+
+/// Name of the advisory lock file inside a durable store's directory.
+pub(crate) const LOCK_FILE: &str = "lock";
+
+/// Takes the store directory's advisory lock: a `lock` file created with
+/// `O_EXCL`, holding the owner's pid. A lock left behind by a process
+/// that no longer exists (`SIGKILL` never runs destructors) is reclaimed
+/// by checking `/proc/<pid>`; a lock held by a *live* process — including
+/// this one, for a second handle onto the same directory — refuses the
+/// open, because two writers interleaving appends into one WAL would
+/// corrupt it. Released by the store's `Drop`.
+pub(crate) fn acquire_dir_lock(dir: &Path) -> Result<(), WalError> {
+    let path = dir.join(LOCK_FILE);
+    // The pid is written to a private temp file first and `hard_link`ed
+    // into place — link(2) fails with EEXIST if the lock exists and
+    // never exposes a half-written file, so a concurrent opener can
+    // never observe an empty lock and mistake a live holder for stale.
+    let tmp = dir.join(format!("{LOCK_FILE}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, format!("{}", std::process::id()))?;
+    let claim = dir.join(format!("{LOCK_FILE}.stale-{}", std::process::id()));
+    let result = (|| {
+        for attempt in 0..2 {
+            match std::fs::hard_link(&tmp, &path) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let pid = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let holder_alive =
+                        pid.is_some_and(|pid| Path::new(&format!("/proc/{pid}")).exists());
+                    if holder_alive || attempt > 0 {
+                        return Err(WalError::Locked {
+                            path: path.clone(),
+                            pid,
+                        });
+                    }
+                    // Stale: the recorded process is gone (`SIGKILL`
+                    // leaves its lock behind). Claim it by *renaming* it
+                    // aside — atomic, so of N racing reclaimers exactly
+                    // one wins; the losers loop into the live-pid
+                    // refusal above. Then re-verify what was actually
+                    // claimed: if a racer's fresh lock slid under the
+                    // rename between our read and our claim, hand it
+                    // back via `hard_link` — atomic and non-clobbering,
+                    // so a third opener that acquired in the gap keeps
+                    // its lock rather than being silently overwritten.
+                    // (A triple race within that microsecond window can
+                    // still leave the wronged racer without its lock
+                    // file — this is an advisory guard against operator
+                    // error, not a contended mutex.)
+                    if std::fs::rename(&path, &claim).is_ok() {
+                        let claimed = std::fs::read_to_string(&claim)
+                            .ok()
+                            .and_then(|s| s.trim().parse::<u32>().ok());
+                        if claimed != pid {
+                            let _ = std::fs::hard_link(&claim, &path);
+                            let _ = std::fs::remove_file(&claim);
+                            return Err(WalError::Locked {
+                                path: path.clone(),
+                                pid: claimed,
+                            });
+                        }
+                        let _ = std::fs::remove_file(&claim);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(WalError::Locked {
+            path: path.clone(),
+            pid: None,
+        })
+    })();
+    let _ = std::fs::remove_file(&tmp);
+    result
+}
+
+/// The open write-ahead log of one durable store.
+#[derive(Debug)]
+pub(crate) struct Wal {
+    file: File,
+    /// Append offset: total bytes of validated frames.
+    len: u64,
+    sync: WalSync,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying every
+    /// valid record. A torn tail — the expected residue of a crash
+    /// mid-append — is truncated away so the next append starts on a
+    /// frame boundary; the records before it are returned in order.
+    pub(crate) fn open(path: &Path) -> Result<(Wal, Vec<Record>), WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            match decode_frame(&buf, offset) {
+                Ok(None) => break,
+                Ok(Some((payload, next))) => match decode_record(payload) {
+                    Some(record) => {
+                        records.push(record);
+                        offset = next;
+                    }
+                    // An intact frame holding garbage: stop replay here,
+                    // exactly as for a torn frame.
+                    None => break,
+                },
+                Err(_) => break,
+            }
+        }
+        if (offset as u64) < buf.len() as u64 {
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+        Ok((
+            Wal {
+                file,
+                len: offset as u64,
+                sync: WalSync::default(),
+            },
+            records,
+        ))
+    }
+
+    pub(crate) fn set_sync(&mut self, sync: WalSync) {
+        self.sync = sync;
+    }
+
+    /// Appends one framed payload; the record is kernel-durable when this
+    /// returns (and disk-durable under [`WalSync::Always`]).
+    ///
+    /// Mirrors the replay-side limits: a payload over `MAX_RECORD_LEN`
+    /// is refused *here* — were it written, recovery would reject its
+    /// frame as corrupt and truncate it (and everything after it) away,
+    /// turning an acknowledged write into silent data loss. And on any
+    /// write/sync failure the file is rolled back to the pre-append
+    /// offset, so a write reported as failed cannot leave a complete
+    /// frame behind to resurrect on recovery.
+    pub(crate) fn append(&mut self, payload: &str) -> std::io::Result<()> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "record of {} bytes exceeds the WAL limit of {MAX_RECORD_LEN}",
+                    payload.len()
+                ),
+            ));
+        }
+        let frame = encode_frame(payload);
+        let result = self.file.write_all(&frame).and_then(|()| {
+            if self.sync == WalSync::Always {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            // Best effort: discard the partial/unsynced frame so the
+            // reported failure and the on-disk state agree. If even this
+            // fails, the store's sticky failure flag stops further
+            // writes, bounding the damage to this one ambiguous record.
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.seek(SeekFrom::Start(self.len));
+            return Err(e);
+        }
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Current log length in bytes (diagnostics and crash-point tests).
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Empties the log after a snapshot has made its records redundant.
+    pub(crate) fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub(crate) fn sync(&self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_tail() {
+        let a = encode_frame("{\"op\":\"ckpt\",\"rep\":1}");
+        let b = encode_frame("{\"op\":\"ckpt\",\"rep\":2}");
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+
+        let (p1, next) = decode_frame(&buf, 0).unwrap().unwrap();
+        assert_eq!(p1, "{\"op\":\"ckpt\",\"rep\":1}");
+        let (p2, end) = decode_frame(&buf, next).unwrap().unwrap();
+        assert_eq!(p2, "{\"op\":\"ckpt\",\"rep\":2}");
+        assert_eq!(end, buf.len());
+        assert!(decode_frame(&buf, end).unwrap().is_none());
+
+        // Every possible torn tail of the second frame fails cleanly.
+        for cut in next + 1..buf.len() {
+            assert!(decode_frame(&buf[..cut], next).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let frame = encode_frame("{\"op\":\"ckpt\",\"rep\":11111111}");
+        for i in FRAME_HEADER..frame.len() {
+            let mut buf = frame.clone();
+            buf[i] ^= 0x04;
+            assert!(
+                decode_frame(&buf, 0).is_err(),
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        let mut buf = vec![0xffu8; 32];
+        buf[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_frame(&buf, 0).is_err());
+    }
+
+    /// Appends must refuse what replay would reject: an oversized record
+    /// written today is an acknowledged write silently truncated away on
+    /// the next recovery.
+    #[test]
+    fn oversized_record_refused_at_append_not_lost_at_replay() {
+        let dir = std::env::temp_dir().join(format!("safeweb-wal-big-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir.join("wal.log")).unwrap();
+        let huge = " ".repeat(MAX_RECORD_LEN as usize + 1);
+        assert!(wal.append(&huge).is_err());
+        // Nothing reached the log; it stays fully usable.
+        assert_eq!(wal.len(), 0);
+        wal.append("{\"op\":\"ckpt\",\"rep\":1}").unwrap();
+        drop(wal);
+        let (wal, records) = Wal::open(&dir.join("wal.log")).unwrap();
+        assert_eq!(records, vec![Record::Checkpoint { rep: 1 }]);
+        assert!(wal.len() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

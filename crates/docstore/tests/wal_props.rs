@@ -1,0 +1,255 @@
+//! WAL recovery property tests: for a random op sequence, a crash
+//! injected after **every** record boundary (and inside records — torn
+//! and corrupted writes) recovers exactly the prefix of operations whose
+//! records survived intact, never more, never less.
+//!
+//! The checksum validation is mutation-checked: one test corrupts a
+//! record so that its payload stays *parseable JSON* — only the CRC can
+//! tell it was damaged — and asserts the record and everything after it
+//! are rejected. Removing the checksum check makes that test fail.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use safeweb_docstore::DocStore;
+use safeweb_json::jobject;
+use safeweb_labels::{Label, LabelSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Put/update `doc-{0}` with payload `{1}`.
+    Put(u8, i64),
+    /// Delete `doc-{0}` if it exists (a no-op — and no WAL record —
+    /// otherwise).
+    Delete(u8),
+    /// Persist replication checkpoint `{0}`.
+    Checkpoint(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, any::<i64>()).prop_map(|(id, v)| Op::Put(id, v)),
+        (0u8..5).prop_map(Op::Delete),
+        (0u16..1000).prop_map(Op::Checkpoint),
+    ]
+}
+
+/// Applies one op through the public API; returns whether it appended a
+/// WAL record (deletes of absent docs do not).
+fn apply(store: &DocStore, op: &Op, ckpt: &mut u64) -> bool {
+    match op {
+        Op::Put(id, v) => {
+            let id = format!("doc-{id}");
+            let rev = store.get(&id).map(|d| d.rev().clone());
+            let labels = LabelSet::singleton(Label::conf("e", &format!("p/{v}")));
+            store
+                .put(&id, jobject! {"v" => *v}, labels, rev.as_ref())
+                .unwrap();
+            true
+        }
+        Op::Delete(id) => {
+            let id = format!("doc-{id}");
+            match store.get(&id) {
+                Some(doc) => {
+                    store.delete(&id, doc.rev()).unwrap();
+                    true
+                }
+                None => false,
+            }
+        }
+        Op::Checkpoint(v) => {
+            if store.is_durable() {
+                store.persist_replication_checkpoint(*v as u64).unwrap();
+            }
+            *ckpt = *v as u64;
+            true
+        }
+    }
+}
+
+/// The oracle for a prefix: an in-memory store fed `ops[..k]`, plus the
+/// last checkpoint value in that prefix.
+fn oracle(ops: &[Op]) -> (DocStore, u64) {
+    let store = DocStore::new("oracle");
+    let mut ckpt = 0;
+    for op in ops {
+        apply(&store, op, &mut ckpt);
+    }
+    (store, ckpt)
+}
+
+fn assert_equals_oracle(
+    recovered: &DocStore,
+    ops: &[Op],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let (want, want_ckpt) = oracle(ops);
+    prop_assert_eq!(recovered.ids(), want.ids(), "{}: id set", context);
+    for id in want.ids() {
+        let (got, want) = (recovered.get(&id).unwrap(), want.get(&id).unwrap());
+        prop_assert_eq!(got.rev(), want.rev(), "{}: rev of {}", context, &id);
+        prop_assert_eq!(got.body(), want.body(), "{}: body of {}", context, &id);
+        prop_assert_eq!(
+            got.labels(),
+            want.labels(),
+            "{}: labels of {}",
+            context,
+            &id
+        );
+    }
+    prop_assert_eq!(recovered.seq(), want.seq(), "{}: seq", context);
+    prop_assert_eq!(
+        recovered.replication_checkpoint_persisted(),
+        Some(want_ckpt),
+        "{}: checkpoint",
+        context
+    );
+    Ok(())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "safeweb-walprops-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Runs `ops` against a fresh durable store (auto-snapshot off so every
+/// record stays in the log) and returns the WAL bytes plus the byte
+/// offset after each op's record — the crash points.
+fn record_wal(ops: &[Op]) -> (Vec<u8>, Vec<(usize, u64)>) {
+    let dir = temp_dir("writer");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DocStore::open(&dir).unwrap();
+    store.set_snapshot_every(0);
+    let mut ckpt = 0;
+    // (ops applied, wal length) at each record boundary.
+    let mut boundaries = vec![(0, 0u64)];
+    for (i, op) in ops.iter().enumerate() {
+        if apply(&store, op, &mut ckpt) {
+            boundaries.push((i + 1, store.wal_len().unwrap()));
+        }
+    }
+    let bytes = std::fs::read(dir.join("wal.log")).unwrap();
+    assert_eq!(bytes.len() as u64, boundaries.last().unwrap().1);
+    let _ = std::fs::remove_dir_all(&dir);
+    (bytes, boundaries)
+}
+
+/// Writes `bytes` as the WAL of a fresh directory and opens it.
+fn reopen_from(dir: &Path, bytes: &[u8]) -> DocStore {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("wal.log"), bytes).unwrap();
+    DocStore::open(dir).unwrap()
+}
+
+proptest! {
+    /// Crash **after every record**: truncating the log at each record
+    /// boundary and recovering yields exactly the oracle state of the
+    /// op prefix that produced those records.
+    #[test]
+    fn recovery_at_every_record_boundary_equals_prefix_oracle(
+        ops in proptest::collection::vec(arb_op(), 1..16),
+    ) {
+        let (bytes, boundaries) = record_wal(&ops);
+        let dir = temp_dir("boundary");
+        for &(k, cut) in &boundaries {
+            let store = reopen_from(&dir, &bytes[..cut as usize]);
+            assert_equals_oracle(&store, &ops[..k], &format!("cut after op {k}"))?;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Crash **inside a record** (torn write): any mid-frame truncation
+    /// recovers the ops before the torn record and discards the tail —
+    /// and the reopened store accepts new writes on the clean boundary.
+    #[test]
+    fn torn_record_recovers_preceding_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..12),
+        tear in 0u32..10_000,
+    ) {
+        let (bytes, boundaries) = record_wal(&ops);
+        let last = *boundaries.last().unwrap();
+        prop_assume!(last.1 > 0);
+        // Pick a byte offset strictly inside some record's frame.
+        let cut = 1 + (last.1 - 1) * tear as u64 / 10_000;
+        let (k, _) = *boundaries.iter().take_while(|(_, b)| *b < cut).last().unwrap();
+        prop_assume!(boundaries.iter().all(|(_, b)| *b != cut));
+
+        let dir = temp_dir("torn");
+        let store = reopen_from(&dir, &bytes[..cut as usize]);
+        assert_equals_oracle(&store, &ops[..k], &format!("torn at byte {cut}"))?;
+        // The torn tail is truncated; appends resume cleanly.
+        store.put("fresh", jobject! {}, LabelSet::new(), None).unwrap();
+        drop(store);
+        let store = DocStore::open(&dir).unwrap();
+        prop_assert!(store.get("fresh").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flip one byte anywhere in the log: recovery stops at the damaged
+    /// record — never applies it, never resynchronises past it.
+    #[test]
+    fn corrupted_byte_stops_replay_at_damaged_record(
+        ops in proptest::collection::vec(arb_op(), 1..12),
+        pos in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let (mut bytes, boundaries) = record_wal(&ops);
+        prop_assume!(!bytes.is_empty());
+        let at = (bytes.len() - 1) * pos as usize / 10_000;
+        bytes[at] ^= 1 << bit;
+        // The record whose frame contains the flipped byte.
+        let (k, _) = *boundaries.iter().take_while(|(_, b)| *b <= at as u64).last().unwrap();
+
+        let dir = temp_dir("corrupt");
+        let store = reopen_from(&dir, &bytes);
+        assert_equals_oracle(&store, &ops[..k], &format!("flip at byte {at}"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// **Mutation check for the checksum.** The corruption keeps the payload
+/// valid JSON — same length, same structure, one digit changed — so
+/// nothing but the CRC comparison can notice. If `Wal::open` stopped
+/// validating checksums, the store would happily recover the altered
+/// document and the two intact records after it, and this test fails.
+#[test]
+fn checksum_rejects_semantically_valid_corruption() {
+    let dir = temp_dir("mutation");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = DocStore::open(&dir).unwrap();
+        store
+            .put("a", jobject! {"v" => 11111111}, LabelSet::new(), None)
+            .unwrap();
+        store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
+        store.put("c", jobject! {}, LabelSet::new(), None).unwrap();
+    }
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let needle = b"11111111";
+    let at = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("payload digits in the first record");
+    bytes[at] = b'2'; // still perfectly valid JSON: 21111111
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let store = DocStore::open(&dir).unwrap();
+    assert!(
+        store.is_empty() && store.seq() == 0,
+        "checksum validation let a corrupted-but-parseable record through \
+         (recovered ids {:?})",
+        store.ids()
+    );
+    // And the log was truncated back to the last good frame, so the
+    // store keeps working.
+    assert_eq!(store.wal_len(), Some(0));
+    store
+        .put("fresh", jobject! {}, LabelSet::new(), None)
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

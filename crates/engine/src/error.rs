@@ -14,6 +14,9 @@ pub enum EngineError {
     DuplicateUnit(String),
     /// The engine is already running / not running.
     BadState(&'static str),
+    /// Durable storage could not be opened or recovered (deployment-level
+    /// wiring: the engine itself holds no storage).
+    Storage(String),
 }
 
 impl fmt::Display for EngineError {
@@ -22,6 +25,7 @@ impl fmt::Display for EngineError {
             EngineError::Bus(m) => write!(f, "event bus error: {m}"),
             EngineError::DuplicateUnit(n) => write!(f, "duplicate unit name {n:?}"),
             EngineError::BadState(m) => write!(f, "engine state error: {m}"),
+            EngineError::Storage(m) => write!(f, "durable storage error: {m}"),
         }
     }
 }

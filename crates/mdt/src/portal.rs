@@ -3,6 +3,7 @@
 //! database → DMZ replica → enforcing web frontend).
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +43,10 @@ pub struct PortalConfig {
     pub replication_interval: Duration,
     /// When `false`, runs the paper's no-tracking baseline (§5.3 only).
     pub label_tracking: bool,
+    /// When set, the application database and DMZ replica run durable
+    /// (WAL + snapshots under this directory) and replication resumes
+    /// from the replica's recovered checkpoint across restarts.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for PortalConfig {
@@ -53,6 +58,7 @@ impl Default for PortalConfig {
             auth_iterations: AuthConfig::default().hash_iterations,
             replication_interval: Duration::from_millis(50),
             label_tracking: true,
+            data_dir: None,
         }
     }
 }
@@ -85,7 +91,11 @@ impl MdtPortal {
         let mdts = registry::list_mdts(&registry_db);
         let expected_records = registry_db.count("patients").expect("patients table");
 
-        let deployment = SafeWebBuilder::new()
+        let mut builder = SafeWebBuilder::new();
+        if let Some(dir) = &config.data_dir {
+            builder = builder.data_dir(dir.clone());
+        }
+        let deployment = builder
             .policy(mdt_policy(&mdts))
             .replication_interval(config.replication_interval)
             .auth_config(AuthConfig {

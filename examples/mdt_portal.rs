@@ -13,6 +13,12 @@
 //! Builds the synthetic registry, runs the three units, waits for the
 //! pipeline to settle, serves the portal over real HTTP, and then walks
 //! the P1 policy matrix with scripted clients.
+//!
+//! The portal runs **durable**: the application database and the DMZ
+//! replica persist under a data directory (`$TMPDIR/safeweb-mdt-portal`
+//! by default, `SAFEWEB_DATA_DIR` overrides), so a re-run — or a crashed
+//! portal — reopens with its documents and replication checkpoint intact
+//! instead of resyncing from scratch.
 
 use std::time::Duration;
 
@@ -21,7 +27,17 @@ use safeweb_mdt::registry::RegistryConfig;
 use safeweb_mdt::{password_for, MdtPortal, PortalConfig, VulnConfig};
 
 fn main() {
-    println!("building the MDT portal (registry → units → DMZ → frontend)...");
+    // One fixed directory (not per-pid): repeat runs actually exercise
+    // recovery + checkpoint resume, and /tmp does not accumulate a new
+    // WAL per run. Override with SAFEWEB_DATA_DIR.
+    let data_dir = std::env::var_os("SAFEWEB_DATA_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("safeweb-mdt-portal"));
+    println!(
+        "building the MDT portal (registry → units → DMZ → frontend), \
+         durable under {}...",
+        data_dir.display()
+    );
     let portal = MdtPortal::build(PortalConfig {
         registry: RegistryConfig {
             regions: 2,
@@ -32,6 +48,7 @@ fn main() {
         },
         auth_iterations: 20_000,
         replication_interval: Duration::from_millis(25),
+        data_dir: Some(data_dir.clone()),
         ..PortalConfig::default()
     });
     portal.wait_for_pipeline(Duration::from_secs(60));
@@ -137,6 +154,21 @@ fn main() {
         )
         .expect_err("DMZ must be read-only");
     println!("S1  write to DMZ replica rejected: {err}");
+
+    // Durability: both stores are WAL-backed and the replication
+    // checkpoint is persisted through the replica's log, so a restart
+    // with the same SAFEWEB_DATA_DIR resumes incrementally.
+    assert!(portal.deployment().is_durable());
+    println!(
+        "\ndurable: app DB + DMZ replica under {} (replication checkpoint {} persisted: {})",
+        data_dir.display(),
+        portal.deployment().replication_checkpoint().unwrap_or(0),
+        portal
+            .deployment()
+            .dmz_db()
+            .replication_checkpoint_persisted()
+            .unwrap_or(0),
+    );
 
     println!("\nmdt_portal OK — policy P1 enforced end-to-end over HTTP.");
 }

@@ -7,12 +7,76 @@
 //! machinery. Results print as `group/name  median ...` lines; relative
 //! comparisons between benches remain meaningful, confidence intervals
 //! are out of scope.
+//!
+//! Two environment variables integrate the shim with CI:
+//!
+//! * `SAFEWEB_BENCH_SMOKE=1` caps every group at 3 samples and 300 ms of
+//!   measurement (whatever the bench asked for), so a smoke run finishes
+//!   in seconds instead of full criterion-style iteration counts.
+//! * `SAFEWEB_BENCH_JSON=path` writes every `group/name → median µs`
+//!   pair to `path` as JSON when the bench binary exits
+//!   ([`criterion_main!`] calls [`write_json_results`]), for artifact
+//!   upload and regression gating.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether `SAFEWEB_BENCH_SMOKE` asks for a capped smoke run.
+pub fn smoke_run() -> bool {
+    std::env::var("SAFEWEB_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Every `(group/name, median seconds-per-iter)` measured so far, in
+/// completion order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn record_result(name: String, median: f64) {
+    RESULTS.lock().unwrap().push((name, median));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the collected medians (in microseconds per iteration) to the
+/// file named by `SAFEWEB_BENCH_JSON`, if set. Called automatically by
+/// the `main` that [`criterion_main!`] generates; a no-op otherwise.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("SAFEWEB_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from(
+        "{\n  \"schema\": \"safeweb-bench/1\",\n  \"unit\": \"us_per_iter\",\n  \"benches\": {\n",
+    );
+    for (i, (name, median)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{comma}\n",
+            json_escape(name),
+            median * 1e6
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        eprintln!("bench medians written to {path}");
+    }
+}
 
 /// How `iter_batched` amortises setup; the shim times routine-only for
 /// every variant.
@@ -107,9 +171,18 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
-        let mut samples = Vec::with_capacity(self.sample_size);
-        let deadline = Instant::now() + self.measurement_time;
-        for i in 0..self.sample_size {
+        // A smoke run (CI) caps sampling however the bench configured it.
+        let (sample_size, measurement_time) = if smoke_run() {
+            (
+                self.sample_size.min(3),
+                self.measurement_time.min(Duration::from_millis(300)),
+            )
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let mut samples = Vec::with_capacity(sample_size);
+        let deadline = Instant::now() + measurement_time;
+        for i in 0..sample_size {
             let mut bencher = Bencher {
                 sample: Duration::ZERO,
                 iters: 0,
@@ -124,6 +197,7 @@ impl BenchmarkGroup<'_> {
         }
         samples.sort_by(|a, b| a.total_cmp(b));
         let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        record_result(format!("{}/{name}", self.name), median);
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if median > 0.0 => {
                 format!("  ({:.0} elem/s)", n as f64 / median)
@@ -231,6 +305,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_results();
         }
     };
 }
