@@ -49,6 +49,7 @@ fn build_pipeline(tracking: bool) -> Pipeline {
     let bus = RemoteBus::connect(&addr, "transformer").unwrap();
     let mut engine = Engine::new(Arc::new(bus), policy()).with_options(EngineOptions {
         label_tracking: tracking,
+        ..EngineOptions::default()
     });
     engine
         .add_unit(
@@ -74,6 +75,7 @@ fn build_pipeline(tracking: bool) -> Pipeline {
     let mut storage_engine =
         Engine::new(Arc::new(storage_bus), policy()).with_options(EngineOptions {
             label_tracking: tracking,
+            ..EngineOptions::default()
         });
     storage_engine
         .add_unit(

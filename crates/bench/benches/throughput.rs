@@ -53,6 +53,7 @@ fn build_pair(tracking: bool, aggregating: bool) -> Pair {
     let counter = Arc::clone(&consumed);
     let mut engine = Engine::new(Arc::new(broker.clone()), policy).with_options(EngineOptions {
         label_tracking: tracking,
+        ..EngineOptions::default()
     });
     engine
         .add_unit(

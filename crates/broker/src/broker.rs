@@ -38,9 +38,14 @@
 //!
 //! A matched event is delivered as a [`Delivery`] carrying
 //! `Arc<LabelledEvent>`: one allocation per published event, not one deep
-//! clone per matching subscriber. [`Broker::publish_batch`] amortizes
-//! shard locking and stats updates across a batch by grouping events per
-//! shard before acquiring any lock.
+//! clone per matching subscriber. Matching (topic, selector, clearance)
+//! runs under the shard read lock; the delivery targets themselves are
+//! invoked **after** it drops, so a target that blocks — the scheduled
+//! engine's sink exerting inbox backpressure — never holds routing state
+//! while a subscribe's write lock queues behind it.
+//! [`Broker::publish_batch`] amortizes shard locking and stats updates
+//! across a batch by grouping events per shard before acquiring any
+//! lock.
 //!
 //! # Invariant
 //!
@@ -517,19 +522,27 @@ impl Broker {
     }
 
     /// Routes one event within an already-locked shard, applying the
-    /// selector and clearance filters to each candidate. Candidates come
-    /// only from index slots whose pattern matches the topic.
-    fn route_in_shard(
+    /// selector and clearance filters to each candidate and collecting
+    /// the matches. Candidates come only from index slots whose pattern
+    /// matches the topic.
+    ///
+    /// Delivery happens **after** the shard lock drops
+    /// ([`Broker::deliver_matches`]): a delivery target may block — the
+    /// scheduled engine's sink exerts inbox backpressure on publishers —
+    /// and blocking under the read lock would let a concurrent
+    /// subscribe's queued write lock wedge every other publisher on the
+    /// shard behind the stalled one.
+    fn match_in_shard(
         &self,
         shard: &ShardState,
         event: &Arc<LabelledEvent>,
         local: &mut LocalStats,
-    ) -> usize {
+        matches: &mut Vec<(Arc<SubEntry>, Arc<LabelledEvent>)>,
+    ) {
         let topic = event.topic();
-        let mut delivered = 0;
         if let Some(list) = shard.exact.get(topic) {
             for entry in list {
-                delivered += self.filter_and_deliver(entry, event, local);
+                self.filter_match(entry, event, local, matches);
             }
         }
         let mut node = &shard.prefix;
@@ -538,21 +551,21 @@ impl Broker {
                 Some(child) => {
                     node = child;
                     for entry in &node.subs {
-                        delivered += self.filter_and_deliver(entry, event, local);
+                        self.filter_match(entry, event, local, matches);
                     }
                 }
                 None => break,
             }
         }
-        delivered
     }
 
-    fn filter_and_deliver(
+    fn filter_match(
         &self,
         entry: &Arc<SubEntry>,
         event: &Arc<LabelledEvent>,
         local: &mut LocalStats,
-    ) -> usize {
+        matches: &mut Vec<(Arc<SubEntry>, Arc<LabelledEvent>)>,
+    ) {
         debug_assert!(
             entry.topic.matches(event.topic()),
             "index routed a non-match"
@@ -560,23 +573,35 @@ impl Broker {
         if let Some(selector) = &entry.selector {
             if !selector.matches(event.event()) {
                 local.selector_filtered += 1;
-                return 0;
+                return;
             }
         }
         if self.inner.options.label_filtering && !event.labels().flows_to(&entry.clearance) {
             local.label_filtered += 1;
-            return 0;
+            return;
         }
-        let delivery = Delivery {
-            subscription_id: Arc::clone(&entry.sub_id),
-            event: Arc::clone(event),
-        };
-        if entry.target.deliver(delivery) {
-            local.delivered += 1;
-            1
-        } else {
-            0
+        matches.push((Arc::clone(entry), Arc::clone(event)));
+    }
+
+    /// Invokes the collected matches' delivery targets, lock-free, in
+    /// match order. Returns the deliveries made (dead targets —
+    /// disconnected channels, gone sinks — count as suppressed).
+    fn deliver_matches(
+        matches: &mut Vec<(Arc<SubEntry>, Arc<LabelledEvent>)>,
+        local: &mut LocalStats,
+    ) -> usize {
+        let mut delivered = 0;
+        for (entry, event) in matches.drain(..) {
+            let delivery = Delivery {
+                subscription_id: Arc::clone(&entry.sub_id),
+                event,
+            };
+            if entry.target.deliver(delivery) {
+                local.delivered += 1;
+                delivered += 1;
+            }
         }
+        delivered
     }
 
     /// Publishes an event: fan-out to every subscription whose topic and
@@ -592,10 +617,12 @@ impl Broker {
     /// (avoids the defensive clone of the borrowed-event entry point).
     pub fn publish_arc(&self, event: Arc<LabelledEvent>) -> usize {
         let mut local = LocalStats::default();
-        let delivered = {
+        let mut matches = Vec::new();
+        {
             let shard = self.inner.shards[shard_of(event.topic())].read();
-            self.route_in_shard(&shard, &event, &mut local)
-        };
+            self.match_in_shard(&shard, &event, &mut local, &mut matches);
+        }
+        let delivered = Self::deliver_matches(&mut matches, &mut local);
         local.flush(&self.inner.stats, 1);
         delivered
     }
@@ -624,14 +651,19 @@ impl Broker {
         }
         let mut local = LocalStats::default();
         let mut delivered = 0;
+        let mut matches = Vec::new();
         for (index, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
-            let shard = self.inner.shards[index].read();
-            for event in bucket {
-                delivered += self.route_in_shard(&shard, event, &mut local);
+            {
+                let shard = self.inner.shards[index].read();
+                for event in bucket {
+                    self.match_in_shard(&shard, event, &mut local, &mut matches);
+                }
             }
+            // One lock acquisition per shard, all deliveries outside it.
+            delivered += Self::deliver_matches(&mut matches, &mut local);
         }
         local.flush(&self.inner.stats, published);
         delivered

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use safeweb_broker::Broker;
 use safeweb_docstore::{DocStore, ReplicationHandle};
-use safeweb_engine::{Engine, EngineError, EngineHandle, EngineOptions, UnitSpec};
+use safeweb_engine::{
+    Engine, EngineError, EngineHandle, EngineOptions, ExecutionMode, SchedulerOptions, UnitSpec,
+};
 use safeweb_http::HttpServer;
 use safeweb_labels::Policy;
 use safeweb_relstore::Database;
@@ -97,9 +99,20 @@ impl SafeWebBuilder {
         self
     }
 
-    /// Sets engine options (baseline benchmarking only).
+    /// Sets engine options (execution mode; label tracking for baseline
+    /// benchmarking only).
     pub fn engine_options(mut self, options: EngineOptions) -> SafeWebBuilder {
         self.engine_options = options;
+        self
+    }
+
+    /// Runs the engine's units on a work-stealing worker pool with the
+    /// given sizing — the scale mode for thousands of units (the default
+    /// uses one worker per core and a 1024-message inbox per unit).
+    /// Shorthand for setting [`ExecutionMode::Scheduled`] through
+    /// [`SafeWebBuilder::engine_options`].
+    pub fn scheduler(mut self, options: SchedulerOptions) -> SafeWebBuilder {
+        self.engine_options.execution = ExecutionMode::Scheduled(options);
         self
     }
 

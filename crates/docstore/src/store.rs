@@ -83,8 +83,9 @@ pub struct Change {
 
 /// A registered view: the indexed body field plus the index itself,
 /// maintained incrementally on every write. Index keys are the
-/// deterministic JSON encoding of the field value (objects serialise with
-/// sorted keys), so equal values always collide on the same bucket.
+/// [order-preserving encoding](index_key) of the field value, so equal
+/// values always collide on the same bucket **and** the map's key order
+/// is the value order — which is what `query_view_range` walks.
 #[derive(Debug, Default)]
 struct View {
     field: String,
@@ -154,12 +155,30 @@ impl Default for Inner {
     }
 }
 
-/// The index key for a field value, or `None` when the value cannot be
-/// indexed faithfully: non-finite floats serialise to JSON `null`, so
-/// keying them by [`Value::to_json`] would make `NaN`/`Infinity` collide
-/// with each other and with real `null`s. Such values are simply never
-/// indexed (and never matched) — `NaN` does not even equal itself, so the
-/// seed's equality scan never matched it either.
+/// The **order-preserving** index key for a field value, or `None` when
+/// the value cannot be indexed faithfully (non-finite floats: `NaN` does
+/// not even equal itself, so such values are never indexed and never
+/// matched — same as the seed's equality scan).
+///
+/// The encoding is a type tag byte followed by a per-type payload whose
+/// byte order equals the value order, which is what lets
+/// [`DocStore::query_view_range`] run as one `BTreeMap::range` walk:
+///
+/// * `b0`/`b1` — booleans;
+/// * `f` + 16 hex digits — finite floats, IEEE-754 bits sign-flipped into
+///   a lexicographically sortable integer (`-0.0` canonicalised to
+///   `0.0`, matching f64 equality);
+/// * `i` + 16 hex digits — integers, offset-binary (`value ^ i64::MIN`);
+/// * `j` + deterministic JSON — arrays/objects (equality lookups only;
+///   their relative order is the encoding's, not anything semantic);
+/// * `s` + the raw string — strings, byte order = `str` order;
+/// * `z` — null.
+///
+/// The tag keeps types in disjoint key ranges, so a typed range bound can
+/// never sweep in values of another type, and `Int(1)`/`Float(1.0)`
+/// remain distinct buckets exactly as they were under the previous
+/// JSON-encoding key. Keys live only in memory (views are rebuilt on
+/// recovery), so the encoding can evolve without a WAL migration.
 fn index_key(value: &Value) -> Option<String> {
     fn finite(value: &Value) -> bool {
         match value {
@@ -169,7 +188,38 @@ fn index_key(value: &Value) -> Option<String> {
             _ => true,
         }
     }
-    finite(value).then(|| value.to_json())
+    Some(match value {
+        Value::Null => "z".to_string(),
+        Value::Bool(false) => "b0".to_string(),
+        Value::Bool(true) => "b1".to_string(),
+        Value::Int(i) => format!("i{:016x}", (*i as u64) ^ (1 << 63)),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return None;
+            }
+            // `-0.0` canonicalises to `0.0`: f64 comparison (and
+            // `Value`'s derived equality, which the linear-scan oracle
+            // uses) treats them as equal, so they must share one bucket
+            // and one ordering position.
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            let bits = f.to_bits();
+            // Standard total-order transform: flip everything for
+            // negatives, flip only the sign for positives.
+            let ordered = if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
+            format!("f{ordered:016x}")
+        }
+        Value::Str(s) => format!("s{s}"),
+        Value::Array(_) | Value::Object(_) => {
+            if !finite(value) {
+                return None;
+            }
+            format!("j{}", value.to_json())
+        }
+    })
 }
 
 fn index_doc(views: &mut BTreeMap<String, View>, doc: &Document) {
@@ -744,6 +794,84 @@ impl DocStore {
             .collect())
     }
 
+    /// Queries a view for documents whose indexed field falls in
+    /// `range` — a walk over the ordered key index
+    /// (`O(log buckets + matches)`), so `by_age.range(18..65)`-style
+    /// lookups never scan the store. Results come back in ascending key
+    /// order, id order within one key.
+    ///
+    /// Bounds compare in the index's order-preserving key encoding:
+    /// numerically within `Int` keys and within
+    /// finite `Float` keys, byte-lexicographically within `Str` keys.
+    /// The two numeric types occupy disjoint tag ranges (as they are
+    /// distinct buckets under equality too), so range ends should be the
+    /// same scalar type as the indexed values. A bound that cannot be
+    /// indexed (non-finite float) matches nothing, and an inverted range
+    /// is empty.
+    ///
+    /// ```
+    /// use safeweb_docstore::DocStore;
+    /// use safeweb_json::{jobject, Value};
+    /// use safeweb_labels::LabelSet;
+    ///
+    /// let store = DocStore::new("t");
+    /// store.create_view("by_age", "age");
+    /// for (id, age) in [("a", 17), ("b", 30), ("c", 64), ("d", 65)] {
+    ///     store.put(id, jobject! {"age" => age}, LabelSet::new(), None).unwrap();
+    /// }
+    /// let adults = store
+    ///     .query_view_range("by_age", Value::from(18)..Value::from(65))
+    ///     .unwrap();
+    /// let ids: Vec<&str> = adults.iter().map(|d| d.id()).collect();
+    /// assert_eq!(ids, ["b", "c"]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownView`] if the view was never created.
+    pub fn query_view_range<R>(&self, view: &str, range: R) -> Result<Vec<Document>, StoreError>
+    where
+        R: std::ops::RangeBounds<Value>,
+    {
+        use std::ops::Bound;
+        let inner = self.inner.read();
+        let view = inner
+            .views
+            .get(view)
+            .ok_or_else(|| StoreError::UnknownView(view.to_string()))?;
+        let encode = |bound: Bound<&Value>| -> Option<Bound<String>> {
+            match bound {
+                Bound::Unbounded => Some(Bound::Unbounded),
+                Bound::Included(value) => index_key(value).map(Bound::Included),
+                Bound::Excluded(value) => index_key(value).map(Bound::Excluded),
+            }
+        };
+        let (Some(lo), Some(hi)) = (encode(range.start_bound()), encode(range.end_bound())) else {
+            // A non-indexable bound (non-finite float) can match nothing.
+            return Ok(Vec::new());
+        };
+        // `BTreeMap::range` panics on inverted ranges; they are simply
+        // empty here.
+        if let (
+            Bound::Included(start) | Bound::Excluded(start),
+            Bound::Included(end) | Bound::Excluded(end),
+        ) = (&lo, &hi)
+        {
+            let both_excluded = matches!((&lo, &hi), (Bound::Excluded(_), Bound::Excluded(_)));
+            if start > end || (start == end && both_excluded) {
+                return Ok(Vec::new());
+            }
+        }
+        let mut docs = Vec::new();
+        for ids in view.index.range((lo, hi)).map(|(_, ids)| ids) {
+            docs.extend(
+                ids.iter()
+                    .map(|id| inner.docs.get(id).expect("view index in sync").clone()),
+            );
+        }
+        Ok(docs)
+    }
+
     /// Scans all documents with a predicate over bodies. `O(n)` — prefer
     /// [`DocStore::query_view`] or [`DocStore::scan_prefix`] on hot paths.
     pub fn scan(&self, mut predicate: impl FnMut(&Document) -> bool) -> Vec<Document> {
@@ -1096,6 +1224,71 @@ mod tests {
             .put("inf", jobject! {"v" => 1}, LabelSet::new(), Some(&rev))
             .unwrap();
         assert_eq!(store.query_view("by_v", &Value::from(1)).unwrap().len(), 1);
+    }
+
+    /// The order-preserving key encoding: float range results come back
+    /// in numeric order across signs (with `-0.0` sharing `0.0`'s
+    /// bucket, as f64 equality demands), int ranges across the `i64`
+    /// extremes, and neither type's range sweeps in the other's buckets.
+    #[test]
+    fn range_queries_order_numerically() {
+        let store = DocStore::new("t");
+        store.create_view("by_v", "v");
+        let floats = [-1.5e300, -2.0, -0.5, -0.0, 0.0, 0.25, 3.5, 2.5e300];
+        for (i, f) in floats.iter().enumerate() {
+            store
+                .put(
+                    &format!("f{i}"),
+                    jobject! {"v" => *f},
+                    LabelSet::new(),
+                    None,
+                )
+                .unwrap();
+        }
+        for (id, v) in [
+            ("imin", i64::MIN),
+            ("ineg", -7),
+            ("izero", 0),
+            ("imax", i64::MAX),
+        ] {
+            store
+                .put(id, jobject! {"v" => v}, LabelSet::new(), None)
+                .unwrap();
+        }
+
+        let all_floats = store
+            .query_view_range(
+                "by_v",
+                Value::Float(f64::NEG_INFINITY.next_up())..=Value::Float(f64::INFINITY.next_down()),
+            )
+            .unwrap();
+        let got: Vec<f64> = all_floats
+            .iter()
+            .map(|d| d.body().get("v").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert_eq!(got, floats, "floats out of numeric order");
+
+        let negative = store
+            .query_view_range("by_v", Value::Float(-3.0)..Value::Float(0.0))
+            .unwrap();
+        let ids: Vec<&str> = negative.iter().map(Document::id).collect();
+        assert_eq!(
+            ids,
+            ["f1", "f2"],
+            "v < 0.0 must exclude -0.0 (f64 says -0.0 == 0.0)"
+        );
+        let zeros = store.query_view("by_v", &Value::Float(-0.0)).unwrap();
+        assert_eq!(zeros.len(), 2, "-0.0 and 0.0 share one equality bucket");
+
+        let ints = store
+            .query_view_range("by_v", Value::Int(i64::MIN)..=Value::Int(i64::MAX))
+            .unwrap();
+        let ids: Vec<&str> = ints.iter().map(Document::id).collect();
+        assert_eq!(
+            ids,
+            ["imin", "ineg", "izero", "imax"],
+            "ints span extremes in order"
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@ use safeweb_labels::PrivilegeSet;
 
 use crate::error::EngineError;
 
+/// A push-mode delivery callback: invoked once per matching delivery,
+/// returning whether the subscriber is still alive (`false` counts the
+/// delivery as suppressed, like a disconnected channel). The scheduled
+/// engine's sinks **block** when the owning unit's inbox is at capacity —
+/// that is the backpressure edge between the bus and the scheduler.
+pub type DeliverySink = Box<dyn Fn(Delivery) -> bool + Send + Sync>;
+
 /// The engine's view of the broker.
 pub trait EventBus: Send + Sync {
     /// Registers a subscription; deliveries arrive on the returned channel.
@@ -29,6 +36,43 @@ pub trait EventBus: Send + Sync {
         selector: Option<&str>,
         clearance: PrivilegeSet,
     ) -> Result<Receiver<Delivery>, EngineError>;
+
+    /// Registers a subscription whose deliveries are pushed through
+    /// `sink` instead of a channel — the wakeup path of the scheduled
+    /// engine: a delivery lands directly in the unit's bounded inbox and
+    /// makes its task ready, with no per-unit thread parked in a select.
+    ///
+    /// The embedded broker overrides this to invoke `sink` on the
+    /// publisher's thread. The default bridges transports that only
+    /// expose a channel (the remote STOMP bus) with one forwarding
+    /// thread per subscription; the thread exits when the channel
+    /// disconnects or the sink reports the subscriber gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Bus`] on transport failure.
+    fn subscribe_with(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<&str>,
+        clearance: PrivilegeSet,
+        sink: DeliverySink,
+    ) -> Result<(), EngineError> {
+        let rx = self.subscribe(client, subscription_id, topic, selector, clearance)?;
+        std::thread::Builder::new()
+            .name(format!("safeweb-bus-pump-{client}-{subscription_id}"))
+            .spawn(move || {
+                for delivery in rx.iter() {
+                    if !sink(delivery) {
+                        return;
+                    }
+                }
+            })
+            .map_err(|e| EngineError::Bus(format!("spawn bus pump failed: {e}")))?;
+        Ok(())
+    }
 
     /// Publishes a labelled event.
     ///
@@ -85,6 +129,34 @@ impl EventBus for Broker {
             selector,
             clearance,
         ))
+    }
+
+    fn subscribe_with(
+        &self,
+        client: &str,
+        subscription_id: &str,
+        topic: &str,
+        selector: Option<&str>,
+        clearance: PrivilegeSet,
+        sink: DeliverySink,
+    ) -> Result<(), EngineError> {
+        let selector = match selector {
+            Some(src) => Some(
+                safeweb_selector::Selector::parse(src)
+                    .map_err(|e| EngineError::Bus(format!("bad selector: {e}")))?,
+            ),
+            None => None,
+        };
+        Broker::subscribe_sink(
+            self,
+            client,
+            subscription_id,
+            topic,
+            selector,
+            clearance,
+            sink,
+        );
+        Ok(())
     }
 
     fn publish(&self, event: &LabelledEvent) -> Result<(), EngineError> {

@@ -1,11 +1,29 @@
 //! The event processing engine (§4.3): configures, instantiates and runs
 //! units, wiring their subscriptions to the broker and executing their
 //! callbacks inside the IFC jail.
+//!
+//! # Execution modes
+//!
+//! * [`ExecutionMode::Scheduled`] (the default) multiplexes every unit
+//!   onto a fixed [`safeweb_sched`] worker pool: each unit is one
+//!   scheduler task with a bounded inbox, deliveries wake the task
+//!   instead of a parked per-unit thread, and the thread count is set by
+//!   [`SchedulerOptions::workers`] — independent of the unit count, so
+//!   one process hosts thousands of units (one per tenant).
+//! * [`ExecutionMode::Threaded`] keeps the original thread-per-unit
+//!   model as the benchmark baseline, mirroring how the reactor refactor
+//!   kept `ThreadedBrokerServer`.
+//!
+//! Both modes preserve the same unit-facing guarantees: strict FIFO
+//! event order within a unit, no concurrent execution of one unit's
+//! callbacks, burst-capped draining so a hot unit cannot starve the
+//! rest, and batched flushing of each activation's published events in
+//! one broker pass.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, tick, Receiver, Select};
 use parking_lot::Mutex;
@@ -13,6 +31,7 @@ use parking_lot::Mutex;
 use safeweb_broker::Delivery;
 use safeweb_events::{Event, LabelledEvent};
 use safeweb_labels::{LabelSet, Policy, PrincipalKind};
+use safeweb_sched::{Scheduler, SchedulerOptions, TaskSender};
 
 use crate::bus::EventBus;
 use crate::error::{EngineError, UnitError};
@@ -98,18 +117,39 @@ impl UnitSpec {
     }
 }
 
+/// How the engine runs its units.
+#[derive(Debug, Clone)]
+pub enum ExecutionMode {
+    /// All units share a fixed work-stealing worker pool
+    /// (`crates/sched`): the production mode, whose thread count is
+    /// independent of the unit count.
+    Scheduled(SchedulerOptions),
+    /// One OS thread per unit — the original model, kept as the
+    /// benchmark baseline. Caps out at a few hundred units.
+    Threaded,
+}
+
+impl Default for ExecutionMode {
+    fn default() -> ExecutionMode {
+        ExecutionMode::Scheduled(SchedulerOptions::default())
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// When `false`, all label bookkeeping is skipped. Exists **only** for
     /// the paper's §5.3 baseline measurements; never disable in production.
     pub label_tracking: bool,
+    /// Unit execution model (scheduled worker pool by default).
+    pub execution: ExecutionMode,
 }
 
 impl Default for EngineOptions {
     fn default() -> EngineOptions {
         EngineOptions {
             label_tracking: true,
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -146,7 +186,8 @@ impl Engine {
         }
     }
 
-    /// Overrides engine options (baseline benchmarking only).
+    /// Overrides engine options (execution mode; label tracking for
+    /// baseline benchmarking only).
     pub fn with_options(mut self, options: EngineOptions) -> Engine {
         self.options = options;
         self
@@ -166,13 +207,169 @@ impl Engine {
         Ok(())
     }
 
-    /// Starts every unit on its own thread and returns a handle for
-    /// observing violations and stopping the engine.
+    /// Starts every unit — on the shared scheduler pool or on its own
+    /// thread, per [`EngineOptions::execution`] — and returns a handle
+    /// for observing violations and stopping the engine.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] if any subscription cannot be established.
     pub fn start(self) -> Result<EngineHandle, EngineError> {
+        match self.options.execution.clone() {
+            ExecutionMode::Scheduled(options) => self.start_scheduled(options),
+            ExecutionMode::Threaded => self.start_threaded(),
+        }
+    }
+
+    // ---- scheduled execution -------------------------------------------
+
+    /// Starts the units as tasks on a fixed worker pool. Thread cost:
+    /// `workers` pool threads plus one timer thread when any unit has
+    /// timers — regardless of how many units there are.
+    fn start_scheduled(self, options: SchedulerOptions) -> Result<EngineHandle, EngineError> {
+        let violations = Arc::new(Mutex::new(Vec::new()));
+        let scheduler: Scheduler<UnitMsg> = Scheduler::new(options);
+        let mut timers: Vec<TimerEntry> = Vec::new();
+
+        for unit in self.units {
+            let privileges = self.policy.privileges(PrincipalKind::Unit, &unit.name);
+            let privileged = self.policy.is_privileged_unit(&unit.name);
+            let UnitSpec {
+                name,
+                subscriptions,
+                timers: unit_timers,
+            } = unit;
+
+            // Split the spec: wiring metadata stays here, the callbacks
+            // move into the task's handler.
+            let mut topics = Vec::with_capacity(subscriptions.len());
+            let mut callbacks: Vec<Callback> = Vec::with_capacity(subscriptions.len());
+            for (topic, selector, callback) in subscriptions {
+                topics.push((topic, selector));
+                callbacks.push(callback);
+            }
+            let mut intervals = Vec::with_capacity(unit_timers.len());
+            let mut timer_callbacks: Vec<TimerCallback> = Vec::with_capacity(unit_timers.len());
+            for (interval, callback) in unit_timers {
+                intervals.push(interval);
+                timer_callbacks.push(callback);
+            }
+
+            let bus = Arc::clone(&self.bus);
+            let tracking = self.options.label_tracking;
+            let unit_violations = Arc::clone(&violations);
+            let unit_name = name.clone();
+            let jail_privileges = privileges.clone();
+            let mut store = LabelledStore::new();
+
+            let sender = scheduler.spawn(&name, move |batch| {
+                // One publish sink per activation: everything the burst's
+                // callbacks emit flushes to the broker in a single
+                // batched pass, exactly like the threaded path's
+                // per-callback flush but amortised over the burst.
+                let sink = BufferedBusSink::new();
+                let mut failures: Vec<UnitError> = Vec::new();
+                for msg in batch.drain(..) {
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
+                            UnitMsg::Event { callback, delivery } => {
+                                let initial = if tracking {
+                                    delivery.event.labels().clone()
+                                } else {
+                                    LabelSet::new()
+                                };
+                                let mut jail = Jail::new(
+                                    &unit_name,
+                                    initial,
+                                    &jail_privileges,
+                                    privileged,
+                                    &mut store,
+                                    &sink,
+                                    tracking,
+                                );
+                                (callbacks[callback])(&mut jail, delivery.event.event())
+                            }
+                            UnitMsg::Timer { timer } => {
+                                let mut jail = Jail::new(
+                                    &unit_name,
+                                    LabelSet::new(),
+                                    &jail_privileges,
+                                    privileged,
+                                    &mut store,
+                                    &sink,
+                                    tracking,
+                                );
+                                (timer_callbacks[timer])(&mut jail)
+                            }
+                        }));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(error)) => failures.push(error),
+                        Err(payload) => {
+                            // The callback panicked mid-burst. Everything
+                            // the jail already admitted — this burst's
+                            // earlier callbacks' events included — still
+                            // flushes, and recorded failures survive;
+                            // only then does the panic continue to the
+                            // scheduler, which poisons the unit.
+                            flush_activation(
+                                &sink,
+                                bus.as_ref(),
+                                &unit_name,
+                                &unit_violations,
+                                std::mem::take(&mut failures),
+                            );
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                // Events the jail admitted are published even when their
+                // callback later failed — exactly as in threaded mode.
+                flush_activation(&sink, bus.as_ref(), &unit_name, &unit_violations, failures);
+            });
+
+            // Deliveries land straight in the unit's bounded inbox and
+            // make its task ready; a full inbox blocks an external
+            // publisher — backpressure on the bus instead of unbounded
+            // buffering. (Unit-to-unit publishes run on pool workers
+            // and bypass the cap; see `TaskSender::send`.)
+            for (idx, (topic, selector)) in topics.iter().enumerate() {
+                let tx = sender.clone();
+                self.bus.subscribe_with(
+                    &name,
+                    &format!("{name}-{idx}"),
+                    topic,
+                    selector.as_deref(),
+                    privileges.clone(),
+                    Box::new(move |delivery| {
+                        tx.send(UnitMsg::Event {
+                            callback: idx,
+                            delivery,
+                        })
+                        .is_ok()
+                    }),
+                )?;
+            }
+            for (timer, interval) in intervals.into_iter().enumerate() {
+                timers.push(TimerEntry {
+                    interval,
+                    next: Instant::now() + interval,
+                    sender: sender.clone(),
+                    timer,
+                });
+            }
+        }
+
+        let timer = (!timers.is_empty()).then(|| TimerDriver::start(timers));
+        Ok(EngineHandle {
+            violations,
+            mode: HandleMode::Scheduled { scheduler, timer },
+        })
+    }
+
+    // ---- threaded execution (bench baseline) ---------------------------
+
+    fn start_threaded(self) -> Result<EngineHandle, EngineError> {
         let stop = Arc::new(AtomicBool::new(false));
         let violations = Arc::new(Mutex::new(Vec::new()));
         let mut threads = Vec::new();
@@ -220,41 +417,166 @@ impl Engine {
         }
 
         Ok(EngineHandle {
-            stop,
-            stop_senders,
-            threads,
             violations,
+            mode: HandleMode::Threaded {
+                stop,
+                stop_senders,
+                threads,
+            },
         })
     }
 }
 
+/// One message in a scheduled unit's inbox.
+enum UnitMsg {
+    /// A broker delivery for subscription callback `callback`.
+    Event { callback: usize, delivery: Delivery },
+    /// Timer `timer` fired.
+    Timer { timer: usize },
+}
+
+/// One armed unit timer, driven by the shared [`TimerDriver`] thread.
+struct TimerEntry {
+    interval: Duration,
+    next: Instant,
+    sender: TaskSender<UnitMsg>,
+    timer: usize,
+}
+
+/// One thread drives **all** scheduled units' timers (the threaded mode
+/// pays one tick channel — and its shim thread — per timer). Ticks are
+/// delivered with a non-blocking send: a tick into a full or closed
+/// inbox is dropped, coalescing exactly like a lagging tick channel.
+/// Between ticks the thread sleeps on a condvar until the earliest
+/// deadline — zero wakeups while no timer is due — and `stop` notifies
+/// it out of the wait immediately.
+struct TimerDriver {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TimerDriver {
+    fn start(mut entries: Vec<TimerEntry>) -> TimerDriver {
+        let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let stop_pair = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("safeweb-engine-timers".to_string())
+            .spawn(move || {
+                let (stopped, wake) = &*stop_pair;
+                loop {
+                    let now = Instant::now();
+                    let mut earliest: Option<Instant> = None;
+                    for entry in &mut entries {
+                        if entry.next <= now {
+                            let _ = entry.sender.try_send(UnitMsg::Timer { timer: entry.timer });
+                            // Missed ticks are skipped, not replayed.
+                            entry.next = now + entry.interval;
+                        }
+                        earliest = Some(match earliest {
+                            Some(at) => at.min(entry.next),
+                            None => entry.next,
+                        });
+                    }
+                    let wait = earliest
+                        .map(|at| at.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_secs(1))
+                        .max(Duration::from_millis(1));
+                    let guard = stopped.lock().unwrap_or_else(|e| e.into_inner());
+                    if *guard {
+                        return;
+                    }
+                    let (guard, _) = wake
+                        .wait_timeout(guard, wait)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *guard {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn engine timer thread");
+        TimerDriver {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(&mut self) {
+        let (stopped, wake) = &*self.stop;
+        *stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+enum HandleMode {
+    Scheduled {
+        scheduler: Scheduler<UnitMsg>,
+        timer: Option<TimerDriver>,
+    },
+    Threaded {
+        stop: Arc<AtomicBool>,
+        stop_senders: Vec<crossbeam::channel::Sender<()>>,
+        threads: Vec<JoinHandle<()>>,
+    },
+    /// Shut down; violations (panics included) already folded in.
+    Stopped,
+}
+
 /// Handle to a running engine.
 pub struct EngineHandle {
-    stop: Arc<AtomicBool>,
-    stop_senders: Vec<crossbeam::channel::Sender<()>>,
-    threads: Vec<JoinHandle<()>>,
     violations: Arc<Mutex<Vec<Violation>>>,
+    mode: HandleMode,
 }
 
 impl EngineHandle {
-    /// Policy violations observed so far (suppressed unit operations).
+    /// Policy violations observed so far (suppressed unit operations),
+    /// including contained unit panics ([`UnitError::Panicked`]) under
+    /// the scheduled execution mode.
     pub fn violations(&self) -> Vec<Violation> {
+        let mut all = self.violations.lock().clone();
+        if let HandleMode::Scheduled { scheduler, .. } = &self.mode {
+            all.extend(scheduler.panics().into_iter().map(panic_violation));
+        }
+        all
+    }
+
+    /// Stops all units and joins their threads. In scheduled mode the
+    /// shutdown is graceful: inboxes close, everything already accepted
+    /// is drained, then the workers join. Returns the final violation
+    /// list — the place where panics contained during the run surface.
+    pub fn stop(mut self) -> Vec<Violation> {
+        self.shutdown();
         self.violations.lock().clone()
     }
 
-    /// Stops all units and joins their threads.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
     fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Dropping the senders closes the stop channels, waking selects.
-        self.stop_senders.clear();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        match std::mem::replace(&mut self.mode, HandleMode::Stopped) {
+            HandleMode::Scheduled { scheduler, timer } => {
+                if let Some(mut timer) = timer {
+                    timer.stop();
+                }
+                scheduler.shutdown();
+                let mut all = self.violations.lock();
+                all.extend(scheduler.panics().into_iter().map(panic_violation));
+            }
+            HandleMode::Threaded {
+                stop,
+                stop_senders,
+                threads,
+            } => {
+                if stop.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Dropping the senders closes the stop channels, waking
+                // selects.
+                drop(stop_senders);
+                for t in threads {
+                    let _ = t.join();
+                }
+            }
+            HandleMode::Stopped => {}
         }
     }
 }
@@ -265,8 +587,36 @@ impl Drop for EngineHandle {
     }
 }
 
-/// Publish sink handed to jails: buffers every event one callback
-/// invocation emits, then flushes them to the bus in a single
+fn panic_violation(panic: safeweb_sched::TaskPanic) -> Violation {
+    Violation {
+        unit: panic.task,
+        error: UnitError::Panicked(panic.message),
+    }
+}
+
+/// Ends one scheduled activation: flushes the buffered publish sink in a
+/// single broker pass and records the burst's callback failures as
+/// violations. Also runs on the panic path, so admitted events and
+/// recorded failures survive a poisoned unit.
+fn flush_activation(
+    sink: &BufferedBusSink,
+    bus: &dyn EventBus,
+    unit: &str,
+    violations: &Mutex<Vec<Violation>>,
+    failures: Vec<UnitError>,
+) {
+    sink.flush(bus, unit, violations);
+    if !failures.is_empty() {
+        let mut all = violations.lock();
+        all.extend(failures.into_iter().map(|error| Violation {
+            unit: unit.to_string(),
+            error,
+        }));
+    }
+}
+
+/// Publish sink handed to jails: buffers every event the callbacks of one
+/// activation emit, then flushes them to the bus in a single
 /// [`EventBus::publish_batch`] pass. Label checks still happen eagerly
 /// inside [`Jail::publish`] — an event only reaches the buffer if its
 /// relabelling was permitted, so batching changes delivery timing, not
@@ -306,7 +656,8 @@ impl PublishSink for BufferedBusSink {
 
 /// Upper bound on deliveries drained from one ready subscription before
 /// re-entering select, so a hot subscription cannot starve timers or the
-/// stop signal indefinitely.
+/// stop signal indefinitely. (The scheduled mode's equivalent knob is
+/// [`SchedulerOptions::burst`].)
 const DRAIN_LIMIT: usize = 128;
 
 #[allow(clippy::too_many_arguments)]

@@ -49,6 +49,10 @@ pub enum UnitError {
     BadEvent(String),
     /// Application-level failure inside the callback.
     Application(String),
+    /// The callback panicked. Under the scheduler the panic is contained
+    /// (the unit is poisoned, its worker and every other unit keep
+    /// running); the payload is preserved here.
+    Panicked(String),
 }
 
 impl fmt::Display for UnitError {
@@ -61,6 +65,7 @@ impl fmt::Display for UnitError {
             UnitError::IoDenied => write!(f, "I/O denied: unit is not privileged"),
             UnitError::BadEvent(m) => write!(f, "bad event: {m}"),
             UnitError::Application(m) => write!(f, "unit application error: {m}"),
+            UnitError::Panicked(m) => write!(f, "unit panicked: {m}"),
         }
     }
 }

@@ -287,6 +287,7 @@ fn label_tracking_off_is_baseline_mode() {
     let policy = policy("unit echo {\n clearance label:conf:e/* \n}\n");
     let mut engine = Engine::new(Arc::new(broker.clone()), policy).with_options(EngineOptions {
         label_tracking: false,
+        ..EngineOptions::default()
     });
     engine
         .add_unit(

@@ -31,6 +31,21 @@ const EPOLL_CLOEXEC: c_int = 0o2000000;
 const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o4000;
 const RLIMIT_NOFILE: c_int = 7;
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+
+/// Most buffers one [`writev_fd`] call gathers. Linux's `IOV_MAX` is
+/// 1024; 64 already amortises the syscall across a deep outbox while
+/// keeping the stack-allocated iovec array small.
+pub const WRITEV_BATCH: usize = 64;
+
+/// One gather-write segment (`struct iovec`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
 
 /// One readiness notification, as filled in by `epoll_wait`.
 ///
@@ -70,6 +85,64 @@ extern "C" {
     fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
     fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_int,
+        optlen: u32,
+    ) -> c_int;
+}
+
+/// Gather-writes up to [`WRITEV_BATCH`] buffers to `fd` in **one**
+/// syscall, returning the bytes written (possibly a short write ending
+/// mid-buffer — the caller advances its queue by the count). The iovec
+/// array lives on the stack and `bufs` is consumed lazily, so the hot
+/// flush path allocates nothing; buffers beyond the batch cap are left
+/// un-consumed and the caller loops.
+///
+/// # Errors
+///
+/// Propagates `writev` failure, including `WouldBlock` on a full socket
+/// buffer and `Interrupted` on `EINTR` (callers retry).
+pub fn writev_fd<'a>(fd: i32, bufs: impl IntoIterator<Item = &'a [u8]>) -> io::Result<usize> {
+    let mut iov = [IoVec {
+        base: std::ptr::null(),
+        len: 0,
+    }; WRITEV_BATCH];
+    let mut count = 0;
+    for (slot, buf) in iov.iter_mut().zip(bufs) {
+        slot.base = buf.as_ptr();
+        slot.len = buf.len();
+        count += 1;
+    }
+    let n = unsafe { writev(fd, iov.as_ptr(), count as c_int) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Shrinks (or grows) a socket's kernel send buffer. The outbox flush
+/// tests use a tiny buffer to force partial `writev` results; the kernel
+/// clamps to its own minimum and doubles the value for bookkeeping.
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failure.
+pub fn set_send_buffer(fd: i32, bytes: i32) -> io::Result<()> {
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &bytes,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })
+    .map(drop)
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {

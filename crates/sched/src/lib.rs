@@ -1,0 +1,66 @@
+//! # safeweb-sched
+//!
+//! A work-stealing task scheduler that multiplexes thousands of
+//! event-processing units onto a **fixed** pool of worker threads. It
+//! replaces the engine's original thread-per-unit execution model, whose
+//! OS-thread cost capped a deployment at a few hundred units; with the
+//! scheduler, one SafeWeb process holds one isolated unit per tenant for
+//! thousands of tenants.
+//!
+//! ## Model
+//!
+//! A task is a named message-driven actor: a bounded inbox plus a
+//! handler closure. Senders push messages through a cloneable
+//! [`TaskSender`]; the scheduler runs the handler over batches of queued
+//! messages on whichever worker picks the task up. Three guarantees hold
+//! for every task, under any stealing interleaving:
+//!
+//! * **FIFO** — messages are handed to the handler in exactly the order
+//!   their sends completed;
+//! * **no concurrent execution** — a task's handler never runs on two
+//!   workers at once (tasks move between workers, but one at a time);
+//! * **bounded inboxes** — [`TaskSender::send`] blocks while the task's
+//!   inbox is at capacity, pushing backpressure onto producers instead of
+//!   buffering unboundedly. (Sends from the pool's own worker threads
+//!   bypass the cap — see the backpressure section below.)
+//!
+//! `tests/sched_props.rs` holds all three properties against a
+//! sequential executable specification under randomized worker counts,
+//! message interleavings and handler delays, in the style of the broker's
+//! `oracle::LinearBroker` equivalence suite.
+//!
+//! ## Scheduling
+//!
+//! Each worker owns a run queue of ready tasks; a task whose inbox goes
+//! empty→non-empty is enqueued on the notifying worker's own queue (or a
+//! shared injector queue when the sender is not a worker). An idle worker
+//! pops its own queue first, then the injector, then **steals** from the
+//! other workers' queues, so a burst aimed at one worker's tasks spreads
+//! across the pool. Per activation a task drains at most
+//! [`SchedulerOptions::burst`] messages before re-queuing itself at the
+//! back, so one hot task cannot starve the rest.
+//!
+//! A handler panic is **isolated**: the worker survives, the panicking
+//! task is poisoned (inbox closed, pending messages dropped) and the
+//! panic is reported through [`Scheduler::panics`]; every other task keeps
+//! running.
+//!
+//! ## Backpressure
+//!
+//! The cap applies to **external** senders only: sends from one of the
+//! pool's own worker threads (a handler publishing to itself or to a
+//! sibling task) bypass it, because a worker blocked on a sibling's full
+//! inbox can never be the worker that drains it — on a one-worker pool a
+//! single capped task→task edge would deadlock, and on any pool a
+//! saturated cycle would. Backpressure therefore holds where load
+//! *enters* the pool; what a capped ingress admits bounds the in-pool
+//! fan-out (times the pipeline's amplification factor).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inbox;
+mod scheduler;
+
+pub use inbox::{SendError, TrySendError};
+pub use scheduler::{Scheduler, SchedulerOptions, TaskPanic, TaskSender};

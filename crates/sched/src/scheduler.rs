@@ -1,0 +1,673 @@
+//! The worker pool, run queues, stealing and the per-task state machine.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use std::sync::{Condvar, Mutex};
+
+use crate::inbox::{Inbox, Pushed, SendError, TrySendError};
+
+/// Tuning knobs for a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerOptions {
+    /// Worker threads. `0` picks one per available core — the production
+    /// setting, making the thread count `min(requested, cores)`-shaped
+    /// and independent of task count. Explicit values are honored as
+    /// given (tests oversubscribe a small machine on purpose to provoke
+    /// stealing interleavings).
+    pub workers: usize,
+    /// Per-task inbox capacity; sends beyond it block the producer.
+    pub inbox_cap: usize,
+    /// Most messages one activation hands the handler before the task
+    /// re-queues at the back of the run queue (fairness between tasks).
+    pub burst: usize,
+    /// Thread-name prefix for the worker threads.
+    pub name: String,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> SchedulerOptions {
+        SchedulerOptions {
+            workers: 0,
+            inbox_cap: 1024,
+            burst: 128,
+            name: "safeweb-sched".to_string(),
+        }
+    }
+}
+
+/// A handler panic the scheduler contained: the task was poisoned, the
+/// worker and every other task kept running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The poisoned task's name.
+    pub task: String,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+// Task states. A task is in exactly one queue iff its state is QUEUED;
+// only the worker that dequeued it moves QUEUED→RUNNING, which is what
+// makes concurrent execution impossible.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+/// Running, with a notify observed mid-run: re-queue on completion.
+const RUNNING_NOTIFIED: u8 = 3;
+
+/// Distinguishes tasks across every scheduler in the process, so the
+/// self-send check cannot confuse tasks of nested schedulers.
+static NEXT_TASK_UID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SCHED_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The task whose handler is executing on this thread (0 = none).
+    static CURRENT_TASK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// (scheduler id, worker index) when this thread is a pool worker.
+    static WORKER: std::cell::Cell<(u64, usize)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+type Handler<M> = Box<dyn FnMut(&mut Vec<M>) + Send>;
+
+struct Task<M> {
+    uid: u64,
+    name: String,
+    state: AtomicU8,
+    inbox: Inbox<M>,
+    /// Uncontended by construction (no concurrent execution); the mutex
+    /// only exists to make the `FnMut` shareable through the `Arc`.
+    handler: Mutex<Handler<M>>,
+}
+
+struct Parker {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+struct Inner<M> {
+    id: u64,
+    burst: usize,
+    /// One run queue per worker plus a shared injector for enqueues from
+    /// non-worker threads (index `workers` in `queues`).
+    queues: Vec<Mutex<VecDeque<Arc<Task<M>>>>>,
+    workers: usize,
+    /// Tasks queued anywhere; lets idle workers sleep without scanning.
+    pending: AtomicUsize,
+    sleepers: AtomicUsize,
+    parker: Parker,
+    stopping: AtomicBool,
+    tasks: Mutex<Vec<Arc<Task<M>>>>,
+    panics: Mutex<Vec<TaskPanic>>,
+}
+
+impl<M: Send + 'static> Inner<M> {
+    /// Queues a ready task: on a worker thread, onto that worker's own
+    /// queue; anywhere else, onto the shared injector.
+    fn enqueue(&self, task: Arc<Task<M>>) {
+        let (sched, index) = WORKER.with(std::cell::Cell::get);
+        let queue = if sched == self.id {
+            &self.queues[index]
+        } else {
+            &self.queues[self.workers]
+        };
+        queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.parker.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.parker.cv.notify_one();
+        }
+    }
+
+    /// The empty→non-empty inbox transition makes a task ready.
+    fn notify(&self, task: &Arc<Task<M>>) {
+        loop {
+            match task
+                .state
+                .compare_exchange(IDLE, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.enqueue(Arc::clone(task));
+                    return;
+                }
+                Err(QUEUED) | Err(RUNNING_NOTIFIED) => return,
+                Err(RUNNING) => {
+                    if task
+                        .state
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_NOTIFIED,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // Raced with the run completing; retry from the top.
+                }
+                Err(_) => unreachable!("invalid task state"),
+            }
+        }
+    }
+
+    /// Own queue first, then the injector, then steal from the others.
+    fn find_work(&self, index: usize) -> Option<Arc<Task<M>>> {
+        let order = (0..self.queues.len()).map(|off| {
+            match off {
+                0 => index,
+                1 => self.workers, // injector
+                _ => {
+                    // Remaining queues in rotation, skipping our own and
+                    // the injector (both already tried).
+                    let mut victim = (index + off - 1) % self.workers;
+                    if victim == index {
+                        victim = (victim + 1) % self.workers;
+                    }
+                    victim
+                }
+            }
+        });
+        for queue_index in order {
+            if let Some(task) = self.queues[queue_index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, task: &Arc<Task<M>>, scratch: &mut Vec<M>) {
+        task.state.store(RUNNING, Ordering::SeqCst);
+        scratch.clear();
+        task.inbox.drain(self.burst, scratch);
+        if !scratch.is_empty() {
+            let mut handler = task.handler.lock().unwrap_or_else(|e| e.into_inner());
+            CURRENT_TASK.with(|current| current.set(task.uid));
+            let result = catch_unwind(AssertUnwindSafe(|| handler(scratch)));
+            CURRENT_TASK.with(|current| current.set(0));
+            drop(handler);
+            scratch.clear();
+            if let Err(payload) = result {
+                self.poison(task, &*payload);
+            }
+        }
+        // Completion: settle back to IDLE unless a notify arrived mid-run
+        // or messages remain (a burst-capped drain, or a send that raced
+        // the IDLE transition without its notify landing yet).
+        match task
+            .state
+            .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                if task.inbox.len() > 0
+                    && task
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    self.enqueue(Arc::clone(task));
+                }
+            }
+            Err(RUNNING_NOTIFIED) => {
+                task.state.store(QUEUED, Ordering::SeqCst);
+                self.enqueue(Arc::clone(task));
+            }
+            Err(_) => unreachable!("only the running worker completes a task"),
+        }
+    }
+
+    fn poison(&self, task: &Task<M>, payload: &(dyn std::any::Any + Send)) {
+        task.inbox.close(true);
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        self.panics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(TaskPanic {
+                task: task.name.clone(),
+                message,
+            });
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        WORKER.with(|worker| worker.set((self.id, index)));
+        let mut scratch = Vec::new();
+        loop {
+            match self.find_work(index) {
+                Some(task) => self.run_task(&task, &mut scratch),
+                None => {
+                    if self.stopping.load(Ordering::SeqCst) {
+                        // Queues empty and no new sends can arrive
+                        // (inboxes are closed): this worker is done.
+                        return;
+                    }
+                    self.sleepers.fetch_add(1, Ordering::SeqCst);
+                    {
+                        let guard = self.parker.lock.lock().unwrap_or_else(|e| e.into_inner());
+                        if self.pending.load(Ordering::SeqCst) == 0
+                            && !self.stopping.load(Ordering::SeqCst)
+                        {
+                            // The timeout bounds any residual wakeup race;
+                            // notifies make the common path immediate.
+                            let _ = self
+                                .parker
+                                .cv
+                                .wait_timeout(guard, Duration::from_millis(10));
+                        }
+                    }
+                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// A fixed-size worker pool running message-driven tasks. See the crate
+/// docs for the scheduling model and guarantees.
+pub struct Scheduler<M: Send + 'static> {
+    inner: Arc<Inner<M>>,
+    inbox_cap: usize,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<M: Send + 'static> Scheduler<M> {
+    /// Starts the worker pool. With `workers == 0` the pool gets one
+    /// worker per available core.
+    pub fn new(options: SchedulerOptions) -> Scheduler<M> {
+        let workers = match options.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            n => n,
+        }
+        .max(1);
+        let inner = Arc::new(Inner {
+            id: NEXT_SCHED_ID.fetch_add(1, Ordering::Relaxed),
+            burst: options.burst.max(1),
+            queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            workers,
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            parker: Parker {
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            },
+            stopping: AtomicBool::new(false),
+            tasks: Mutex::new(Vec::new()),
+            panics: Mutex::new(Vec::new()),
+        });
+        let threads = (0..workers)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("{}-worker-{index}", options.name))
+                    .spawn(move || inner.worker_loop(index))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            inbox_cap: options.inbox_cap.max(1),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Registers a task: a bounded inbox plus a handler the pool invokes
+    /// with batches of queued messages (at most
+    /// [`SchedulerOptions::burst`] per activation, in send order). The
+    /// handler must drain or inspect the batch; the scheduler clears it
+    /// afterwards either way.
+    ///
+    /// Spawning on a scheduler that is already shutting down returns a
+    /// sender whose sends fail.
+    pub fn spawn(
+        &self,
+        name: &str,
+        handler: impl FnMut(&mut Vec<M>) + Send + 'static,
+    ) -> TaskSender<M> {
+        let task = Arc::new(Task {
+            uid: NEXT_TASK_UID.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            state: AtomicU8::new(IDLE),
+            inbox: Inbox::new(self.inbox_cap),
+            handler: Mutex::new(Box::new(handler)),
+        });
+        {
+            let mut tasks = self.inner.tasks.lock().unwrap_or_else(|e| e.into_inner());
+            if self.inner.stopping.load(Ordering::SeqCst) {
+                task.inbox.close(true);
+            } else {
+                tasks.push(Arc::clone(&task));
+            }
+        }
+        TaskSender {
+            task,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Handler panics contained so far (each one poisoned its task).
+    pub fn panics(&self) -> Vec<TaskPanic> {
+        self.inner
+            .panics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Graceful shutdown: closes every inbox (senders start failing,
+    /// blocked senders wake), lets the workers drain everything already
+    /// accepted, then joins them. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        // Closing inboxes under the tasks lock serialises with `spawn`,
+        // so no task slips in unclosed.
+        {
+            let tasks = self.inner.tasks.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner.stopping.store(true, Ordering::SeqCst);
+            for task in tasks.iter() {
+                task.inbox.close(false);
+            }
+        }
+        {
+            let _guard = self
+                .inner
+                .parker
+                .lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.inner.parker.cv.notify_all();
+        }
+        for thread in self
+            .threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = thread.join();
+        }
+        // Final sweep, on this thread, after every worker has exited: a
+        // send whose inbox push won the race against the close above but
+        // whose wakeup had not landed when the workers last scanned the
+        // queues leaves messages behind with nobody to run them. The
+        // inboxes are closed, so this drains to empty in bounded work —
+        // and every send that returned Ok stays processed, as promised.
+        let tasks: Vec<Arc<Task<M>>> = self
+            .inner
+            .tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut scratch = Vec::new();
+        for task in tasks {
+            while task.inbox.len() > 0 {
+                self.inner.run_task(&task, &mut scratch);
+            }
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for Scheduler<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<M: Send + 'static> std::fmt::Debug for Scheduler<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.inner.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cloneable, thread-safe sending handle to one task.
+pub struct TaskSender<M: Send + 'static> {
+    task: Arc<Task<M>>,
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: Send + 'static> Clone for TaskSender<M> {
+    fn clone(&self) -> TaskSender<M> {
+        TaskSender {
+            task: Arc::clone(&self.task),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Send + 'static> TaskSender<M> {
+    /// Queues a message, blocking while the inbox is at capacity — the
+    /// backpressure edge for **external** producers (bus frontends, HTTP
+    /// workers, importer threads).
+    ///
+    /// Sends from one of this scheduler's own worker threads — a task
+    /// handler publishing to itself or to any sibling task — bypass the
+    /// cap instead of blocking: a blocked worker cannot drain anyone's
+    /// inbox, so capping intra-pool edges would deadlock a single-worker
+    /// pool on the first full sibling inbox (and any pool on a saturated
+    /// cycle). Backpressure therefore applies where load enters the
+    /// pool; in-pool fan-out is bounded by what the capped ingress
+    /// admits times the pipeline's amplification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] (with the message) if the task is closed:
+    /// scheduler shut down, or the task was poisoned by a panic.
+    pub fn send(&self, msg: M) -> Result<(), SendError<M>> {
+        let pool_thread = WORKER.with(std::cell::Cell::get).0 == self.inner.id;
+        let own_task = CURRENT_TASK.with(std::cell::Cell::get) == self.task.uid;
+        let pushed = self.task.inbox.push(msg, pool_thread || own_task)?;
+        self.after_push(pushed);
+        Ok(())
+    }
+
+    /// Queues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the inbox is at capacity,
+    /// [`TrySendError::Closed`] when the task is closed; both return the
+    /// message.
+    pub fn try_send(&self, msg: M) -> Result<(), TrySendError<M>> {
+        let pushed = self.task.inbox.try_push(msg)?;
+        self.after_push(pushed);
+        Ok(())
+    }
+
+    fn after_push(&self, pushed: Pushed) {
+        if pushed.was_empty {
+            self.inner.notify(&self.task);
+        }
+    }
+
+    /// Messages currently queued in the task's inbox.
+    pub fn queued(&self) -> usize {
+        self.task.inbox.len()
+    }
+
+    /// Whether the task no longer accepts messages.
+    pub fn is_closed(&self) -> bool {
+        self.task.inbox.is_closed()
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.task.name
+    }
+}
+
+impl<M: Send + 'static> std::fmt::Debug for TaskSender<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSender")
+            .field("task", &self.task.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn options(workers: usize) -> SchedulerOptions {
+        SchedulerOptions {
+            workers,
+            inbox_cap: 8,
+            burst: 4,
+            name: "sched-test".to_string(),
+        }
+    }
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let sched: Scheduler<u32> = Scheduler::new(options(2));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let tx = sched.spawn("t", move |batch| {
+            sink.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(batch.drain(..))
+        });
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        sched.shutdown();
+        assert_eq!(
+            *log.lock().unwrap_or_else(|e| e.into_inner()),
+            (0..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_messages() {
+        let sched: Scheduler<u32> = Scheduler::new(options(1));
+        let count = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&count);
+        let tx = sched.spawn("t", move |batch| {
+            std::thread::sleep(Duration::from_millis(1));
+            counter.fetch_add(batch.len() as u32, Ordering::SeqCst);
+            batch.clear();
+        });
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        sched.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+        assert!(tx.send(9).is_err(), "sends fail after shutdown");
+    }
+
+    #[test]
+    fn panic_poisons_one_task_only() {
+        let sched: Scheduler<u32> = Scheduler::new(options(1));
+        let bad = sched.spawn("bad", |_batch| panic!("boom {}", 7));
+        let count = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&count);
+        let good = sched.spawn("good", move |batch| {
+            counter.fetch_add(batch.len() as u32, Ordering::SeqCst);
+            batch.clear();
+        });
+        bad.send(1).unwrap();
+        for i in 0..5 {
+            // The poisoned inbox starts refusing at some point; the good
+            // task must keep working regardless.
+            let _ = bad.send(i);
+            good.send(i).unwrap();
+        }
+        sched.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        let panics = sched.panics();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].task, "bad");
+        assert_eq!(panics[0].message, "boom 7");
+        assert!(bad.is_closed());
+    }
+
+    #[test]
+    fn self_send_bypasses_the_cap() {
+        let sched: Scheduler<u32> = Scheduler::new(options(1));
+        let holder: Arc<Mutex<Option<TaskSender<u32>>>> = Arc::new(Mutex::new(None));
+        let own = Arc::clone(&holder);
+        let done = Arc::new(AtomicU32::new(0));
+        let signal = Arc::clone(&done);
+        let tx = sched.spawn("feedback", move |batch| {
+            for msg in batch.drain(..) {
+                if msg > 0 {
+                    // Refill past the cap from inside the handler: with
+                    // cap 8 this would deadlock the only worker if
+                    // self-sends blocked.
+                    let tx = own
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone()
+                        .unwrap();
+                    for _ in 0..20 {
+                        tx.send(0).unwrap();
+                    }
+                } else {
+                    signal.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        *holder.lock().unwrap_or_else(|e| e.into_inner()) = Some(tx.clone());
+        tx.send(1).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 20 {
+            assert!(std::time::Instant::now() < deadline, "self-send deadlock");
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn full_inbox_blocks_the_sender_until_drained() {
+        let sched: Scheduler<u32> = Scheduler::new(options(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let open = Arc::clone(&gate);
+        let tx = sched.spawn("slow", move |batch| {
+            while !open.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            batch.clear();
+        });
+        // Fill: burst 4 drains into the stalled handler, cap 8 queue.
+        let blocked = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&blocked);
+        let tx2 = tx.clone();
+        let sender = std::thread::spawn(move || {
+            for i in 0..30 {
+                if i > 8 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                tx2.send(i).unwrap();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            blocked.load(Ordering::SeqCst) || tx.queued() >= 8,
+            "sender never reached the cap"
+        );
+        assert!(!sender.is_finished(), "sender should be blocked at the cap");
+        gate.store(true, Ordering::SeqCst);
+        sender.join().unwrap();
+        sched.shutdown();
+    }
+}

@@ -23,6 +23,7 @@ pub use safeweb_labels as labels;
 pub use safeweb_mdt as mdt;
 pub use safeweb_regex as regex;
 pub use safeweb_relstore as relstore;
+pub use safeweb_sched as sched;
 pub use safeweb_selector as selector;
 pub use safeweb_stomp as stomp;
 pub use safeweb_taint as taint;
