@@ -1,0 +1,686 @@
+//! **Full-topology end-to-end bench** (the paper's Figure 4 deployment,
+//! exercised as one process): a durable Intranet application store
+//! replicating into a read-only DMZ replica, a sharded HTTP frontend
+//! serving reads from that replica while the writer keeps mutating the
+//! source, and a sharded STOMP broker fanning events out to an
+//! fd-clamped crowd of ~10k subscribers.
+//!
+//! Three measurements come out of one topology:
+//!
+//! * **HTTP saturation + latency** — closed-loop throughput at 1 and 4
+//!   reactor shards (the multi-reactor speedup axis), then an
+//!   *open-loop* run at ~60 % of saturation whose latencies are taken
+//!   from each request's *scheduled* send time, so queueing delay is
+//!   charged to the server instead of silently absorbed by a stalled
+//!   client (no coordinated omission). Reported as p50/p99/p999.
+//! * **Fan-out delivery** — µs per delivered MESSAGE frame when every
+//!   published event is copied to the whole subscriber crowd through
+//!   the broker's sink path and the reactor shards' outboxes.
+//! * **Group commit** — µs per `WalSync::Always` put with 8 concurrent
+//!   writers sharing fsyncs (leader/follower group commit) vs a single
+//!   writer paying one fsync per put. The acceptance target is ≥ 3×
+//!   aggregate throughput for the group.
+//!
+//! `SAFEWEB_BENCH_SMOKE=1` shrinks every axis (512 subscribers, sub-second
+//! load phases) so CI proves the harness without saturating anything.
+//! The shard-speedup ratio is *reported, not gated*: on a single-core
+//! host (like most CI runners) the 4-shard configuration cannot beat one
+//! shard, so the gate in `baselines/e2e.json` holds absolute per-request
+//! cost instead.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safeweb_bench::report_row;
+use safeweb_broker::{Broker, BrokerServer};
+use safeweb_docstore::{DocStore, ReplicationHandle, WalSync};
+use safeweb_events::{Event, LabelledEvent};
+use safeweb_http::{HttpServer, Request, Response};
+use safeweb_json::jobject;
+use safeweb_labels::{LabelSet, Policy};
+
+/// Documents cycled by the background writer and read by the handler.
+const DOC_SLOTS: usize = 64;
+
+fn smoke() -> bool {
+    criterion::smoke_run()
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("safeweb-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// HTTP phase: closed-loop saturation at 1 vs 4 shards, then open-loop
+// latency percentiles at ~60 % of the measured saturation.
+// ---------------------------------------------------------------------------
+
+struct HttpResults {
+    us_per_req_1shard: f64,
+    us_per_req_4shards: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// The fixed request every client sends; the slot index keeps the wire
+/// size constant so open-loop response counting can be byte-exact.
+fn http_request(slot: usize) -> String {
+    format!("GET /doc?i={:03} HTTP/1.1\r\n\r\n", slot % DOC_SLOTS)
+}
+
+/// Reads one complete response from a blocking stream into `buf`
+/// (which may carry bytes across calls); returns whether the server
+/// announced `connection: close`.
+fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_ascii_lowercase();
+            let body_len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            let total = head_end + 4 + body_len;
+            if buf.len() >= total {
+                let close = head.contains("connection: close");
+                buf.drain(..total);
+                return Ok(close);
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Hammers the server with `conns` keep-alive connections for `dur`;
+/// returns aggregate requests per second.
+fn closed_loop(addr: &str, conns: usize, dur: Duration) -> f64 {
+    let start = Instant::now();
+    let deadline = start + dur;
+    let total: u64 = thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.to_string();
+                s.spawn(move || {
+                    let connect = || {
+                        let stream = TcpStream::connect(&addr).expect("connect");
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(10)))
+                            .unwrap();
+                        stream.set_nodelay(true).ok();
+                        stream
+                    };
+                    let mut stream = connect();
+                    let mut buf = Vec::new();
+                    let req = http_request(c);
+                    let mut count = 0u64;
+                    while Instant::now() < deadline {
+                        stream.write_all(req.as_bytes()).expect("write");
+                        let close = read_one_response(&mut stream, &mut buf).expect("response");
+                        count += 1;
+                        if close {
+                            // Keep-alive budget exhausted; reconnect.
+                            stream = connect();
+                            buf.clear();
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Open-loop load at `rate` req/s across `conns` pipelined connections
+/// for `dur`. Each connection sends on a fixed schedule regardless of
+/// responses; latency is measured from the *scheduled* send instant to
+/// response completion. Returns merged latencies in nanoseconds.
+fn open_loop(addr: &str, conns: usize, rate: f64, dur: Duration) -> Vec<u64> {
+    let planned_total = (rate * dur.as_secs_f64()) as usize;
+    let per_conn = (planned_total / conns).max(1);
+    let interval = Duration::from_secs_f64(conns as f64 / rate);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.to_string();
+                s.spawn(move || -> std::io::Result<Vec<u64>> {
+                    let req = http_request(c);
+                    let mut stream = TcpStream::connect(&addr)?;
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                    // Warm request: learn the exact response size so
+                    // completions can be counted by byte arithmetic
+                    // (every response on this path is identical).
+                    stream.write_all(req.as_bytes())?;
+                    let mut sized: Vec<u8> = Vec::new();
+                    let resp_len = loop {
+                        if let Some(head_end) = sized.windows(4).position(|w| w == b"\r\n\r\n") {
+                            let head =
+                                String::from_utf8_lossy(&sized[..head_end]).to_ascii_lowercase();
+                            let body_len: usize = head
+                                .lines()
+                                .find_map(|l| l.strip_prefix("content-length:"))
+                                .and_then(|v| v.trim().parse().ok())
+                                .unwrap_or(0);
+                            let total = head_end + 4 + body_len;
+                            if sized.len() >= total {
+                                break total;
+                            }
+                        }
+                        let mut chunk = [0u8; 4096];
+                        let n = stream.read(&mut chunk)?;
+                        if n == 0 {
+                            return Err(std::io::Error::new(
+                                ErrorKind::UnexpectedEof,
+                                "server closed during warm-up",
+                            ));
+                        }
+                        sized.extend_from_slice(&chunk[..n]);
+                    };
+                    let mut carry = sized.len() - resp_len;
+
+                    let start = Instant::now();
+                    let hard_stop = start + dur + Duration::from_secs(15);
+                    let mut next = start;
+                    let mut sent = 0usize;
+                    let mut pending: VecDeque<Instant> = VecDeque::new();
+                    let mut latencies = Vec::with_capacity(per_conn);
+                    let mut chunk = [0u8; 16384];
+                    while sent < per_conn || !pending.is_empty() {
+                        if Instant::now() > hard_stop {
+                            break; // lost responses; report what completed
+                        }
+                        let now = Instant::now();
+                        while sent < per_conn && next <= now {
+                            stream.write_all(req.as_bytes())?;
+                            pending.push_back(next);
+                            next += interval;
+                            sent += 1;
+                        }
+                        if pending.is_empty() {
+                            let now = Instant::now();
+                            if next > now {
+                                thread::sleep(next - now);
+                            }
+                            continue;
+                        }
+                        // Wait for responses, but never past the next
+                        // scheduled send.
+                        let wait = if sent < per_conn {
+                            next.saturating_duration_since(Instant::now())
+                                .max(Duration::from_micros(200))
+                        } else {
+                            Duration::from_millis(50)
+                        };
+                        stream.set_read_timeout(Some(wait))?;
+                        match stream.read(&mut chunk) {
+                            Ok(0) => break,
+                            Ok(n) => {
+                                carry += n;
+                                while carry >= resp_len {
+                                    carry -= resp_len;
+                                    let sched =
+                                        pending.pop_front().expect("response without request");
+                                    latencies.push(sched.elapsed().as_nanos() as u64);
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == ErrorKind::WouldBlock
+                                    || e.kind() == ErrorKind::TimedOut => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+        let mut merged = Vec::new();
+        for h in handles {
+            merged.extend(h.join().unwrap().expect("open-loop connection"));
+        }
+        merged
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / 1_000.0 // ns → µs
+}
+
+fn run_http_phase() -> HttpResults {
+    let dir = bench_dir("http");
+    let app = DocStore::open(dir.join("app")).expect("open app store");
+    let dmz = DocStore::open(dir.join("dmz")).expect("open dmz store");
+    dmz.set_read_only(true);
+    for i in 0..DOC_SLOTS {
+        app.put(
+            &format!("doc-{i:03}"),
+            jobject! {"slot" => i as i64, "gen" => 0i64},
+            LabelSet::new(),
+            None,
+        )
+        .expect("seed put");
+    }
+    let replication =
+        ReplicationHandle::start_durable(app.clone(), dmz.clone(), Duration::from_millis(10));
+    let seeded = Instant::now();
+    while dmz.get(&format!("doc-{:03}", DOC_SLOTS - 1)).is_none() {
+        assert!(
+            seeded.elapsed() < Duration::from_secs(30),
+            "replication stalled"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Background writer keeps the replication pipeline live under load.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let app = app.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let id = format!("doc-{:03}", n as usize % DOC_SLOTS);
+                let rev = app.get(&id).map(|d| d.rev().clone());
+                app.put(
+                    &id,
+                    jobject! {"slot" => (n as usize % DOC_SLOTS) as i64, "gen" => n as i64},
+                    LabelSet::new(),
+                    rev.as_ref(),
+                )
+                .expect("writer put");
+                n += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let handler: safeweb_http::Handler = {
+        let dmz = dmz.clone();
+        Arc::new(move |req: Request| {
+            let slot: usize = req.query("i").and_then(|s| s.parse().ok()).unwrap_or(0);
+            // Constant-size body either way: byte-exact counting upstream.
+            if dmz.get(&format!("doc-{:03}", slot % DOC_SLOTS)).is_some() {
+                Response::text("ok")
+            } else {
+                Response::text("??")
+            }
+        })
+    };
+
+    let sat_dur = if smoke() {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    let open_dur = if smoke() {
+        Duration::from_millis(800)
+    } else {
+        Duration::from_secs(4)
+    };
+
+    let mut rps = [0.0f64; 2];
+    for (slot, shards) in [1usize, 4].into_iter().enumerate() {
+        let mut server = HttpServer::bind_sharded("127.0.0.1:0", shards, Arc::clone(&handler))
+            .expect("bind http");
+        let addr = server.addr().to_string();
+        // Brief warm-up so accept/registration cost stays out of the window.
+        closed_loop(&addr, 4, sat_dur / 4);
+        rps[slot] = closed_loop(&addr, 8, sat_dur);
+        server.shutdown();
+    }
+
+    // Open-loop latency at ~60 % of the 4-shard saturation point.
+    let mut server =
+        HttpServer::bind_sharded("127.0.0.1:0", 4, Arc::clone(&handler)).expect("bind http");
+    let addr = server.addr().to_string();
+    let rate = (rps[1] * 0.6).max(50.0);
+    // Stay under the server's 1000-request keep-alive budget per conn.
+    let planned = rate * open_dur.as_secs_f64();
+    let conns = ((planned / 800.0).ceil() as usize).clamp(8, 64);
+    let mut latencies = open_loop(&addr, conns, rate, open_dur);
+    server.shutdown();
+    latencies.sort_unstable();
+
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    replication.stop();
+    drop(app);
+    drop(dmz);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    HttpResults {
+        us_per_req_1shard: 1e6 / rps[0].max(1.0),
+        us_per_req_4shards: 1e6 / rps[1].max(1.0),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STOMP fan-out phase: one published event → every subscriber.
+// ---------------------------------------------------------------------------
+
+/// CONNECT + SUBSCRIBE handshake, then the socket goes nonblocking and
+/// is only ever *read* (counting delivered frames by NUL terminators).
+fn fanout_subscribe(addr: &str) -> std::io::Result<TcpStream> {
+    use safeweb_stomp::codec::encode;
+    use safeweb_stomp::{Command, Frame};
+
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(&encode(
+        &Frame::new(Command::Connect).with_header("login", "crowd"),
+    ))?;
+    let mut byte = [0u8; 1];
+    loop {
+        stream.read_exact(&mut byte)?;
+        if byte[0] == 0 {
+            break;
+        }
+    }
+    stream.write_all(&encode(
+        &Frame::new(Command::Subscribe)
+            .with_header("destination", "/fanout")
+            .with_header("id", "1"),
+    ))?;
+    stream.set_nonblocking(true)?;
+    Ok(stream)
+}
+
+struct FanoutResults {
+    subscribers: usize,
+    events: u64,
+    us_per_delivery: f64,
+}
+
+fn run_fanout_phase() -> FanoutResults {
+    let broker = Broker::new();
+    let mut server = BrokerServer::bind_sharded("127.0.0.1:0", 4, broker.clone(), Policy::new())
+        .expect("bind broker");
+    let addr = server.addr().to_string();
+
+    // Every subscriber is two fds in this process (client + server end);
+    // clamp the crowd to the real budget instead of silently failing.
+    let limit = safeweb_reactor::sys::raise_nofile_limit(24 * 1024);
+    let fds_in_use = std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count() as u64)
+        .unwrap_or(256);
+    let budget = (limit.saturating_sub(fds_in_use + 512) / 2) as usize;
+    let subscribers = if smoke() { 512 } else { 10_000 }.min(budget);
+    let events: u64 = if smoke() { 3 } else { 10 };
+
+    // Parallel handshakes: 8 connector threads splitting the crowd.
+    let streams: Vec<TcpStream> = {
+        let pool = Arc::new(Mutex::new(Vec::with_capacity(subscribers)));
+        thread::scope(|s| {
+            for t in 0..8usize {
+                let share = subscribers / 8 + usize::from(t < subscribers % 8);
+                let addr = addr.clone();
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(share);
+                    for _ in 0..share {
+                        local.push(fanout_subscribe(&addr).expect("subscribe"));
+                    }
+                    pool.lock().unwrap().extend(local);
+                });
+            }
+        });
+        Arc::try_unwrap(pool).unwrap().into_inner().unwrap()
+    };
+    let ready = Instant::now();
+    while broker.subscription_count() < subscribers {
+        assert!(
+            ready.elapsed() < Duration::from_secs(60),
+            "subscriptions stalled at {}/{subscribers}",
+            broker.subscription_count()
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Pollers drain the crowd concurrently with the publish, counting
+    // complete MESSAGE frames by their NUL terminators.
+    let delivered = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let target = subscribers as u64 * events;
+    let mut chunks: Vec<Vec<TcpStream>> = Vec::new();
+    let per = subscribers.div_ceil(4).max(1);
+    let mut it = streams.into_iter();
+    loop {
+        let chunk: Vec<TcpStream> = it.by_ref().take(per).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let pollers: Vec<_> = chunks
+        .into_iter()
+        .map(|mut chunk| {
+            let delivered = Arc::clone(&delivered);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut buf = [0u8; 65536];
+                while !stop.load(Ordering::Relaxed) {
+                    let mut progress = false;
+                    for stream in &mut chunk {
+                        match stream.read(&mut buf) {
+                            Ok(n) if n > 0 => {
+                                let frames = buf[..n].iter().filter(|&&b| b == 0).count() as u64;
+                                if frames > 0 {
+                                    delivered.fetch_add(frames, Ordering::Relaxed);
+                                }
+                                progress = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !progress {
+                        thread::sleep(Duration::from_micros(500));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let payload = "x".repeat(64);
+    let template = LabelledEvent::new(
+        Event::new("/fanout").expect("topic").with_payload(payload),
+        LabelSet::new(),
+    );
+    let start = Instant::now();
+    for _ in 0..events {
+        broker.publish(&template);
+    }
+    let deadline = start + Duration::from_secs(120);
+    while delivered.load(Ordering::Relaxed) < target && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = start.elapsed();
+    let got = delivered.load(Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+    for p in pollers {
+        p.join().unwrap();
+    }
+    server.shutdown();
+    if got < target {
+        eprintln!("  WARNING: fan-out drained {got}/{target} deliveries before the deadline");
+    }
+
+    FanoutResults {
+        subscribers,
+        events,
+        us_per_delivery: elapsed.as_secs_f64() * 1e6 / got.max(1) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit phase: WalSync::Always puts, 8 writers vs 1.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock for `writers × per_writer` Always-sync puts on a fresh
+/// store; with one writer every put pays its own fsync, with several the
+/// group-commit leader amortises one fsync over the whole group.
+fn put_always(dir: &Path, writers: usize, per_writer: usize) -> Duration {
+    let store = DocStore::open(dir).expect("open store");
+    store.set_wal_sync(WalSync::Always);
+    let start = Instant::now();
+    thread::scope(|s| {
+        for w in 0..writers {
+            let store = store.clone();
+            s.spawn(move || {
+                for n in 0..per_writer {
+                    store
+                        .put(
+                            &format!("w{w}-{n}"),
+                            jobject! {"n" => n as i64},
+                            LabelSet::new(),
+                            None,
+                        )
+                        .expect("durable put");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(store.persistence_error(), None, "WAL failed during bench");
+    elapsed
+}
+
+struct CommitResults {
+    us_per_put_serial: f64,
+    us_per_put_group8: f64,
+}
+
+fn run_commit_phase() -> CommitResults {
+    let per_writer = if smoke() { 40 } else { 150 };
+    let serial_dir = bench_dir("wal-serial");
+    let serial = put_always(&serial_dir, 1, per_writer);
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let group_dir = bench_dir("wal-group");
+    let group = put_always(&group_dir, 8, per_writer);
+    let _ = std::fs::remove_dir_all(&group_dir);
+    CommitResults {
+        us_per_put_serial: serial.as_secs_f64() * 1e6 / per_writer as f64,
+        us_per_put_group8: group.as_secs_f64() * 1e6 / (8 * per_writer) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+fn bench_e2e(c: &mut Criterion) {
+    let cores = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "e2e full-topology bench ({} mode, {cores} core(s))",
+        if smoke() { "smoke" } else { "full" }
+    );
+
+    let http = run_http_phase();
+    let fanout = run_fanout_phase();
+    let commit = run_commit_phase();
+
+    let shard_speedup = http.us_per_req_1shard / http.us_per_req_4shards.max(f64::EPSILON);
+    let commit_speedup = commit.us_per_put_serial / commit.us_per_put_group8.max(f64::EPSILON);
+    eprintln!("e2e topology results:");
+    report_row(
+        "http saturation (1 shard)",
+        "n/a",
+        &format!("{:.1} µs/req", http.us_per_req_1shard),
+    );
+    report_row(
+        "http saturation (4 shards)",
+        "n/a",
+        &format!(
+            "{:.1} µs/req ({shard_speedup:.2}× vs 1 shard)",
+            http.us_per_req_4shards
+        ),
+    );
+    report_row(
+        "http open-loop latency",
+        "n/a",
+        &format!(
+            "p50 {:.0} µs / p99 {:.0} µs / p999 {:.0} µs",
+            http.p50_us, http.p99_us, http.p999_us
+        ),
+    );
+    report_row(
+        "stomp fan-out",
+        "n/a",
+        &format!(
+            "{:.1} µs/delivery ({} subs × {} events)",
+            fanout.us_per_delivery, fanout.subscribers, fanout.events
+        ),
+    );
+    report_row(
+        "always-sync put (1 writer)",
+        "n/a",
+        &format!("{:.0} µs/put", commit.us_per_put_serial),
+    );
+    report_row(
+        "always-sync put (8 writers)",
+        "n/a",
+        &format!(
+            "{:.0} µs/put ({commit_speedup:.1}× aggregate vs 1 writer)",
+            commit.us_per_put_group8
+        ),
+    );
+    if cores < 2 {
+        eprintln!(
+            "  NOTE: single-core host; the ≥1.5× shard speedup target needs a multicore box \
+             (reported ratio here: {shard_speedup:.2}×)"
+        );
+    }
+
+    // Record every derived metric as a criterion entry: each closure
+    // replays a precomputed duration through `iter_custom`, which the
+    // harness stores verbatim, so `BENCH_e2e.json` carries the medians
+    // for `bench_gate` without re-running the load per sample.
+    let metrics: [(&str, f64); 8] = [
+        ("http_us_per_req_1shard", http.us_per_req_1shard),
+        ("http_us_per_req_4shards", http.us_per_req_4shards),
+        ("http_p50_us", http.p50_us),
+        ("http_p99_us", http.p99_us),
+        ("http_p999_us", http.p999_us),
+        ("fanout_us_per_delivery", fanout.us_per_delivery),
+        ("put_always_us_serial", commit.us_per_put_serial),
+        ("put_always_us_group8", commit.us_per_put_group8),
+    ];
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(3);
+    for (name, us) in metrics {
+        group.bench_function(name, |b| {
+            b.iter_custom(|_| Duration::from_secs_f64(us.max(0.001) * 1e-6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -3,11 +3,17 @@
 //! `SAFEWEB_BENCH_JSON`) against a recorded baseline and fails — exit
 //! code 1 — when any gated bench regressed past the allowed ratio.
 //!
+//! Two invocation shapes:
+//!
 //! ```sh
-//! SAFEWEB_BENCH_JSON=BENCH_docstore.json \
-//!     cargo bench -p safeweb-bench --bench docstore
+//! # One pair: a measured run against one baseline file.
 //! cargo run -p safeweb-bench --bin bench_gate -- \
 //!     BENCH_docstore.json crates/bench/baselines/docstore.json
+//!
+//! # Directory mode: every `<stem>.json` under the baselines directory
+//! # is gated against `BENCH_<stem>.json` in the measured directory
+//! # (default `.`), so adding a baseline file auto-enrols its bench.
+//! cargo run -p safeweb-bench --bin bench_gate -- crates/bench/baselines
 //! ```
 //!
 //! The baseline records medians (µs/iter) from a developer machine; CI
@@ -17,33 +23,20 @@
 //! at the bench's 10× scale in the seed). Only keys present in the
 //! baseline are gated; extra measurements pass through freely.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use safeweb_json::Value;
 
-fn load(path: &str) -> Value {
-    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    Value::parse(&raw).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+fn load(path: &Path) -> Value {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Value::parse(&raw).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut paths = Vec::new();
-    let mut max_ratio = 3.0f64;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--max-ratio" {
-            let v = it.next().expect("--max-ratio needs a value");
-            max_ratio = v.parse().expect("--max-ratio must be a number");
-        } else {
-            paths.push(arg.clone());
-        }
-    }
-    let [measured_path, baseline_path] = paths.as_slice() else {
-        eprintln!("usage: bench_gate <measured.json> <baseline.json> [--max-ratio N]");
-        return ExitCode::FAILURE;
-    };
-
+/// Gates one measured run against one baseline file; returns the number
+/// of regressions (missing keys count as regressions).
+fn gate_pair(measured_path: &Path, baseline_path: &Path, max_ratio: f64) -> u32 {
     let measured = load(measured_path);
     let baseline = load(baseline_path);
     let measured = measured
@@ -56,9 +49,10 @@ fn main() -> ExitCode {
         .expect("baseline file has a benches object");
 
     eprintln!(
-        "bench gate: {} gated benches, max allowed ratio {max_ratio:.1}x \
-         ({measured_path} vs {baseline_path})",
-        gated.len()
+        "bench gate: {} gated benches, max allowed ratio {max_ratio:.1}x ({} vs {})",
+        gated.len(),
+        measured_path.display(),
+        baseline_path.display()
     );
     let mut failures = 0u32;
     for (name, base) in gated {
@@ -79,6 +73,68 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-ratio" {
+            let v = it.next().expect("--max-ratio needs a value");
+            max_ratio = v.parse().expect("--max-ratio must be a number");
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+
+    let failures = match paths.as_slice() {
+        // Directory mode: gate every baseline in the directory against
+        // its `BENCH_<stem>.json` in the measured dir (default cwd).
+        [baselines] | [baselines, _] if Path::new(baselines).is_dir() => {
+            let measured_dir = paths.get(1).cloned().unwrap_or_else(|| ".".to_string());
+            let mut baseline_files: Vec<_> = std::fs::read_dir(baselines)
+                .unwrap_or_else(|e| panic!("cannot list {baselines}: {e}"))
+                .map(|entry| entry.expect("readable baselines directory").path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            baseline_files.sort();
+            if baseline_files.is_empty() {
+                eprintln!("bench gate: no *.json baselines under {baselines}");
+                return ExitCode::FAILURE;
+            }
+            let mut failures = 0u32;
+            for baseline in &baseline_files {
+                let stem = baseline
+                    .file_stem()
+                    .expect("baseline file has a stem")
+                    .to_string_lossy();
+                let measured = Path::new(&measured_dir).join(format!("BENCH_{stem}.json"));
+                if !measured.is_file() {
+                    eprintln!(
+                        "  FAIL {stem}: baseline {} has no measured run at {}",
+                        baseline.display(),
+                        measured.display()
+                    );
+                    failures += 1;
+                    continue;
+                }
+                failures += gate_pair(&measured, baseline, max_ratio);
+            }
+            failures
+        }
+        [measured, baseline] => gate_pair(Path::new(measured), Path::new(baseline), max_ratio),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <measured.json> <baseline.json> [--max-ratio N]\n\
+                        bench_gate <baselines-dir> [measured-dir] [--max-ratio N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
     if failures > 0 {
         eprintln!("bench gate: {failures} regression(s) past {max_ratio:.1}x — failing");
         return ExitCode::FAILURE;

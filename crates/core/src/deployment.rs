@@ -40,6 +40,7 @@ pub struct SafeWebBuilder {
     engine_options: EngineOptions,
     app_views: Vec<(String, String)>,
     data_dir: Option<PathBuf>,
+    frontend_shards: usize,
 }
 
 impl Default for SafeWebBuilder {
@@ -60,6 +61,7 @@ impl SafeWebBuilder {
             engine_options: EngineOptions::default(),
             app_views: Vec::new(),
             data_dir: None,
+            frontend_shards: 1,
         }
     }
 
@@ -113,6 +115,16 @@ impl SafeWebBuilder {
     /// [`SafeWebBuilder::engine_options`].
     pub fn scheduler(mut self, options: SchedulerOptions) -> SafeWebBuilder {
         self.engine_options.execution = ExecutionMode::Scheduled(options);
+        self
+    }
+
+    /// Number of reactor event-loop shards each served frontend runs
+    /// (default 1, clamped to ≥ 1). With more shards, accepted
+    /// connections are spread across that many epoll threads, so
+    /// request parsing and socket I/O scale past one core — the knob to
+    /// turn when one frontend must saturate the box.
+    pub fn frontend_shards(mut self, shards: usize) -> SafeWebBuilder {
+        self.frontend_shards = shards.max(1);
         self
     }
 
@@ -205,6 +217,7 @@ impl SafeWebBuilder {
             replication: Some(replication),
             users,
             policy: self.policy,
+            frontend_shards: self.frontend_shards,
         })
     }
 }
@@ -219,6 +232,7 @@ pub struct SafeWebDeployment {
     replication: Option<ReplicationHandle>,
     users: UserStore,
     policy: Policy,
+    frontend_shards: usize,
 }
 
 impl SafeWebDeployment {
@@ -276,6 +290,18 @@ impl SafeWebDeployment {
             .unwrap_or_default()
     }
 
+    /// Messages queued in unit inboxes right now, summed across all
+    /// units (scheduled execution mode only; `0` otherwise or after
+    /// [`SafeWebDeployment::stop`]). Pair with
+    /// [`safeweb_http::HttpServer::queued_bytes`] on the served frontend
+    /// to see which side of the pipeline is backed up.
+    pub fn engine_queued_messages(&self) -> usize {
+        self.engine_handle
+            .as_ref()
+            .map(|h| h.queued_messages())
+            .unwrap_or_default()
+    }
+
     /// Creates a frontend application bound to the DMZ replica and the
     /// user store; add routes, then pass to [`SafeWebDeployment::serve`].
     pub fn new_frontend(&self) -> SafeWebApp {
@@ -286,13 +312,14 @@ impl SafeWebDeployment {
         SafeWebApp::new(self.users.clone(), self.dmz_db.clone())
     }
 
-    /// Serves a configured frontend over HTTP.
+    /// Serves a configured frontend over HTTP, on the builder's
+    /// [`SafeWebBuilder::frontend_shards`] reactor shards.
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn serve(&self, app: SafeWebApp, addr: &str) -> std::io::Result<HttpServer> {
-        HttpServer::bind(addr, Arc::new(app).into_handler())
+        HttpServer::bind_sharded(addr, self.frontend_shards, Arc::new(app).into_handler())
     }
 
     /// Stops the engine and replication (idempotent; also runs on drop).

@@ -24,10 +24,10 @@ use safeweb_json::Value;
 use crate::document::Document;
 use crate::wal::{decode_frame, doc_from_value, doc_to_value, encode_frame, WalError};
 
-/// File names inside a durable store's directory.
+/// File names inside a durable store's directory (the WAL's own segment
+/// names live in [`crate::wal`]).
 pub(crate) const SNAPSHOT_FILE: &str = "snapshot.dat";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
-pub(crate) const WAL_FILE: &str = "wal.log";
 
 /// A decoded snapshot.
 #[derive(Debug)]

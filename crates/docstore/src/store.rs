@@ -8,7 +8,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 
@@ -16,8 +18,8 @@ use safeweb_json::Value;
 use safeweb_labels::LabelSet;
 
 use crate::document::{Document, Revision};
-use crate::snapshot::{self, WAL_FILE};
-use crate::wal::{self, Record, Wal, WalError, WalSync};
+use crate::snapshot;
+use crate::wal::{self, GroupCommit, Record, Wal, WalError, WalSync};
 
 /// Default bound on the verbatim tail of the changes feed: once more than
 /// twice this many entries pile up beyond one per live document, the feed
@@ -92,6 +94,38 @@ struct View {
     index: BTreeMap<String, BTreeSet<String>>,
 }
 
+/// Shared state of the background snapshot writer. Automatic snapshots
+/// ([`Inner::maybe_snapshot`]) rotate the WAL segment and clone the
+/// document map under the store lock — both cheap — and push the
+/// expensive full-store file write onto a detached thread, so writers
+/// never stall behind it.
+#[derive(Debug)]
+struct SnapshotTask {
+    /// Serialises snapshot-file writers (background vs
+    /// [`DocStore::snapshot_now`]) and holds the highest store sequence
+    /// already written, so a slow background write can never clobber a
+    /// newer snapshot with its older capture.
+    write_lock: Mutex<u64>,
+    /// The running (or just-finished) writer thread, joined on reuse,
+    /// [`DocStore::snapshot_quiesce`], and store drop.
+    handle: Mutex<Option<JoinHandle<()>>>,
+    /// A writer is still running; at most one runs at a time.
+    inflight: AtomicBool,
+    /// `(sealed-segment boundary, result)` posted by a finished writer;
+    /// reaped under the store lock to prune covered segments or record
+    /// the failure.
+    outcome: Mutex<Option<(u64, Result<(), String>)>>,
+}
+
+/// A pending group-commit ack: the WAL append landed in the log, but the
+/// fsync covering it may not have happened yet. Callers wait on it
+/// *after* releasing the store's write lock, which is what lets
+/// concurrent appenders batch behind one leader fsync.
+struct WriteTicket {
+    group: Arc<GroupCommit>,
+    ticket: u64,
+}
+
 /// The persistence state of a durable store: its open WAL, snapshot
 /// cadence, and the recovered replication checkpoint.
 #[derive(Debug)]
@@ -111,6 +145,7 @@ struct Durability {
     failed: Option<String>,
     /// Last snapshot failure (non-fatal: the WAL still holds everything).
     snapshot_error: Option<String>,
+    snapshots: Arc<SnapshotTask>,
 }
 
 impl Drop for Durability {
@@ -118,7 +153,44 @@ impl Drop for Durability {
     /// onto the store drops; a `SIGKILL` skips this, which is why
     /// acquisition treats dead holders as stale.
     fn drop(&mut self) {
+        // Wait out an in-flight background snapshot first: it writes into
+        // this directory, and the advisory lock is what keeps another
+        // process from opening the directory mid-write.
+        let handle = self
+            .snapshots
+            .handle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
         let _ = std::fs::remove_file(self.dir.join(wal::LOCK_FILE));
+    }
+}
+
+/// Applies a finished background snapshot's outcome (called under the
+/// store's write lock): on success the sealed segments the snapshot
+/// covers are deleted; on failure the error is recorded and the records
+/// stay in the log for the next attempt.
+fn reap_snapshot(d: &mut Durability) {
+    let outcome = d
+        .snapshots
+        .outcome
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some((boundary, result)) = outcome else {
+        return;
+    };
+    match result {
+        Ok(()) => {
+            d.snapshot_error = None;
+            if let Err(e) = d.wal.drop_sealed_through(boundary) {
+                d.snapshot_error = Some(format!("pruning sealed WAL segments: {e}"));
+            }
+        }
+        Err(why) => d.snapshot_error = Some(why),
     }
 }
 
@@ -255,17 +327,28 @@ impl Inner {
     /// never silently fall behind the acknowledged state. A *validation*
     /// refusal (oversized record) touches nothing and is not sticky —
     /// only that one write is rejected, the store stays healthy.
-    fn persist(&mut self, encode: impl FnOnce() -> String) -> Result<(), StoreError> {
+    ///
+    /// Under [`WalSync::Always`] the record is not yet fsynced when this
+    /// returns: the caller must wait on the returned [`WriteTicket`]
+    /// (via [`DocStore::wait_durable`], after releasing the store lock)
+    /// before acknowledging the write.
+    fn persist(
+        &mut self,
+        encode: impl FnOnce() -> String,
+    ) -> Result<Option<WriteTicket>, StoreError> {
         let Some(d) = self.durability.as_mut() else {
-            return Ok(());
+            return Ok(None);
         };
         if let Some(why) = &d.failed {
             return Err(StoreError::Io(format!("log previously failed: {why}")));
         }
         match d.wal.append(&encode()) {
-            Ok(()) => {
+            Ok(ticket) => {
                 d.since_snapshot += 1;
-                Ok(())
+                Ok(ticket.map(|ticket| WriteTicket {
+                    group: Arc::clone(d.wal.group()),
+                    ticket,
+                }))
             }
             Err(e) => {
                 if e.kind() != std::io::ErrorKind::InvalidInput {
@@ -282,17 +365,27 @@ impl Inner {
     /// blocks [`DocStore::persist_replication_checkpoint`]; without it an
     /// unlogged replicated write would be checkpointed past and silently
     /// lost on the next recovery.
+    ///
+    /// No group-commit wait here: replicated writes are acknowledged to
+    /// the *source* only by the durable checkpoint that follows them in
+    /// the same WAL, and that checkpoint's own sync covers them.
     fn apply_persist(&mut self, encode: impl FnOnce() -> String) {
-        if let Err(StoreError::Io(why)) = self.persist(encode) {
-            if let Some(d) = self.durability.as_mut() {
-                if d.failed.is_none() {
-                    d.failed = Some(why);
+        match self.persist(encode) {
+            Ok(_) => {}
+            Err(StoreError::Io(why)) => {
+                if let Some(d) = self.durability.as_mut() {
+                    if d.failed.is_none() {
+                        d.failed = Some(why);
+                    }
                 }
             }
+            Err(_) => {}
         }
     }
 
-    /// Writes a snapshot and truncates the WAL. Failures are recorded but
+    /// Writes a snapshot *synchronously* and truncates the WAL — the
+    /// [`DocStore::snapshot_now`] path; automatic snapshots go through
+    /// [`Inner::maybe_snapshot`] instead. Failures are recorded but
     /// non-fatal: every record is still in the log, so recovery is
     /// unaffected — the snapshot is retried after the next
     /// `snapshot_every` appends.
@@ -300,7 +393,21 @@ impl Inner {
         let Some(d) = self.durability.as_mut() else {
             return Err(StoreError::Io("store is not durable".to_string()));
         };
-        match snapshot::write(&d.dir, self.seq, d.rep_checkpoint, &self.docs) {
+        reap_snapshot(d);
+        let result = {
+            // Excludes a still-running background writer; `snapshot::write`
+            // itself is atomic (tmp + rename) but the two captures would
+            // race on which rename lands last, and the background one may
+            // be older.
+            let mut last = d
+                .snapshots
+                .write_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            snapshot::write(&d.dir, self.seq, d.rep_checkpoint, &self.docs)
+                .map(|()| *last = (*last).max(self.seq))
+        };
+        match result {
             Ok(()) => {
                 d.snapshot_error = None;
                 // The snapshot now covers every logged record; a crash
@@ -322,13 +429,86 @@ impl Inner {
         }
     }
 
+    /// Automatic snapshotting, restructured so writers never wait for the
+    /// full-store file write: under the store lock it only reaps the
+    /// previous outcome, **rotates** the WAL segment (every record the
+    /// snapshot will cover is now in sealed segments ≤ the boundary) and
+    /// clones the document map; the write itself runs on a background
+    /// thread, and the covered segments are deleted when its outcome is
+    /// reaped. A crash before the write completes loses nothing — the
+    /// sealed segments still hold every record.
     fn maybe_snapshot(&mut self) {
-        let due = self
-            .durability
-            .as_ref()
-            .is_some_and(|d| d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every);
-        if due {
-            let _ = self.snapshot_locked();
+        let due = {
+            let Some(d) = self.durability.as_mut() else {
+                return;
+            };
+            reap_snapshot(d);
+            d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every
+        };
+        if !due {
+            return;
+        }
+        {
+            let d = self.durability.as_ref().expect("due implies durable");
+            if d.snapshots.inflight.swap(true, Ordering::SeqCst) {
+                return; // previous snapshot still writing; try again later
+            }
+        }
+        let docs = self.docs.clone();
+        let seq = self.seq;
+        let d = self.durability.as_mut().expect("due implies durable");
+        // The previous writer (if any) has finished — `inflight` was
+        // false — so this join only reclaims the thread.
+        let finished = d
+            .snapshots
+            .handle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = finished {
+            let _ = h.join();
+        }
+        let boundary = match d.wal.rotate() {
+            Ok(boundary) => boundary,
+            Err(e) => {
+                // The log's shape is now ambiguous (mid-rotation): treat
+                // like any WAL I/O failure — sticky, no further acks.
+                d.failed = Some(e.to_string());
+                d.snapshots.inflight.store(false, Ordering::SeqCst);
+                return;
+            }
+        };
+        d.since_snapshot = 0;
+        let dir = d.dir.clone();
+        let rep = d.rep_checkpoint;
+        let shared = Arc::clone(&d.snapshots);
+        let spawned = std::thread::Builder::new()
+            .name("safeweb-snapshot".to_string())
+            .spawn(move || {
+                let result = {
+                    let mut last = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    if seq > *last {
+                        snapshot::write(&dir, seq, rep, &docs)
+                            .map(|()| *last = seq)
+                            .map_err(|e| e.to_string())
+                    } else {
+                        // A newer snapshot (snapshot_now) already landed;
+                        // it covers our boundary a fortiori.
+                        Ok(())
+                    }
+                };
+                *shared.outcome.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some((boundary, result));
+                shared.inflight.store(false, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(handle) => {
+                *d.snapshots.handle.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+            }
+            Err(e) => {
+                d.snapshot_error = Some(format!("spawning snapshot writer: {e}"));
+                d.snapshots.inflight.store(false, Ordering::SeqCst);
+            }
         }
     }
 
@@ -486,7 +666,7 @@ impl DocStore {
                 inner.docs.insert(doc.id().to_string(), doc);
             }
         }
-        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        let (wal, records) = Wal::open(dir)?;
         // Replayed records count toward the snapshot window: a workload
         // of short process lifetimes must still truncate its log once
         // the accumulated records cross the threshold, instead of
@@ -526,6 +706,12 @@ impl DocStore {
             rep_checkpoint,
             failed: None,
             snapshot_error: None,
+            snapshots: Arc::new(SnapshotTask {
+                write_lock: Mutex::new(0),
+                handle: Mutex::new(None),
+                inflight: AtomicBool::new(false),
+                outcome: Mutex::new(None),
+            }),
         });
         let name = dir
             .file_name()
@@ -564,12 +750,77 @@ impl DocStore {
     }
 
     /// Sets the WAL flush policy (default [`WalSync::OsBuffered`]:
-    /// `SIGKILL`-durable; [`WalSync::Always`] adds per-record `fdatasync`
-    /// for power-loss durability). No-op for in-memory stores.
+    /// `SIGKILL`-durable; [`WalSync::Always`] makes every acknowledged
+    /// write power-loss durable — concurrent writers share one
+    /// group-commit `fdatasync` rather than paying one each). No-op for
+    /// in-memory stores.
     pub fn set_wal_sync(&self, sync: WalSync) {
         if let Some(d) = self.inner.write().durability.as_mut() {
             d.wal.set_sync(sync);
         }
+    }
+
+    /// Sets the WAL segment size bound: once the active segment crosses
+    /// it, the segment is sealed (fsynced + renamed aside) and a fresh
+    /// one starts. Snapshots delete the sealed segments they cover.
+    /// Default 8 MiB; 0 disables rotation. No-op for in-memory stores.
+    pub fn set_wal_segment_bytes(&self, bytes: u64) {
+        if let Some(d) = self.inner.write().durability.as_mut() {
+            d.wal.set_segment_bytes(bytes);
+        }
+    }
+
+    /// Number of on-disk WAL segment files (sealed + active), or `None`
+    /// for in-memory stores; diagnostics and rotation tests.
+    pub fn wal_segments(&self) -> Option<usize> {
+        self.inner
+            .read()
+            .durability
+            .as_ref()
+            .map(|d| d.wal.segments())
+    }
+
+    /// Waits for any in-flight background snapshot to finish and applies
+    /// its outcome (sealed-segment pruning, or the recorded error).
+    /// Automatic snapshots write on a background thread, so `wal_len`
+    /// only reflects a just-triggered snapshot after this returns.
+    pub fn snapshot_quiesce(&self) {
+        let handle = {
+            let inner = self.inner.read();
+            inner.durability.as_ref().and_then(|d| {
+                d.snapshots
+                    .handle
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+            })
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        if let Some(d) = self.inner.write().durability.as_mut() {
+            reap_snapshot(d);
+        }
+    }
+
+    /// Blocks until the group-commit sync covering `ticket` has
+    /// completed; called after the store lock is released so concurrent
+    /// writers batch behind one leader fsync. A sync failure is promoted
+    /// to the sticky store failure — after an ambiguous fsync no further
+    /// write may be acknowledged.
+    fn wait_durable(&self, ticket: Option<WriteTicket>) -> Result<(), StoreError> {
+        let Some(t) = ticket else {
+            return Ok(());
+        };
+        if let Err(why) = t.group.wait_durable(t.ticket) {
+            if let Some(d) = self.inner.write().durability.as_mut() {
+                if d.failed.is_none() {
+                    d.failed = Some(why.clone());
+                }
+            }
+            return Err(StoreError::Io(why));
+        }
+        Ok(())
     }
 
     /// Writes a snapshot of the whole store now and truncates the WAL.
@@ -628,12 +879,16 @@ impl DocStore {
         if inner.durability.is_none() {
             return Err(StoreError::Io("store is not durable".to_string()));
         }
-        inner.persist(|| wal::encode_checkpoint(checkpoint))?;
+        let ticket = inner.persist(|| wal::encode_checkpoint(checkpoint))?;
         if let Some(d) = inner.durability.as_mut() {
             d.rep_checkpoint = checkpoint;
         }
         inner.maybe_snapshot();
-        Ok(())
+        drop(inner);
+        // This sync also covers the replicated writes the checkpoint
+        // follows in the WAL, which is why `apply_replicated` itself
+        // never waits.
+        self.wait_durable(ticket)
     }
 
     /// The durably recorded replication checkpoint (0 until one is
@@ -694,10 +949,12 @@ impl DocStore {
         };
         let doc = Document::new(id.to_string(), new_rev.clone(), labels, body);
         let next_seq = inner.seq + 1;
-        inner.persist(|| wal::encode_put(next_seq, &doc))?;
+        let ticket = inner.persist(|| wal::encode_put(next_seq, &doc))?;
         inner.store_doc(doc);
         inner.record_change(id.to_string(), Some(new_rev.clone()));
         inner.maybe_snapshot();
+        drop(inner);
+        self.wait_durable(ticket)?;
         Ok(new_rev)
     }
 
@@ -715,11 +972,12 @@ impl DocStore {
         match inner.docs.get(id) {
             Some(doc) if doc.rev() == expected_rev => {
                 let next_seq = inner.seq + 1;
-                inner.persist(|| wal::encode_delete(next_seq, id))?;
+                let ticket = inner.persist(|| wal::encode_delete(next_seq, id))?;
                 inner.remove_doc(id);
                 inner.record_change(id.to_string(), None);
                 inner.maybe_snapshot();
-                Ok(())
+                drop(inner);
+                self.wait_durable(ticket)
             }
             other => Err(StoreError::Conflict {
                 id: id.to_string(),
@@ -1516,9 +1774,12 @@ mod tests {
             store
                 .put(&format!("d{i}"), jobject! {}, LabelSet::new(), None)
                 .unwrap();
+            // Snapshots write in the background; quiescing each write
+            // keeps the snapshot points deterministic (at records 8, 16).
+            store.snapshot_quiesce();
         }
-        // 20 appends with a window of 8: at least two snapshots happened,
-        // so the WAL holds well under 8 records' worth of bytes.
+        // 20 appends with a window of 8: two snapshots happened, so the
+        // WAL holds well under 8 records' worth of bytes.
         assert!(store.wal_len().unwrap() < 8 * 64);
         drop(store);
         let store = DocStore::open(&dir).unwrap();
@@ -1628,6 +1889,7 @@ mod tests {
         store
             .put("next", jobject! {}, LabelSet::new(), None)
             .unwrap();
+        store.snapshot_quiesce();
         assert!(
             store.wal_len().unwrap() < replayed_len,
             "WAL kept growing across restarts: {} -> {}",
@@ -1649,7 +1911,7 @@ mod tests {
             store.put("b", jobject! {}, LabelSet::new(), None).unwrap();
         }
         // Simulate a crash mid-append: chop bytes off the last frame.
-        let wal = dir.join(WAL_FILE);
+        let wal = dir.join(wal::ACTIVE_SEGMENT);
         let bytes = std::fs::read(&wal).unwrap();
         std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
         let store = DocStore::open(&dir).unwrap();

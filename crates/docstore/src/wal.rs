@@ -12,18 +12,39 @@
 //!
 //! where the CRC-32 (IEEE polynomial) covers the payload bytes and the
 //! payload is the deterministic JSON encoding of one [`Record`]. On
-//! [`Wal::open`] the file is scanned front to back; the first truncated,
+//! [`Wal::open`] the log is scanned front to back; the first truncated,
 //! over-long, checksum-mismatched or undecodable frame ends the replay
 //! *cleanly* — everything before it is recovered, the torn tail is
-//! discarded by truncating the file back to the last good frame, and
-//! appends resume from there. A torn tail is the expected outcome of a
-//! crash mid-`write`; it is not an error.
+//! discarded by truncating back to the last good frame, and appends
+//! resume from there. A torn tail is the expected outcome of a crash
+//! mid-`write`; it is not an error.
 //!
-//! Durability grade: records reach the kernel page cache on every append
-//! (one `write(2)`, no user-space buffering), which survives `SIGKILL` /
-//! process crashes. [`WalSync::Always`] additionally issues
-//! `fdatasync(2)` per record for power-loss durability at a large
-//! per-write cost; snapshots are always fsynced.
+//! ## Segments
+//!
+//! The log is split into **bounded segment files**: appends go to the
+//! active segment (`wal.log`); once it crosses the configured size bound
+//! it is fsynced and renamed aside as `wal-<n>.sealed` and a fresh
+//! active segment starts. Every byte of a sealed segment is durable (the
+//! seal fsync precedes the rename), which keeps two operations cheap:
+//! a group-commit leader only ever needs to fsync the *active* file, and
+//! a snapshot rotates the active segment and later deletes the sealed
+//! files it covered instead of truncating one ever-growing log under the
+//! store lock. Recovery replays sealed segments in order, then the
+//! active file.
+//!
+//! ## Durability grades and group commit
+//!
+//! Records reach the kernel page cache on every append (one `write(2)`,
+//! no user-space buffering), which survives `SIGKILL` / process crashes.
+//! [`WalSync::Always`] adds power-loss durability: an acknowledged write
+//! must be covered by an `fdatasync(2)` before its ack. Rather than one
+//! sync per record, concurrent appenders batch behind a **leader** (see
+//! [`GroupCommit`]): each append takes a monotone ticket, the first
+//! waiter syncs the active file once for every ticket appended so far,
+//! and followers whose tickets that sync covered are released without
+//! ever touching the disk. Acks still never outrun the sync — a waiter
+//! returns only once `synced >= its ticket` — so the guarantee is
+//! unchanged while the fsync cost is shared across the batch.
 //!
 //! [`DocStore`]: crate::DocStore
 
@@ -31,6 +52,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 
 use safeweb_json::Value;
 use safeweb_labels::LabelSet;
@@ -359,56 +381,238 @@ pub(crate) fn acquire_dir_lock(dir: &Path) -> Result<(), WalError> {
     result
 }
 
-/// The open write-ahead log of one durable store.
+/// File name of the active WAL segment inside the store directory.
+pub(crate) const ACTIVE_SEGMENT: &str = "wal.log";
+
+/// Default bound on the active segment before it is sealed (8 MiB).
+pub(crate) const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// File name of the sealed segment with rotation index `index`.
+fn sealed_name(index: u64) -> String {
+    format!("wal-{index:08}.sealed")
+}
+
+/// Parses a [`sealed_name`] back to its index; `None` for other files.
+fn sealed_index(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".sealed")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Leader/follower group commit for [`WalSync::Always`] appenders.
+///
+/// Appends (serialized by the store's write lock) take monotone tickets;
+/// [`GroupCommit::wait_durable`] releases a ticket only once a sync that
+/// *started after* the ticket's append has completed. The first waiter
+/// to arrive while no sync is running becomes the **leader**: it
+/// captures the highest appended ticket and the active segment's file
+/// handle, fsyncs outside every lock, then publishes the new `synced`
+/// watermark and wakes the followers the sync covered. Tickets that
+/// arrive mid-sync simply elect the next leader when it finishes, so no
+/// ack ever rides a sync that began before its append.
+///
+/// A sync failure is sticky: every current and future waiter gets the
+/// error, mirroring the store's sticky persistence failure — after an
+/// ambiguous fsync the WAL's durable prefix is unknown, so no further
+/// write may be acknowledged.
+#[derive(Debug)]
+pub(crate) struct GroupCommit {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    /// Highest ticket whose frame is in the active segment.
+    appended: u64,
+    /// Highest ticket covered by a completed `fdatasync`.
+    synced: u64,
+    /// The active segment holding `appended`'s frame. An `Arc` clone so
+    /// the leader can sync it after a rotation swapped the `Wal`'s own
+    /// handle (sealing already fsynced every earlier segment).
+    file: Option<Arc<File>>,
+    /// A leader's sync is in flight; later arrivals wait instead of
+    /// issuing a second concurrent fsync.
+    leading: bool,
+    failed: Option<String>,
+}
+
+impl GroupCommit {
+    fn new() -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GroupState {
+                appended: 0,
+                synced: 0,
+                file: None,
+                leading: false,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records that `ticket`'s frame reached the active segment `file`.
+    /// Called with the store's write lock held, so tickets are published
+    /// in order.
+    fn record_append(&self, ticket: u64, file: Arc<File>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.appended = ticket;
+        st.file = Some(file);
+    }
+
+    /// Blocks until every append up to `ticket` is on stable storage,
+    /// electing this thread as the sync leader when none is running.
+    /// Called *without* the store lock, so appenders batch up behind the
+    /// in-flight sync instead of serializing on it.
+    pub(crate) fn wait_durable(&self, ticket: u64) -> Result<(), String> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(why) = &st.failed {
+                return Err(why.clone());
+            }
+            if st.synced >= ticket {
+                return Ok(());
+            }
+            if st.leading {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.leading = true;
+            let target = st.appended;
+            let file = st.file.clone();
+            drop(st);
+            // `target >= ticket`: our append published its ticket before
+            // this wait began, so the sync we lead always covers us.
+            let result = match &file {
+                Some(f) => f.sync_data(),
+                None => Ok(()),
+            };
+            st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.leading = false;
+            match result {
+                Ok(()) => st.synced = st.synced.max(target),
+                Err(e) => st.failed = Some(e.to_string()),
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The open write-ahead log of one durable store: sealed segments plus
+/// the active `wal.log`.
 #[derive(Debug)]
 pub(crate) struct Wal {
-    file: File,
-    /// Append offset: total bytes of validated frames.
+    dir: PathBuf,
+    /// The active segment. Shared (`Arc`) with the group-commit leader,
+    /// which syncs it outside the store lock.
+    file: Arc<File>,
+    /// Append offset into the active segment: bytes of validated frames.
     len: u64,
+    /// Sealed segments still on disk, ascending `(index, bytes)`.
+    sealed: Vec<(u64, u64)>,
+    /// Rotation index the next seal will use.
+    next_seal: u64,
+    /// Active-segment size bound that triggers rotation; 0 disables.
+    segment_bytes: u64,
     sync: WalSync,
+    /// Monotone append counter — the group-commit ticket source.
+    appends: u64,
+    group: Arc<GroupCommit>,
+}
+
+/// Replays frames from `buf` into `records`, returning the byte offset
+/// of the first invalid frame (== `buf.len()` for a clean log). An
+/// intact frame holding garbage stops replay exactly like a torn frame.
+fn replay_into(buf: &[u8], records: &mut Vec<Record>) -> usize {
+    let mut offset = 0usize;
+    loop {
+        match decode_frame(buf, offset) {
+            Ok(None) => break,
+            Ok(Some((payload, next))) => match decode_record(payload) {
+                Some(record) => {
+                    records.push(record);
+                    offset = next;
+                }
+                None => break,
+            },
+            Err(_) => break,
+        }
+    }
+    offset
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log at `path`, replaying every
-    /// valid record. A torn tail — the expected residue of a crash
-    /// mid-append — is truncated away so the next append starts on a
-    /// frame boundary; the records before it are returned in order.
-    pub(crate) fn open(path: &Path) -> Result<(Wal, Vec<Record>), WalError> {
+    /// Opens (creating if absent) the log inside `dir`, replaying every
+    /// valid record: sealed segments in rotation order, then the active
+    /// `wal.log`. The first invalid frame anywhere ends the replay — a
+    /// torn tail, the expected residue of a crash mid-append, is
+    /// truncated away and every *later* segment (necessarily written
+    /// after the tear) is deleted, so the next append starts on a frame
+    /// boundary of a log whose every byte was replayed.
+    pub(crate) fn open(dir: &Path) -> Result<(Wal, Vec<Record>), WalError> {
+        let mut sealed_files: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(index) = entry.file_name().to_str().and_then(sealed_index) {
+                sealed_files.push((index, entry.path()));
+            }
+        }
+        sealed_files.sort();
+
+        let mut records = Vec::new();
+        let mut sealed = Vec::new();
+        let mut torn = false;
+        for (index, path) in &sealed_files {
+            if torn {
+                // Newer than a tear: its records would replay out of
+                // order past a hole, resurrecting a suffix the store
+                // never acknowledged as following the lost records.
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let buf = std::fs::read(path)?;
+            let consumed = replay_into(&buf, &mut records);
+            if consumed < buf.len() {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(consumed as u64)?;
+                torn = true;
+            }
+            sealed.push((*index, consumed as u64));
+        }
+
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
-
-        let mut records = Vec::new();
+            .open(dir.join(ACTIVE_SEGMENT))?;
         let mut offset = 0usize;
-        loop {
-            match decode_frame(&buf, offset) {
-                Ok(None) => break,
-                Ok(Some((payload, next))) => match decode_record(payload) {
-                    Some(record) => {
-                        records.push(record);
-                        offset = next;
-                    }
-                    // An intact frame holding garbage: stop replay here,
-                    // exactly as for a torn frame.
-                    None => break,
-                },
-                Err(_) => break,
+        if torn {
+            file.set_len(0)?;
+        } else {
+            let mut buf = Vec::new();
+            file.read_to_end(&mut buf)?;
+            offset = replay_into(&buf, &mut records);
+            if (offset as u64) < buf.len() as u64 {
+                file.set_len(offset as u64)?;
             }
         }
-        if (offset as u64) < buf.len() as u64 {
-            file.set_len(offset as u64)?;
-        }
         file.seek(SeekFrom::Start(offset as u64))?;
+
+        let next_seal = sealed.last().map_or(1, |(i, _)| i + 1);
         Ok((
             Wal {
-                file,
+                dir: dir.to_path_buf(),
+                file: Arc::new(file),
                 len: offset as u64,
+                sealed,
+                next_seal,
+                segment_bytes: DEFAULT_SEGMENT_BYTES,
                 sync: WalSync::default(),
+                appends: 0,
+                group: Arc::new(GroupCommit::new()),
             },
             records,
         ))
@@ -418,17 +622,28 @@ impl Wal {
         self.sync = sync;
     }
 
+    pub(crate) fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes;
+    }
+
+    pub(crate) fn group(&self) -> &Arc<GroupCommit> {
+        &self.group
+    }
+
     /// Appends one framed payload; the record is kernel-durable when this
-    /// returns (and disk-durable under [`WalSync::Always`]).
+    /// returns. Under [`WalSync::Always`] the returned ticket must be
+    /// passed to [`GroupCommit::wait_durable`] (after releasing the store
+    /// lock) before the write is acknowledged — the fsync itself is
+    /// deferred to the group-commit leader.
     ///
     /// Mirrors the replay-side limits: a payload over `MAX_RECORD_LEN`
     /// is refused *here* — were it written, recovery would reject its
     /// frame as corrupt and truncate it (and everything after it) away,
-    /// turning an acknowledged write into silent data loss. And on any
-    /// write/sync failure the file is rolled back to the pre-append
+    /// turning an acknowledged write into silent data loss. And on a
+    /// write failure the active segment is rolled back to the pre-append
     /// offset, so a write reported as failed cannot leave a complete
     /// frame behind to resurrect on recovery.
-    pub(crate) fn append(&mut self, payload: &str) -> std::io::Result<()> {
+    pub(crate) fn append(&mut self, payload: &str) -> std::io::Result<Option<u64>> {
         if payload.len() as u64 > MAX_RECORD_LEN as u64 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -438,42 +653,112 @@ impl Wal {
                 ),
             ));
         }
+        if self.segment_bytes > 0 && self.len >= self.segment_bytes {
+            self.rotate()?;
+        }
         let frame = encode_frame(payload);
-        let result = self.file.write_all(&frame).and_then(|()| {
-            if self.sync == WalSync::Always {
-                self.file.sync_data()
-            } else {
-                Ok(())
-            }
-        });
-        if let Err(e) = result {
-            // Best effort: discard the partial/unsynced frame so the
-            // reported failure and the on-disk state agree. If even this
-            // fails, the store's sticky failure flag stops further
-            // writes, bounding the damage to this one ambiguous record.
+        if let Err(e) = (&*self.file).write_all(&frame) {
+            // Best effort: discard the partial frame so the reported
+            // failure and the on-disk state agree. If even this fails,
+            // the store's sticky failure flag stops further writes,
+            // bounding the damage to this one ambiguous record.
             let _ = self.file.set_len(self.len);
-            let _ = self.file.seek(SeekFrom::Start(self.len));
+            let _ = (&*self.file).seek(SeekFrom::Start(self.len));
             return Err(e);
         }
         self.len += frame.len() as u64;
-        Ok(())
+        self.appends += 1;
+        if self.sync == WalSync::Always {
+            self.group
+                .record_append(self.appends, Arc::clone(&self.file));
+            Ok(Some(self.appends))
+        } else {
+            Ok(None)
+        }
     }
 
-    /// Current log length in bytes (diagnostics and crash-point tests).
+    /// Seals the active segment and starts a fresh one, returning the
+    /// sealed index (or the last one, when the active segment was empty
+    /// and there was nothing to seal). The outgoing segment is fsynced
+    /// *before* the rename regardless of sync policy — that invariant is
+    /// what lets the group-commit leader sync only the active file and
+    /// [`Wal::sync`] ignore sealed segments entirely.
+    pub(crate) fn rotate(&mut self) -> std::io::Result<u64> {
+        if self.len == 0 {
+            return Ok(self.next_seal - 1);
+        }
+        self.file.sync_data()?;
+        let index = self.next_seal;
+        std::fs::rename(
+            self.dir.join(ACTIVE_SEGMENT),
+            self.dir.join(sealed_name(index)),
+        )?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(self.dir.join(ACTIVE_SEGMENT))?;
+        // Persist the rename + create before mutating in-memory state, so
+        // a crash right here recovers the sealed file under its new name.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.sealed.push((index, self.len));
+        self.next_seal = index + 1;
+        self.file = Arc::new(file);
+        self.len = 0;
+        Ok(index)
+    }
+
+    /// Deletes sealed segments with index ≤ `boundary` (their records are
+    /// covered by a written snapshot).
+    pub(crate) fn drop_sealed_through(&mut self, boundary: u64) -> std::io::Result<()> {
+        let mut failed: Option<std::io::Error> = None;
+        let dir = &self.dir;
+        self.sealed.retain(|(index, _)| {
+            if *index > boundary || failed.is_some() {
+                return true;
+            }
+            match std::fs::remove_file(dir.join(sealed_name(*index))) {
+                Ok(()) => false,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                Err(e) => {
+                    failed = Some(e);
+                    true
+                }
+            }
+        });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Total log length in bytes across every segment (diagnostics and
+    /// crash-point tests).
     pub(crate) fn len(&self) -> u64 {
-        self.len
+        self.len + self.sealed.iter().map(|(_, bytes)| bytes).sum::<u64>()
     }
 
-    /// Empties the log after a snapshot has made its records redundant.
+    /// Number of on-disk segment files (sealed + active).
+    pub(crate) fn segments(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Empties the log after a snapshot has made its records redundant:
+    /// sealed segments are deleted, the active one truncated in place.
     pub(crate) fn reset(&mut self) -> std::io::Result<()> {
+        self.drop_sealed_through(u64::MAX)?;
         self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
+        (&*self.file).seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.len = 0;
         Ok(())
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Forces everything appended so far to stable storage. Only the
+    /// active segment needs syncing — sealed segments were fsynced as
+    /// part of sealing.
     pub(crate) fn sync(&self) -> std::io::Result<()> {
         self.file.sync_data()
     }
@@ -538,16 +823,105 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("safeweb-wal-big-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let (mut wal, _) = Wal::open(&dir.join("wal.log")).unwrap();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
         let huge = " ".repeat(MAX_RECORD_LEN as usize + 1);
         assert!(wal.append(&huge).is_err());
         // Nothing reached the log; it stays fully usable.
         assert_eq!(wal.len(), 0);
         wal.append("{\"op\":\"ckpt\",\"rep\":1}").unwrap();
         drop(wal);
-        let (wal, records) = Wal::open(&dir.join("wal.log")).unwrap();
+        let (wal, records) = Wal::open(&dir).unwrap();
         assert_eq!(records, vec![Record::Checkpoint { rep: 1 }]);
         assert!(wal.len() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_replay_spans_them() {
+        let dir = std::env::temp_dir().join(format!("safeweb-wal-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.set_segment_bytes(1); // every append lands in a fresh segment
+        for rep in 1..=5u64 {
+            wal.append(&format!("{{\"op\":\"ckpt\",\"rep\":{rep}}}"))
+                .unwrap();
+        }
+        assert_eq!(wal.segments(), 5); // 4 sealed + active
+        let total = wal.len();
+        drop(wal);
+
+        let (mut wal, records) = Wal::open(&dir).unwrap();
+        let reps: Vec<u64> = records
+            .iter()
+            .map(|r| match r {
+                Record::Checkpoint { rep } => *rep,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(reps, vec![1, 2, 3, 4, 5]);
+        assert_eq!(wal.len(), total);
+
+        // A snapshot boundary prunes everything it covers…
+        let boundary = wal.rotate().unwrap();
+        wal.drop_sealed_through(boundary).unwrap();
+        assert_eq!(wal.segments(), 1);
+        assert_eq!(wal.len(), 0);
+        // …and reset clears whatever is left.
+        wal.append("{\"op\":\"ckpt\",\"rep\":6}").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.len(), 0);
+        let (_, records) = Wal::open(&dir).unwrap();
+        assert!(records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A torn frame in a sealed segment (crash inside the seal fsync
+    /// window, or byte rot) must end replay there: the tail of that
+    /// segment is truncated and every later segment — written after the
+    /// tear — is deleted, never replayed past the hole.
+    #[test]
+    fn torn_sealed_segment_discards_later_segments() {
+        let dir = std::env::temp_dir().join(format!("safeweb-wal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.set_segment_bytes(1);
+        for rep in 1..=4u64 {
+            wal.append(&format!("{{\"op\":\"ckpt\",\"rep\":{rep}}}"))
+                .unwrap();
+        }
+        drop(wal);
+
+        // Tear the tail of the second sealed segment.
+        let victim = dir.join(sealed_name(2));
+        let bytes = std::fs::read(&victim).unwrap();
+        let f = OpenOptions::new().write(true).open(&victim).unwrap();
+        f.set_len(bytes.len() as u64 - 3).unwrap();
+        drop(f);
+
+        let (wal, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records, vec![Record::Checkpoint { rep: 1 }]);
+        assert_eq!(wal.segments(), 3); // segments 1, 2 (emptied) + active
+        assert!(!dir.join(sealed_name(3)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_acks_never_outrun_the_sync() {
+        let dir = std::env::temp_dir().join(format!("safeweb-wal-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.set_sync(WalSync::Always);
+        let t1 = wal.append("{\"op\":\"ckpt\",\"rep\":1}").unwrap().unwrap();
+        let t2 = wal.append("{\"op\":\"ckpt\",\"rep\":2}").unwrap().unwrap();
+        assert!(t2 > t1);
+        let group = Arc::clone(wal.group());
+        // Waiting on the later ticket first still covers the earlier one:
+        // the leader syncs up to the highest appended ticket.
+        group.wait_durable(t2).unwrap();
+        group.wait_durable(t1).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

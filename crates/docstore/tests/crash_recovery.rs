@@ -117,24 +117,33 @@ struct KilledChild {
     acked: u64,
 }
 
-/// Spawns the writer child against `dir`, waits until it demonstrably
-/// makes progress (at least one new ack past `prev_acked`), lets it run
-/// `run_for` longer so the kill lands at an arbitrary offset, kills it,
-/// and returns the acknowledgement count at the moment of death.
-fn run_and_kill(dir: &Path, prev_acked: u64, run_for: Duration) -> KilledChild {
+/// Spawns test `child_test` of this binary against `dir` (with any extra
+/// `envs`), waits until `progressed` reports the child demonstrably did
+/// work, lets it run `run_for` longer so the kill lands at an arbitrary
+/// offset, then SIGKILLs and reaps it.
+fn spawn_and_kill(
+    dir: &Path,
+    child_test: &str,
+    envs: &[(&str, &str)],
+    run_for: Duration,
+    progressed: &dyn Fn() -> bool,
+) {
     let exe = std::env::current_exe().expect("current test binary");
-    let mut child = std::process::Command::new(exe)
-        .args(["crash_writer_child", "--exact", "--nocapture"])
+    let mut command = std::process::Command::new(exe);
+    command
+        .args([child_test, "--exact", "--nocapture"])
         .env("SAFEWEB_CRASH_DIR", dir)
         .stdout(std::process::Stdio::null())
-        .stderr(std::process::Stdio::null())
-        .spawn()
-        .expect("spawn writer child");
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while acked_ops(dir) <= prev_acked {
+        .stderr(std::process::Stdio::null());
+    for (k, v) in envs {
+        command.env(k, v);
+    }
+    let mut child = command.spawn().expect("spawn writer child");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !progressed() {
         assert!(
             std::time::Instant::now() < deadline,
-            "writer child made no progress within 10s"
+            "writer child made no progress within 30s"
         );
         assert!(
             child.try_wait().expect("try_wait").is_none(),
@@ -151,6 +160,14 @@ fn run_and_kill(dir: &Path, prev_acked: u64, run_for: Duration) -> KilledChild {
     );
     child.kill().expect("SIGKILL the writer");
     child.wait().expect("reap the writer");
+}
+
+/// Spawns the sequential writer child, kills it once past `prev_acked`,
+/// and returns the acknowledgement count at the moment of death.
+fn run_and_kill(dir: &Path, prev_acked: u64, run_for: Duration) -> KilledChild {
+    spawn_and_kill(dir, "crash_writer_child", &[], run_for, &|| {
+        acked_ops(dir) > prev_acked
+    });
     KilledChild {
         acked: acked_ops(dir),
     }
@@ -237,6 +254,210 @@ fn kill_loop_recovers_acknowledged_writes() {
         drop(store); // release before the next child opens the directory
     }
     assert!(total_ops > 0, "kill-loop never observed a single write");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- group commit under WalSync::Always -------------------------------
+//
+// The second kill-loop re-runs the crash discipline with every screw
+// tightened: `WalSync::Always` (acks require a completed fdatasync, so
+// recovery must never hold FEWER ops than were acked), four concurrent
+// writer threads sharing the group-commit leader, and a deliberately
+// tiny WAL segment bound so kills land around rotation boundaries
+// (seal-fsync → rename → fresh active segment → dir fsync).
+
+/// Writer threads in the group-commit child.
+const WRITERS: u64 = 4;
+/// Tiny segment bound: a seal every handful of records, so every round
+/// crosses rotation boundaries.
+const TINY_SEGMENT: u64 = 1024;
+
+fn writer_doc_id(writer: u64, n: u64) -> String {
+    format!("w{writer}-{:02}", n % SLOTS)
+}
+
+/// Ops writer `writer` has applied, derived from recovered state: its
+/// docs are its own namespace, written sequentially, so max body `n` + 1
+/// is its op count.
+fn writer_applied_ops(store: &DocStore, writer: u64) -> u64 {
+    let prefix = format!("w{writer}-");
+    store
+        .scan(|_| true)
+        .iter()
+        .filter(|d| d.id().starts_with(&prefix))
+        .filter_map(|d| d.body().get("n").and_then(Value::as_i64))
+        .map(|n| n as u64 + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+fn writer_acks_path(dir: &Path, writer: u64) -> PathBuf {
+    dir.join(format!("acks-w{writer}.log"))
+}
+
+/// Acked op count of one writer thread (same torn-last-line contract as
+/// [`acked_ops`]).
+fn writer_acked_ops(dir: &Path, writer: u64) -> u64 {
+    let Ok(raw) = std::fs::read_to_string(writer_acks_path(dir, writer)) else {
+        return 0;
+    };
+    let complete = &raw[..raw.rfind('\n').map_or(0, |i| i + 1)];
+    complete
+        .lines()
+        .last()
+        .and_then(|l| l.parse::<u64>().ok())
+        .map_or(0, |n| n + 1)
+}
+
+/// **Child mode** — concurrent writers under `WalSync::Always`: four
+/// threads put into disjoint doc namespaces, each acknowledging an op
+/// only after its put returned (i.e. after the group-commit fsync
+/// covering it completed), until killed.
+#[test]
+fn crash_group_writer_child() {
+    let Ok(dir) = std::env::var("SAFEWEB_CRASH_DIR") else {
+        return;
+    };
+    if std::env::var("SAFEWEB_CRASH_GROUP").is_err() {
+        return; // the sequential kill-loop's children skip this mode
+    }
+    let store = DocStore::open(&dir).expect("child reopens the store");
+    store.set_wal_sync(safeweb_docstore::WalSync::Always);
+    store.set_wal_segment_bytes(TINY_SEGMENT);
+    // Snapshots prune sealed segments while writers append, so kills
+    // also land inside rotation + prune cycles.
+    store.set_snapshot_every(257);
+    let dir = PathBuf::from(dir);
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = store.clone();
+            let mut acks = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(writer_acks_path(&dir, w))
+                .expect("open writer acks log");
+            std::thread::spawn(move || {
+                let mut n = writer_applied_ops(&store, w);
+                loop {
+                    let id = writer_doc_id(w, n);
+                    let rev = store.get(&id).map(|d| d.rev().clone());
+                    store
+                        .put(
+                            &id,
+                            jobject! {"n" => n as i64, "w" => w as i64},
+                            op_labels(n),
+                            rev.as_ref(),
+                        )
+                        .expect("group writer put");
+                    writeln!(acks, "{n}").expect("ack");
+                    n += 1;
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+/// **The group-commit kill-loop.** Same chained-directory discipline as
+/// [`kill_loop_recovers_acknowledged_writes`], but with `WalSync::Always`
+/// acks the invariant sharpens to *zero acked-write loss even against
+/// power-loss semantics*: every thread's acked prefix must be recovered
+/// bit-for-bit, at most one in-flight op per thread may additionally
+/// survive, and the recovered store must be internally consistent
+/// (sequence number = total ops) across rotation-boundary kills.
+#[test]
+fn kill_loop_group_commit_concurrent_writers() {
+    if std::env::var("SAFEWEB_CRASH_DIR").is_ok() {
+        return; // never recurse inside a writer child
+    }
+    let rounds: u64 = std::env::var("SAFEWEB_KILL_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let dir = temp_dir("kill-group");
+    let mut seed = 0x5afe_3eb0_0000_0002u64
+        ^ std::time::UNIX_EPOCH
+            .elapsed()
+            .map_or(0, |d| d.as_nanos() as u64);
+    let mut prev_applied = vec![0u64; WRITERS as usize];
+    let mut max_segments_seen = 0usize;
+
+    for round in 0..rounds {
+        let run_for = Duration::from_millis(jitter(&mut seed, 10, 120));
+        let prev = prev_applied.clone();
+        spawn_and_kill(
+            &dir,
+            "crash_group_writer_child",
+            &[("SAFEWEB_CRASH_GROUP", "1")],
+            run_for,
+            // Every thread must have committed (and fsynced) at least one
+            // new op, so each round exercises a populated commit group.
+            &|| (0..WRITERS).all(|w| writer_acked_ops(&dir, w) > prev[w as usize]),
+        );
+
+        let store = DocStore::open(&dir).expect("recovery open");
+        assert_eq!(
+            store.persistence_error(),
+            None,
+            "round {round}: recovery surfaced a persistence failure"
+        );
+        max_segments_seen = max_segments_seen.max(store.wal_segments().unwrap_or(0));
+
+        let mut total = 0u64;
+        for w in 0..WRITERS {
+            let acked = writer_acked_ops(&dir, w);
+            let applied = writer_applied_ops(&store, w);
+            assert!(
+                applied >= acked,
+                "round {round}: writer {w} lost acked (fsynced!) writes \
+                 ({applied} < {acked})"
+            );
+            assert!(
+                applied <= acked + 1,
+                "round {round}: writer {w} has {applied} ops but only {acked} \
+                 acked — acks ran ahead of the group-commit sync"
+            );
+            // Per-writer oracle: its namespace is a pure function of its
+            // op count (slots only move forward).
+            for slot in 0..SLOTS {
+                let id = writer_doc_id(w, slot);
+                match store.get(&id) {
+                    Some(doc) if applied > slot => {
+                        let last = slot + (applied - 1 - slot) / SLOTS * SLOTS;
+                        assert_eq!(
+                            doc.body().get("n").and_then(Value::as_i64),
+                            Some(last as i64),
+                            "round {round}: writer {w} slot {slot} body"
+                        );
+                    }
+                    None if applied <= slot => {}
+                    state => panic!(
+                        "round {round}: writer {w} slot {slot} inconsistent \
+                         (applied {applied}, present: {})",
+                        state.is_some()
+                    ),
+                }
+            }
+            prev_applied[w as usize] = applied;
+            total += applied;
+        }
+        // Puts are the only sequence-consuming ops, so the recovered
+        // sequence number must equal the total op count: nothing lost or
+        // duplicated across the interleaved group-committed appends.
+        assert_eq!(store.seq(), total, "round {round}: sequence number");
+        drop(store); // release before the next child opens the directory
+    }
+    assert!(
+        prev_applied.iter().sum::<u64>() > 0,
+        "group kill-loop never observed a write"
+    );
+    assert!(
+        max_segments_seen >= 2,
+        "no round ever crossed a segment rotation boundary \
+         (max segments seen: {max_segments_seen})"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

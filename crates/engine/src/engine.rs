@@ -542,6 +542,18 @@ impl EngineHandle {
         all
     }
 
+    /// Messages sitting in unit inboxes right now, summed across all
+    /// units — the engine-side queue depth. A persistently high value
+    /// means units are processing slower than the broker delivers and
+    /// inbox backpressure is doing the bounding. Always `0` in threaded
+    /// mode, where the bus hands deliveries straight to unit threads.
+    pub fn queued_messages(&self) -> usize {
+        match &self.mode {
+            HandleMode::Scheduled { scheduler, .. } => scheduler.queued_messages(),
+            _ => 0,
+        }
+    }
+
     /// Stops all units and joins their threads. In scheduled mode the
     /// shutdown is graceful: inboxes close, everything already accepted
     /// is drained, then the workers join. Returns the final violation

@@ -13,7 +13,9 @@
 //! * responses are queued on the connection's bounded outbox and flushed
 //!   by nonblocking writes.
 //!
-//! Thread count is `1 + workers` regardless of connection count.
+//! Thread count is `shards + workers` regardless of connection count;
+//! [`HttpServer::bind_sharded`] spreads the event-loop work over several
+//! reactor shards when one epoll thread saturates a core.
 
 use std::io;
 use std::net::SocketAddr;
@@ -53,9 +55,22 @@ impl HttpServer {
     ///
     /// Propagates bind and reactor setup errors.
     pub fn bind(addr: &str, handler: Handler) -> io::Result<HttpServer> {
+        HttpServer::bind_sharded(addr, 1, handler)
+    }
+
+    /// Like [`HttpServer::bind`], but runs `shards` reactor event-loop
+    /// threads (clamped to ≥ 1): shard 0 accepts and round-robins
+    /// connections across the shards, so parsing and socket I/O scale
+    /// past one core while the worker pool stays shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and reactor setup errors.
+    pub fn bind_sharded(addr: &str, shards: usize, handler: Handler) -> io::Result<HttpServer> {
         let config = ReactorConfig {
             name: "safeweb-http".to_string(),
             idle_timeout: Some(IDLE_TIMEOUT),
+            shards,
             ..ReactorConfig::default()
         };
         let reactor = Reactor::bind(addr, config, move || {
@@ -75,6 +90,12 @@ impl HttpServer {
     /// Connections currently held by the reactor.
     pub fn active_connections(&self) -> usize {
         self.reactor.active_connections()
+    }
+
+    /// Outbound bytes queued across every connection (aggregate outbox
+    /// depth); see [`Reactor::queued_bytes`].
+    pub fn queued_bytes(&self) -> usize {
+        self.reactor.queued_bytes()
     }
 
     /// Stops the server: no new connections, existing ones closed,

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -33,7 +34,10 @@ pub(crate) enum Command {
     PauseReads(u64),
     /// Start reading from the connection again.
     ResumeReads(u64),
-    /// Stop the whole reactor.
+    /// Adopt an accepted connection (multi-reactor sharding: the shard
+    /// owning the listener round-robins streams to its peers).
+    Register(TcpStream),
+    /// Stop this reactor shard.
     Shutdown,
 }
 
@@ -124,10 +128,14 @@ pub(crate) struct Outbox {
     pub(crate) closed: bool,
     /// Close the connection once the queue drains.
     pub(crate) close_after_flush: bool,
+    /// Frontend-wide queued-bytes counter shared by every outbox of one
+    /// reactor; kept in step with `len` so operators can read aggregate
+    /// outbound depth with one atomic load. See `Reactor::queued_bytes`.
+    pub(crate) depth: Arc<AtomicUsize>,
 }
 
 impl Outbox {
-    fn new(cap: usize) -> Outbox {
+    fn new(cap: usize, depth: Arc<AtomicUsize>) -> Outbox {
         Outbox {
             chunks: VecDeque::new(),
             front_pos: 0,
@@ -135,6 +143,7 @@ impl Outbox {
             cap,
             closed: false,
             close_after_flush: false,
+            depth,
         }
     }
 }
@@ -167,12 +176,13 @@ impl ConnShared {
         token: u64,
         reactor: Arc<ReactorShared>,
         cap: usize,
+        depth: Arc<AtomicUsize>,
         pool: Option<Sender<Job>>,
     ) -> ConnShared {
         ConnShared {
             token,
             reactor,
-            out: Mutex::new(Outbox::new(cap)),
+            out: Mutex::new(Outbox::new(cap, depth)),
             queue: Mutex::new(VecDeque::new()),
             scheduled: AtomicBool::new(false),
             pending_jobs: AtomicUsize::new(0),
@@ -250,6 +260,7 @@ impl ConnHandle {
             }
             let was_empty = out.len == 0;
             out.len += bytes.len();
+            out.depth.fetch_add(bytes.len(), Ordering::Relaxed);
             out.chunks.push_back(bytes);
             was_empty
         };

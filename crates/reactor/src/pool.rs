@@ -16,6 +16,9 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 type Job = Box<dyn FnOnce() + Send>;
 
+/// A cloneable handle that enqueues jobs onto a pool from other threads.
+pub(crate) type JobSender = Sender<Job>;
+
 /// A fixed set of worker threads draining a shared job queue.
 #[derive(Debug)]
 pub struct WorkerPool {

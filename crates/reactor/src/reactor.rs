@@ -1,20 +1,24 @@
-//! The reactor core: one epoll thread multiplexing every connection of a
+//! The reactor core: epoll threads multiplexing every connection of a
 //! listener, with protocol state machines driven by readiness events.
 //!
 //! # Threading model
 //!
-//! * **One reactor thread** owns the epoll instance, the listener, every
-//!   socket and every protocol state machine. It does the nonblocking
-//!   reads/writes and the (cheap, incremental) protocol parsing.
-//! * **A bounded worker pool** runs application work — HTTP handlers,
-//!   STOMP frame effects — dispatched through per-connection FIFOs
-//!   ([`ConnHandle::dispatch`]), so one process holds tens of thousands
-//!   of idle connections with `workers + 1` threads instead of a thread
-//!   per connection.
+//! * **N reactor shard threads** ([`ReactorConfig::shards`], default 1)
+//!   each own an epoll instance and a partition of the connections —
+//!   their sockets and protocol state machines. Shard 0 also owns the
+//!   listener and round-robins accepted connections across the shards
+//!   (a peer adopts a stream via its command mailbox), so event-loop
+//!   work — nonblocking reads/writes and incremental protocol parsing —
+//!   scales past one core.
+//! * **A bounded worker pool**, shared by all shards, runs application
+//!   work — HTTP handlers, STOMP frame effects — dispatched through
+//!   per-connection FIFOs ([`ConnHandle::dispatch`]), so one process
+//!   holds tens of thousands of idle connections with `workers + shards`
+//!   threads instead of a thread per connection.
 //! * **Everything else** (worker jobs, broker delivery sinks on
 //!   publisher threads) reaches a connection only through [`ConnHandle`]:
 //!   queue bytes, close, pause reads. Handles post commands to the
-//!   reactor's mailbox and wake it via an `eventfd`.
+//!   owning shard's mailbox and wake it via an `eventfd`.
 //!
 //! # Robustness
 //!
@@ -82,6 +86,10 @@ pub struct ReactorConfig {
     pub name: String,
     /// Worker pool size (clamped to ≥ 1).
     pub workers: usize,
+    /// Reactor shard (event-loop thread) count, clamped to ≥ 1. Shard 0
+    /// accepts and round-robins connections across all shards; each
+    /// connection lives on one shard for its whole life.
+    pub shards: usize,
     /// Per-connection outbound queue cap in bytes; see
     /// [`crate::SendError::Overflow`].
     pub outbox_cap: usize,
@@ -100,6 +108,7 @@ impl Default for ReactorConfig {
         ReactorConfig {
             name: "safeweb".to_string(),
             workers,
+            shards: 1,
             outbox_cap: 8 * 1024 * 1024,
             idle_timeout: None,
         }
@@ -107,61 +116,88 @@ impl Default for ReactorConfig {
 }
 
 /// A running reactor serving one listener; dropping it shuts the whole
-/// frontend down (accept loop, connections, workers).
+/// frontend down (accept loop, connections, shards, workers).
 #[derive(Debug)]
 pub struct Reactor {
     addr: SocketAddr,
-    shared: Arc<ReactorShared>,
+    shards: Vec<Arc<ReactorShared>>,
     active: Arc<AtomicUsize>,
-    thread: Option<JoinHandle<()>>,
+    queued_bytes: Arc<AtomicUsize>,
+    threads: Vec<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
 }
 
 impl Reactor {
-    /// Binds `addr` (port 0 for ephemeral) and starts the reactor thread
-    /// and worker pool. `factory` builds one [`Protocol`] per accepted
-    /// connection.
+    /// Binds `addr` (port 0 for ephemeral) and starts the reactor shard
+    /// threads and the shared worker pool. `factory` builds one
+    /// [`Protocol`] per accepted connection (it runs on whichever shard
+    /// adopts the connection, hence `Sync`).
     ///
     /// # Errors
     ///
     /// Propagates bind and epoll setup failures.
     pub fn bind<F>(addr: &str, config: ReactorConfig, factory: F) -> io::Result<Reactor>
     where
-        F: Fn() -> Box<dyn Protocol> + Send + 'static,
+        F: Fn() -> Box<dyn Protocol> + Send + Sync + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let epoll = Epoll::new()?;
-        let wake = EventFd::new()?;
-        let shared = Arc::new(ReactorShared::new(wake));
-        epoll.add(shared.wake_fd(), EPOLLIN, WAKE_TOKEN)?;
-        epoll.add(listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN)?;
-        let active = Arc::new(AtomicUsize::new(0));
+        let shard_count = config.shards.max(1);
+        let mut listener = Some(TcpListener::bind(addr)?);
+        let local = listener.as_ref().expect("just bound").local_addr()?;
+        listener
+            .as_ref()
+            .expect("just bound")
+            .set_nonblocking(true)?;
+        let factory: Arc<dyn Fn() -> Box<dyn Protocol> + Send + Sync> = Arc::new(factory);
         let pool = WorkerPool::new(&config.name, config.workers);
-        let core = Core {
-            epoll,
-            shared: Arc::clone(&shared),
-            listener,
-            factory: Box::new(factory),
-            pool,
-            config: config.clone(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            read_buf: vec![0u8; 64 * 1024],
-            active: Arc::clone(&active),
-            reaccept_at: None,
-            next_sweep: Instant::now(),
-            stopping: false,
-        };
-        let thread = std::thread::Builder::new()
-            .name(format!("{}-reactor", config.name))
-            .spawn(move || core.run())
-            .expect("spawn reactor thread");
+        let active = Arc::new(AtomicUsize::new(0));
+        let queued_bytes = Arc::new(AtomicUsize::new(0));
+        let shards: Vec<Arc<ReactorShared>> = (0..shard_count)
+            .map(|_| Ok(Arc::new(ReactorShared::new(EventFd::new()?))))
+            .collect::<io::Result<_>>()?;
+        let mut threads = Vec::with_capacity(shard_count);
+        for shard_id in 0..shard_count {
+            let epoll = Epoll::new()?;
+            let shared = Arc::clone(&shards[shard_id]);
+            epoll.add(shared.wake_fd(), EPOLLIN, WAKE_TOKEN)?;
+            let listener = if shard_id == 0 {
+                let l = listener.take().expect("taken once");
+                epoll.add(l.as_raw_fd(), EPOLLIN, LISTEN_TOKEN)?;
+                Some(l)
+            } else {
+                None
+            };
+            let core = Core {
+                epoll,
+                shared,
+                peers: shards.clone(),
+                shard_id,
+                next_shard: 0,
+                listener,
+                factory: Arc::clone(&factory),
+                jobs: pool.sender(),
+                config: config.clone(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                read_buf: vec![0u8; 64 * 1024],
+                active: Arc::clone(&active),
+                queued_bytes: Arc::clone(&queued_bytes),
+                reaccept_at: None,
+                next_sweep: Instant::now(),
+                stopping: false,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("{}-reactor{shard_id}", config.name))
+                .spawn(move || core.run())
+                .expect("spawn reactor thread");
+            threads.push(thread);
+        }
         Ok(Reactor {
             addr: local,
-            shared,
+            shards,
             active,
-            thread: Some(thread),
+            queued_bytes,
+            threads,
+            pool: Some(pool),
         })
     }
 
@@ -170,17 +206,34 @@ impl Reactor {
         self.addr
     }
 
-    /// Connections currently registered.
+    /// Connections currently registered, across all shards.
     pub fn active_connections(&self) -> usize {
         self.active.load(Ordering::Relaxed)
     }
 
+    /// Outbound bytes currently queued across every connection of this
+    /// frontend: the aggregate outbox depth. A persistently high value
+    /// means consumers are slower than producers (fan-out bursts, slow
+    /// subscribers) and backpressure caps are doing the bounding.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, closes every connection, drains queued jobs and
-    /// joins all threads. Idempotent.
+    /// joins all shard and worker threads. Idempotent.
     pub fn shutdown(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            self.shared.push(Command::Shutdown);
-            let _ = thread.join();
+        if !self.threads.is_empty() {
+            for shard in &self.shards {
+                shard.push(Command::Shutdown);
+            }
+            for thread in self.threads.drain(..) {
+                let _ = thread.join();
+            }
+        }
+        // After the shards are gone: the pool drains still-queued jobs
+        // (including on_close cleanup the teardowns dispatched).
+        if let Some(mut pool) = self.pool.take() {
+            pool.shutdown();
         }
     }
 }
@@ -219,14 +272,24 @@ impl ConnState {
 struct Core {
     epoll: Epoll,
     shared: Arc<ReactorShared>,
-    listener: TcpListener,
-    factory: Box<dyn Fn() -> Box<dyn Protocol> + Send>,
-    pool: WorkerPool,
+    /// Every shard's mailbox (including this one's, at `shard_id`), for
+    /// round-robining accepted connections.
+    peers: Vec<Arc<ReactorShared>>,
+    shard_id: usize,
+    /// Round-robin cursor over `peers`; only the accepting shard uses it.
+    next_shard: usize,
+    /// `Some` on the accepting shard (shard 0) only.
+    listener: Option<TcpListener>,
+    factory: Arc<dyn Fn() -> Box<dyn Protocol> + Send + Sync>,
+    /// Job entry of the shared worker pool (the pool itself is owned by
+    /// [`Reactor`], which shuts it down after every shard has exited).
+    jobs: Option<crate::pool::JobSender>,
     config: ReactorConfig,
     slots: Vec<Slot>,
     free: Vec<usize>,
     read_buf: Vec<u8>,
     active: Arc<AtomicUsize>,
+    queued_bytes: Arc<AtomicUsize>,
     /// When set, the listener is disarmed after an accept error until
     /// this instant.
     reaccept_at: Option<Instant>,
@@ -299,8 +362,12 @@ impl Core {
             return; // disarmed after an error; wait out the backoff
         }
         for _ in 0..ACCEPT_BUDGET {
-            match self.listener.accept() {
-                Ok((stream, _)) => self.register_conn(stream, now),
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => self.place_conn(stream, now),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) => {
                     // A transient accept failure (EMFILE, ECONNABORTED,
@@ -311,9 +378,9 @@ impl Core {
                         "safeweb-reactor[{}]: accept error (retrying in {:?}): {e}",
                         self.config.name, ACCEPT_BACKOFF
                     );
-                    let _ = self
-                        .epoll
-                        .modify(self.listener.as_raw_fd(), 0, LISTEN_TOKEN);
+                    if let Some(listener) = &self.listener {
+                        let _ = self.epoll.modify(listener.as_raw_fd(), 0, LISTEN_TOKEN);
+                    }
                     self.reaccept_at = Some(now + ACCEPT_BACKOFF);
                     break;
                 }
@@ -321,13 +388,30 @@ impl Core {
         }
     }
 
+    /// Routes an accepted connection to its shard: round-robin over all
+    /// shards, registering locally when the cursor lands on this one and
+    /// handing the stream to the peer's mailbox otherwise.
+    fn place_conn(&mut self, stream: TcpStream, now: Instant) {
+        if self.peers.len() > 1 {
+            let target = self.next_shard;
+            self.next_shard = (self.next_shard + 1) % self.peers.len();
+            if target != self.shard_id {
+                self.peers[target].push(Command::Register(stream));
+                return;
+            }
+        }
+        self.register_conn(stream, now);
+    }
+
     fn maybe_rearm_listener(&mut self, now: Instant) {
         if let Some(at) = self.reaccept_at {
             if now >= at {
                 self.reaccept_at = None;
-                let _ = self
-                    .epoll
-                    .modify(self.listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN);
+                if let Some(listener) = &self.listener {
+                    let _ = self
+                        .epoll
+                        .modify(listener.as_raw_fd(), EPOLLIN, LISTEN_TOKEN);
+                }
             }
         }
     }
@@ -350,7 +434,8 @@ impl Core {
             token,
             Arc::clone(&self.shared),
             self.config.outbox_cap,
-            self.pool.sender(),
+            Arc::clone(&self.queued_bytes),
+            self.jobs.clone(),
         ));
         let state = ConnState {
             stream,
@@ -460,6 +545,7 @@ impl Core {
         {
             let mut out = state.shared.out.lock().unwrap_or_else(|e| e.into_inner());
             out.closed = true;
+            out.depth.fetch_sub(out.len, Ordering::Relaxed);
             out.chunks.clear();
             out.len = 0;
         }
@@ -487,6 +573,7 @@ impl Core {
                 }
                 Command::PauseReads(token) => self.set_paused(token, true),
                 Command::ResumeReads(token) => self.set_paused(token, false),
+                Command::Register(stream) => self.register_conn(stream, Instant::now()),
                 Command::Shutdown => self.stopping = true,
             }
         }
@@ -528,9 +615,9 @@ impl Core {
         for idx in 0..self.slots.len() {
             self.close_conn(idx);
         }
-        // Workers drain already-queued jobs (including on_close cleanup
-        // dispatched just above) before exiting.
-        self.pool.shutdown();
+        // The shared pool outlives this shard: [`Reactor::shutdown`]
+        // drains it (including on_close cleanup dispatched just above)
+        // after every shard thread has joined.
     }
 }
 
@@ -607,6 +694,7 @@ fn write_outbox(stream: &mut TcpStream, out: &mut Outbox) -> io::Result<bool> {
 fn advance_outbox(out: &mut Outbox, mut wrote: usize) {
     debug_assert!(wrote <= out.len, "wrote more than was queued");
     out.len -= wrote;
+    out.depth.fetch_sub(wrote, Ordering::Relaxed);
     while wrote > 0 {
         let front_remaining =
             out.chunks.front().expect("bytes imply a chunk").len() - out.front_pos;
@@ -653,6 +741,7 @@ mod tests {
             cap: usize::MAX,
             closed: false,
             close_after_flush: false,
+            depth: Arc::new(AtomicUsize::new(0)),
         };
         let mut expected = Vec::new();
         for i in 0..300usize {
@@ -662,6 +751,7 @@ mod tests {
             out.len += chunk.len();
             out.chunks.push_back(chunk);
         }
+        out.depth.store(out.len, Ordering::Relaxed);
         let total = expected.len();
         assert!(total > 64 * 1024, "queue must dwarf the send buffer");
 
@@ -710,6 +800,7 @@ mod tests {
                 cap: usize::MAX,
                 closed: false,
                 close_after_flush: false,
+                depth: Arc::new(AtomicUsize::new(12)),
             }
         };
         // Mid-first-chunk.

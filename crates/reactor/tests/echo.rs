@@ -120,6 +120,48 @@ fn many_concurrent_connections_with_bounded_threads() {
 }
 
 #[test]
+fn sharded_reactor_spreads_connections_and_echoes() {
+    // Four event-loop shards behind one listener: connections are
+    // round-robined off shard 0, each lives on its adopting shard, and
+    // the shared pool still preserves per-connection FIFO order.
+    let mut reactor = start_echo(ReactorConfig {
+        shards: 4,
+        ..config()
+    });
+    let addr = reactor.addr();
+    let mut clients: Vec<TcpStream> = (0..64).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for j in 0..10 {
+            writeln!(c, "conn {i} line {j}").unwrap();
+        }
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        for j in 0..10 {
+            assert_eq!(read_line(c), format!("CONN {i} LINE {j}"));
+        }
+    }
+    // Adoption across shards must be counted exactly once per conn.
+    for _ in 0..100 {
+        if reactor.active_connections() == 64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(reactor.active_connections(), 64);
+    // The depth counter is relaxed: give the last flush a moment to land.
+    for _ in 0..200 {
+        if reactor.queued_bytes() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(reactor.queued_bytes(), 0, "drained outboxes leak depth");
+    drop(clients);
+    reactor.shutdown();
+}
+
+#[test]
 fn shutdown_closes_connections_and_joins() {
     let mut reactor = start_echo(config());
     let mut stream = TcpStream::connect(reactor.addr()).unwrap();
@@ -176,6 +218,7 @@ fn outbox_overflow_surfaces_and_policy_closes() {
         ReactorConfig {
             name: "flood-test".to_string(),
             workers: 1,
+            shards: 1,
             outbox_cap: 16 * 1024,
             idle_timeout: None,
         },

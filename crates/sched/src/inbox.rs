@@ -3,7 +3,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Error returned by a blocking send; carries the unsent message.
 pub struct SendError<M>(pub M);
@@ -59,6 +60,10 @@ pub(crate) struct Inbox<M> {
     cap: usize,
     /// Signalled whenever queue space frees up or the inbox closes.
     space: Condvar,
+    /// Scheduler-wide queued-message counter shared by every inbox of
+    /// one pool; maintained on push/drain/close so an aggregate depth
+    /// read costs one atomic load instead of a scan over all tasks.
+    depth: Arc<AtomicUsize>,
 }
 
 /// What a completed push observed; `was_empty` drives the empty→non-empty
@@ -69,7 +74,7 @@ pub(crate) struct Pushed {
 }
 
 impl<M> Inbox<M> {
-    pub(crate) fn new(cap: usize) -> Inbox<M> {
+    pub(crate) fn new(cap: usize, depth: Arc<AtomicUsize>) -> Inbox<M> {
         Inbox {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -77,6 +82,7 @@ impl<M> Inbox<M> {
             }),
             cap: cap.max(1),
             space: Condvar::new(),
+            depth,
         }
     }
 
@@ -93,6 +99,7 @@ impl<M> Inbox<M> {
         }
         let was_empty = state.queue.is_empty();
         state.queue.push_back(msg);
+        self.depth.fetch_add(1, Ordering::Relaxed);
         Ok(Pushed { was_empty })
     }
 
@@ -108,6 +115,7 @@ impl<M> Inbox<M> {
         }
         let was_empty = state.queue.is_empty();
         state.queue.push_back(msg);
+        self.depth.fetch_add(1, Ordering::Relaxed);
         Ok(Pushed { was_empty })
     }
 
@@ -117,6 +125,7 @@ impl<M> Inbox<M> {
         let n = state.queue.len().min(burst);
         into.extend(state.queue.drain(..n));
         if n > 0 {
+            self.depth.fetch_sub(n, Ordering::Relaxed);
             self.space.notify_all();
         }
     }
@@ -140,6 +149,7 @@ impl<M> Inbox<M> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.closed = true;
         if discard {
+            self.depth.fetch_sub(state.queue.len(), Ordering::Relaxed);
             state.queue.clear();
         }
         self.space.notify_all();

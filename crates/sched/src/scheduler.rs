@@ -5,7 +5,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use std::sync::{Condvar, Mutex};
 
@@ -59,6 +58,13 @@ const RUNNING: u8 = 2;
 /// Running, with a notify observed mid-run: re-queue on completion.
 const RUNNING_NOTIFIED: u8 = 3;
 
+/// Empty queue scans a worker burns through (with `spin_loop` hints)
+/// before it parks on the condvar. Under load, new work usually arrives
+/// within this window and the worker never pays the futex round-trip;
+/// once the pool is truly idle the spin ends and the worker parks with
+/// **no timeout**, so an idle pool makes zero wakeups per second.
+const IDLE_SPINS: usize = 64;
+
 /// Distinguishes tasks across every scheduler in the process, so the
 /// self-send check cannot confuse tasks of nested schedulers.
 static NEXT_TASK_UID: AtomicU64 = AtomicU64::new(1);
@@ -86,6 +92,11 @@ struct Task<M> {
 struct Parker {
     lock: Mutex<()>,
     cv: Condvar,
+    /// Wakeup generation, bumped under `lock` by every notify. A worker
+    /// records the generation before parking and waits only while it is
+    /// unchanged, so a notify that fires between the worker's last queue
+    /// scan and its `cv.wait` can never be lost.
+    wakeups: AtomicU64,
 }
 
 struct Inner<M> {
@@ -102,6 +113,9 @@ struct Inner<M> {
     stopping: AtomicBool,
     tasks: Mutex<Vec<Arc<Task<M>>>>,
     panics: Mutex<Vec<TaskPanic>>,
+    /// Messages queued across every task inbox (see [`Inbox`]); one
+    /// relaxed load serves the engine/deployment stats surface.
+    depth: Arc<AtomicUsize>,
 }
 
 impl<M: Send + 'static> Inner<M> {
@@ -121,6 +135,7 @@ impl<M: Send + 'static> Inner<M> {
         self.pending.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.parker.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.parker.wakeups.fetch_add(1, Ordering::SeqCst);
             self.parker.cv.notify_one();
         }
     }
@@ -243,6 +258,47 @@ impl<M: Send + 'static> Inner<M> {
             });
     }
 
+    /// Brief spin between an empty scan and a full park; returns whether
+    /// work (or shutdown) showed up while spinning.
+    fn spin_for_work(&self) -> bool {
+        for _ in 0..IDLE_SPINS {
+            if self.pending.load(Ordering::SeqCst) > 0 || self.stopping.load(Ordering::SeqCst) {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        false
+    }
+
+    /// Event-counted park with no timeout. Lost-wakeup safety is
+    /// structural, not probabilistic: `enqueue` publishes `pending`
+    /// before reading `sleepers` (both `SeqCst`), and this worker
+    /// publishes `sleepers` before re-reading `pending`, so an enqueue
+    /// racing the park either sees the sleeper — and then bumps the
+    /// wakeup generation *under the parker lock* before notifying — or
+    /// left `pending` visible to the re-check below. The wait condition
+    /// re-checks both the generation and `pending` under that same lock,
+    /// so there is no window in which a notify can slip between the
+    /// decision to sleep and the sleep itself.
+    fn park(&self) {
+        let entry = self.parker.wakeups.load(Ordering::SeqCst);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.parker.lock.lock().unwrap_or_else(|e| e.into_inner());
+            while self.parker.wakeups.load(Ordering::SeqCst) == entry
+                && self.pending.load(Ordering::SeqCst) == 0
+                && !self.stopping.load(Ordering::SeqCst)
+            {
+                guard = self
+                    .parker
+                    .cv
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
     fn worker_loop(self: &Arc<Self>, index: usize) {
         WORKER.with(|worker| worker.set((self.id, index)));
         let mut scratch = Vec::new();
@@ -255,21 +311,9 @@ impl<M: Send + 'static> Inner<M> {
                         // (inboxes are closed): this worker is done.
                         return;
                     }
-                    self.sleepers.fetch_add(1, Ordering::SeqCst);
-                    {
-                        let guard = self.parker.lock.lock().unwrap_or_else(|e| e.into_inner());
-                        if self.pending.load(Ordering::SeqCst) == 0
-                            && !self.stopping.load(Ordering::SeqCst)
-                        {
-                            // The timeout bounds any residual wakeup race;
-                            // notifies make the common path immediate.
-                            let _ = self
-                                .parker
-                                .cv
-                                .wait_timeout(guard, Duration::from_millis(10));
-                        }
+                    if !self.spin_for_work() {
+                        self.park();
                     }
-                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
@@ -305,10 +349,12 @@ impl<M: Send + 'static> Scheduler<M> {
             parker: Parker {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
+                wakeups: AtomicU64::new(0),
             },
             stopping: AtomicBool::new(false),
             tasks: Mutex::new(Vec::new()),
             panics: Mutex::new(Vec::new()),
+            depth: Arc::new(AtomicUsize::new(0)),
         });
         let threads = (0..workers)
             .map(|index| {
@@ -331,6 +377,13 @@ impl<M: Send + 'static> Scheduler<M> {
         self.inner.workers
     }
 
+    /// Messages currently queued across every task inbox — the
+    /// scheduler-wide backlog, maintained as one shared atomic so the
+    /// read is O(1) regardless of task count.
+    pub fn queued_messages(&self) -> usize {
+        self.inner.depth.load(Ordering::Relaxed)
+    }
+
     /// Registers a task: a bounded inbox plus a handler the pool invokes
     /// with batches of queued messages (at most
     /// [`SchedulerOptions::burst`] per activation, in send order). The
@@ -348,7 +401,7 @@ impl<M: Send + 'static> Scheduler<M> {
             uid: NEXT_TASK_UID.fetch_add(1, Ordering::Relaxed),
             name: name.to_string(),
             state: AtomicU8::new(IDLE),
-            inbox: Inbox::new(self.inbox_cap),
+            inbox: Inbox::new(self.inbox_cap, Arc::clone(&self.inner.depth)),
             handler: Mutex::new(Box::new(handler)),
         });
         {
@@ -394,6 +447,7 @@ impl<M: Send + 'static> Scheduler<M> {
                 .lock
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
+            self.inner.parker.wakeups.fetch_add(1, Ordering::SeqCst);
             self.inner.parker.cv.notify_all();
         }
         for thread in self
@@ -527,6 +581,45 @@ impl<M: Send + 'static> std::fmt::Debug for TaskSender<M> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    /// A reusable open/closed latch: handlers block on `wait` (with a
+    /// generous failsafe deadline so a bug cannot hang the suite) until
+    /// the test calls `open`. Replaces sleep-polling so the tests are
+    /// driven by events, not timing.
+    struct Gate {
+        state: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                state: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn open(&self) {
+            let mut open = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            *open = true;
+            self.cv.notify_all();
+        }
+
+        fn wait(&self) {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            let mut open = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            while !*open {
+                let now = std::time::Instant::now();
+                assert!(now < deadline, "gate never opened");
+                let (next, _) = self
+                    .cv
+                    .wait_timeout(open, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                open = next;
+            }
+        }
+    }
 
     fn options(workers: usize) -> SchedulerOptions {
         SchedulerOptions {
@@ -562,14 +655,19 @@ mod tests {
         let sched: Scheduler<u32> = Scheduler::new(options(1));
         let count = Arc::new(AtomicU32::new(0));
         let counter = Arc::clone(&count);
+        // The gate stalls the first activation, so shutdown is called
+        // while accepted messages are still queued and must drain them.
+        let gate = Gate::new();
+        let open = Arc::clone(&gate);
         let tx = sched.spawn("t", move |batch| {
-            std::thread::sleep(Duration::from_millis(1));
+            open.wait();
             counter.fetch_add(batch.len() as u32, Ordering::SeqCst);
             batch.clear();
         });
         for i in 0..8 {
             tx.send(i).unwrap();
         }
+        gate.open();
         sched.shutdown();
         assert_eq!(count.load(Ordering::SeqCst), 8);
         assert!(tx.send(9).is_err(), "sends fail after shutdown");
@@ -640,33 +738,34 @@ mod tests {
     #[test]
     fn full_inbox_blocks_the_sender_until_drained() {
         let sched: Scheduler<u32> = Scheduler::new(options(1));
-        let gate = Arc::new(AtomicBool::new(false));
+        let gate = Gate::new();
         let open = Arc::clone(&gate);
         let tx = sched.spawn("slow", move |batch| {
-            while !open.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(1));
-            }
+            open.wait();
             batch.clear();
         });
-        // Fill: burst 4 drains into the stalled handler, cap 8 queue.
-        let blocked = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&blocked);
+        // Fill: the stalled handler eats the first drain, then the cap-8
+        // queue fills and the 30-message sender must block.
         let tx2 = tx.clone();
         let sender = std::thread::spawn(move || {
             for i in 0..30 {
-                if i > 8 {
-                    flag.store(true, Ordering::SeqCst);
-                }
                 tx2.send(i).unwrap();
             }
         });
-        std::thread::sleep(Duration::from_millis(50));
-        assert!(
-            blocked.load(Ordering::SeqCst) || tx.queued() >= 8,
-            "sender never reached the cap"
-        );
+        // Deadline wait for the observable condition (inbox at cap)
+        // instead of a fixed sleep: the only way the queue reaches the
+        // cap is the sender pushing against a stalled handler, at which
+        // point its next send is blocked inside `Inbox::push`.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while tx.queued() < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sender never reached the cap"
+            );
+            std::thread::yield_now();
+        }
         assert!(!sender.is_finished(), "sender should be blocked at the cap");
-        gate.store(true, Ordering::SeqCst);
+        gate.open();
         sender.join().unwrap();
         sched.shutdown();
     }
