@@ -1,0 +1,270 @@
+//! Campaign replay: hundreds of seeded, mutated attack attempts driven
+//! through a live [`AttackRig`], every response scanned by the leak
+//! oracles, with per-campaign timing for the enforcement-tax benchmark.
+//!
+//! Replay is deterministic: the full request sequence derives from
+//! `(family, seed, rig contents)`, and every failure message carries the
+//! seed as `SAFEWEB_ATTACK_SEED=<n>` so CI failures reproduce locally
+//! with `SAFEWEB_ATTACK_SEED=<n> cargo test -p safeweb-attack`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use safeweb_http::{base64, url_encode, Method, Request};
+
+use crate::corpus::{base_payloads, Mutator};
+use crate::oracle::{names_leaked, xss_markup_survives};
+use crate::rig::AttackRig;
+
+/// Default replay seed (overridden by `SAFEWEB_ATTACK_SEED`).
+pub const DEFAULT_SEED: u64 = 0x5afe_eb07;
+
+/// The replay seed: `SAFEWEB_ATTACK_SEED` if set, else [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    std::env::var("SAFEWEB_ATTACK_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// The four campaign families of the adversarial testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Query-structure injection against the relstore/selector surfaces.
+    Sqli,
+    /// Markup smuggling through the template engine.
+    Xss,
+    /// Cross-MDT disclosure probes against the portal routes.
+    LabelLeak,
+    /// Forged credentials and cross-site state changes.
+    SessionForgery,
+}
+
+impl Family {
+    /// All families, in replay order.
+    pub fn all() -> [Family; 4] {
+        [
+            Family::Sqli,
+            Family::Xss,
+            Family::LabelLeak,
+            Family::SessionForgery,
+        ]
+    }
+
+    /// Stable name (report keys, bench ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Sqli => "sqli",
+            Family::Xss => "xss",
+            Family::LabelLeak => "label_leak",
+            Family::SessionForgery => "session_forgery",
+        }
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            Family::Sqli => 0x51,
+            Family::Xss => 0x52,
+            Family::LabelLeak => 0x53,
+            Family::SessionForgery => 0x54,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one campaign replay observed.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The family replayed.
+    pub family: Family,
+    /// The seed the mutation sequence derived from.
+    pub seed: u64,
+    /// Attempts replayed.
+    pub attempts: usize,
+    /// Attempts whose response disclosed a canary, victim data, raw
+    /// attacker markup, or granted access to forged credentials.
+    pub leaks: usize,
+    /// Attempts answered with an error status (4xx/5xx).
+    pub denied: usize,
+    /// Attempts answered 2xx/3xx without any disclosure (the request
+    /// degenerated into something harmless).
+    pub served: usize,
+    /// Wall-clock for the whole replay (campaign requests only).
+    pub elapsed: Duration,
+    /// FNV-1a digest over `(target, status)` pairs — equal digests mean
+    /// byte-identical replay.
+    pub fingerprint: u64,
+    /// Up to 3 samples of leaking responses, for diagnostics.
+    pub leak_samples: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Mean microseconds per attempt.
+    pub fn micros_per_attempt(&self) -> f64 {
+        self.elapsed.as_micros() as f64 / self.attempts.max(1) as f64
+    }
+
+    /// Panics if any attempt leaked, printing the reproduction seed.
+    ///
+    /// # Panics
+    ///
+    /// When `leaks > 0`; the message includes `SAFEWEB_ATTACK_SEED`.
+    pub fn assert_sealed(&self) {
+        assert!(
+            self.leaks == 0,
+            "{} campaign leaked {}/{} attempts — reproduce with \
+             SAFEWEB_ATTACK_SEED={} — samples: {:?}",
+            self.family,
+            self.leaks,
+            self.attempts,
+            self.seed,
+            self.leak_samples
+        );
+    }
+}
+
+fn fnv1a(fingerprint: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *fingerprint ^= u64::from(b);
+        *fingerprint = fingerprint.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Expands `{victim}` / `{VICTIM}` / `{attacker}` / `{apw}` placeholders.
+fn expand(template: &str, rig: &AttackRig) -> String {
+    template
+        .replace("{victim}", rig.victim())
+        .replace("{VICTIM}", &rig.victim().to_ascii_uppercase())
+        .replace("{attacker}", rig.attacker())
+        .replace("{apw}", rig.attacker_password())
+}
+
+/// Builds the `i`-th request of a family's replay sequence.
+fn build_request(rig: &AttackRig, family: Family, payload: &str, i: usize) -> Request {
+    match family {
+        Family::Sqli => {
+            let routes: &[&str] = if rig.raw_routes() {
+                &["/find_raw"]
+            } else {
+                &["/find", "/match"]
+            };
+            let route = routes[i % routes.len()];
+            Request::new(
+                Method::Get,
+                &format!("{route}?name={}", url_encode(payload)),
+            )
+            .with_basic_auth(rig.attacker(), rig.attacker_password())
+        }
+        Family::Xss => {
+            let route = if rig.raw_routes() {
+                "/greet_raw"
+            } else {
+                "/greet"
+            };
+            Request::new(
+                Method::Get,
+                &format!("{route}?name={}", url_encode(payload)),
+            )
+            .with_basic_auth(rig.attacker(), rig.attacker_password())
+        }
+        Family::LabelLeak => {
+            let routes = ["/records", "/mdt", "/metrics"];
+            let route = routes[i % routes.len()];
+            Request::new(Method::Get, &format!("{route}/{payload}"))
+                .with_basic_auth(rig.attacker(), rig.attacker_password())
+        }
+        Family::SessionForgery => {
+            // Alternate between reading victim records and forging a
+            // state change; authorization comes from the forged payload,
+            // never from real credentials.
+            let request = if i % 3 == 2 {
+                Request::new(Method::Post, "/profile/note").with_body("note=owned")
+            } else {
+                Request::new(Method::Get, &format!("/records/{}", rig.victim()))
+            };
+            let header = match payload.strip_prefix("b64:") {
+                Some(credentials) => {
+                    format!("Basic {}", base64::encode(credentials.as_bytes()))
+                }
+                None => payload.to_string(),
+            };
+            request.with_header("authorization", header)
+        }
+    }
+}
+
+/// Whether the response to `family`'s attempt discloses anything.
+fn is_leak(rig: &AttackRig, family: Family, status: u16, body: &str) -> bool {
+    if rig.canaries().leaked(body) {
+        return true;
+    }
+    match family {
+        Family::Sqli => false,
+        Family::Xss => status == 200 && xss_markup_survives(body),
+        Family::LabelLeak => names_leaked(body, rig.victim_patient_names()),
+        Family::SessionForgery => {
+            // Forged credentials must never be granted anything.
+            status < 400 || names_leaked(body, rig.victim_patient_names())
+        }
+    }
+}
+
+/// Replays `attempts` seeded mutations of `family`'s corpus against the
+/// rig and scans every response with the leak oracles.
+pub fn run_campaign(rig: &AttackRig, family: Family, attempts: usize, seed: u64) -> CampaignReport {
+    let mut mutator = Mutator::new(seed ^ family.seed_salt());
+    let bases = base_payloads(family);
+    let mut leaks = 0;
+    let mut denied = 0;
+    let mut served = 0;
+    let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut leak_samples = Vec::new();
+
+    let start = Instant::now();
+    for i in 0..attempts {
+        let base = expand(bases[i % bases.len()], rig);
+        // Replay the pristine base first, then mutations of it.
+        let payload = if i < bases.len() {
+            base
+        } else {
+            mutator.mutate(&base)
+        };
+        let request = build_request(rig, family, &payload, i);
+        let response = rig.handle(&request);
+        let status = response.status();
+        let body = response.body_str().unwrap_or_default();
+
+        fnv1a(&mut fingerprint, request.path().as_bytes());
+        fnv1a(&mut fingerprint, payload.as_bytes());
+        fnv1a(&mut fingerprint, &status.to_be_bytes());
+
+        if is_leak(rig, family, status, body) {
+            leaks += 1;
+            if leak_samples.len() < 3 {
+                let excerpt: String = body.chars().take(120).collect();
+                leak_samples.push(format!("{status} {} → {excerpt}", request.path()));
+            }
+        } else if status >= 400 {
+            denied += 1;
+        } else {
+            served += 1;
+        }
+    }
+
+    CampaignReport {
+        family,
+        seed,
+        attempts,
+        leaks,
+        denied,
+        served,
+        elapsed: start.elapsed(),
+        fingerprint,
+        leak_samples,
+    }
+}

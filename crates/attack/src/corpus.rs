@@ -1,0 +1,219 @@
+//! Attack corpora and the seeded payload mutator.
+//!
+//! Each campaign family starts from a hand-written base corpus (classic
+//! injection shapes, markup smuggling, identifier twisting, credential
+//! forgeries) and replays *mutations* of it: the [`Mutator`] applies a
+//! seeded sequence of case flips, comment splices, quote doubling,
+//! percent-encoding, unicode garbage, NUL smuggling and junk affixes, so
+//! hundreds of distinct attempts derive deterministically from one seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::campaign::Family;
+
+/// Base payloads for one family. `{victim}`, `{attacker}` and `{apw}`
+/// placeholders are expanded by the campaign before mutation.
+pub fn base_payloads(family: Family) -> &'static [&'static str] {
+    match family {
+        Family::Sqli => &[
+            "x' OR 'a' = 'a",
+            "' OR '1' = '1",
+            "{victim}' OR '1' = '1",
+            "' OR owner <> '",
+            "x' OR name IS NOT NULL OR 'y' = 'z",
+            "%' OR name LIKE '%",
+            "x'' OR ''a'' = ''a",
+            "'; DROP TABLE accounts; --",
+            "x' OR owner = '{victim}",
+            "{victim}-card",
+            "x' AND 1 = 1 OR 'b' = 'b",
+            // A middle disjunct that is TRUE on its own: with `AND`
+            // binding tighter than `OR`, this is the shape that actually
+            // bypasses a trailing `AND owner = …` when concatenated.
+            "x' OR '1' = '1' OR 'z' = 'q",
+            "x') OR ('1' = '1",
+        ],
+        Family::Xss => &[
+            "<canary>",
+            "<script>canary()</script>",
+            "\"><canary src=x>",
+            "'><canary>",
+            "<img src=x onerror=canary(1)>",
+            "<svg onload=canary>",
+            "</p><canary>",
+            "<CANARY TITLE='x'>",
+            "%3Ccanary%3E",
+            "javascript:canary(1)",
+            "<a href=\"javascript:canary()\">x</a>",
+        ],
+        Family::LabelLeak => &[
+            "{victim}",
+            "{VICTIM}",
+            "../{victim}",
+            "{victim}/",
+            "{victim}%00",
+            "{victim}.",
+            "./{victim}",
+            "{victim}%2F..",
+            "{victim}//",
+            "%2e%2e/{victim}",
+        ],
+        // `b64:` prefixed entries are base64-encoded into a `Basic`
+        // credential after mutation; the rest are raw header values.
+        Family::SessionForgery => &[
+            "b64:{victim}:",
+            "b64:{victim}:wrong",
+            "b64:{victim}:{apw}",
+            "b64:{victim}",
+            "b64::{apw}",
+            "b64:admin:admin",
+            "b64:admin:password",
+            "b64:{attacker}:pw-{victim}",
+            "Basic not-base64-at-all!!!",
+            "Basic",
+            "Bearer forged-token-{victim}",
+            "Basic YWJjCg==\r\nX-Injected: 1",
+        ],
+    }
+}
+
+/// A deterministic payload mutator: the same seed yields the same mutation
+/// sequence, which is what makes campaign replays reproducible from the
+/// `SAFEWEB_ATTACK_SEED` a failing run prints.
+#[derive(Debug)]
+pub struct Mutator {
+    rng: StdRng,
+}
+
+impl Mutator {
+    /// A mutator for one campaign run.
+    pub fn new(seed: u64) -> Mutator {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies 0–3 random mutations to `base`.
+    pub fn mutate(&mut self, base: &str) -> String {
+        let mut payload = base.to_string();
+        let rounds = self.rng.gen_range(0usize..4);
+        for _ in 0..rounds {
+            payload = self.mutate_once(&payload);
+        }
+        payload
+    }
+
+    fn mutate_once(&mut self, payload: &str) -> String {
+        match self.rng.gen_range(0u32..9) {
+            0 => self.flip_case(payload),
+            1 => self.splice_comment(payload),
+            2 => payload.replace('\'', "''"),
+            3 => self.percent_encode_some(payload),
+            4 => self.append_junk(payload),
+            5 => format!("  {payload}"),
+            6 => self.insert_unicode(payload),
+            7 => self.insert_at_char_boundary(payload, "%00"),
+            8 => format!("{payload}{payload}"),
+            _ => unreachable!("range is 0..9"),
+        }
+    }
+
+    fn flip_case(&mut self, payload: &str) -> String {
+        payload
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphabetic() && self.rng.gen_bool(0.4) {
+                    if c.is_ascii_lowercase() {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    fn splice_comment(&mut self, payload: &str) -> String {
+        self.insert_at_char_boundary(payload, "/**/")
+    }
+
+    fn percent_encode_some(&mut self, payload: &str) -> String {
+        let mut out = String::with_capacity(payload.len() * 2);
+        for c in payload.chars() {
+            if c.is_ascii() && !c.is_ascii_alphanumeric() && self.rng.gen_bool(0.5) {
+                out.push_str(&format!("%{:02X}", c as u32));
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn append_junk(&mut self, payload: &str) -> String {
+        const JUNK: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let n = self.rng.gen_range(1usize..6);
+        let mut out = payload.to_string();
+        for _ in 0..n {
+            out.push(JUNK[self.rng.gen_range(0usize..JUNK.len())] as char);
+        }
+        out
+    }
+
+    fn insert_unicode(&mut self, payload: &str) -> String {
+        const GARBAGE: [&str; 5] = ["é", "✓", "𝕏", "\u{202e}", "ʼ"];
+        let g = GARBAGE[self.rng.gen_range(0usize..GARBAGE.len())];
+        self.insert_at_char_boundary(payload, g)
+    }
+
+    fn insert_at_char_boundary(&mut self, payload: &str, insert: &str) -> String {
+        let mut boundaries: Vec<usize> = payload.char_indices().map(|(i, _)| i).collect();
+        boundaries.push(payload.len());
+        let at = boundaries[self.rng.gen_range(0usize..boundaries.len())];
+        let mut out = String::with_capacity(payload.len() + insert.len());
+        out.push_str(&payload[..at]);
+        out.push_str(insert);
+        out.push_str(&payload[at..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let mut a = Mutator::new(42);
+        let mut b = Mutator::new(42);
+        for base in base_payloads(Family::Sqli) {
+            assert_eq!(a.mutate(base), b.mutate(base));
+        }
+        let mut c = Mutator::new(43);
+        let differs = base_payloads(Family::Sqli)
+            .iter()
+            .any(|base| Mutator::new(42).mutate(base) != c.mutate(base));
+        assert!(differs, "different seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn mutations_preserve_utf8() {
+        let mut m = Mutator::new(7);
+        for _ in 0..200 {
+            for base in base_payloads(Family::Xss) {
+                let out = m.mutate(base);
+                // String invariants hold by construction; exercise slicing.
+                assert_eq!(out.chars().count(), out.chars().count());
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_has_a_corpus() {
+        for family in Family::all() {
+            assert!(!base_payloads(family).is_empty());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Leak oracles: canary tokens planted behind the security boundary and
+//! detectors that scan every campaign response for them.
+//!
+//! A canary is a high-entropy token (`CANARY-<seed>-<i>`) stored where
+//! only an authorised principal should ever read it — a victim MDT's
+//! replicated case record, a victim row's `secret` column. Any campaign
+//! response containing a canary is a confirmed disclosure regardless of
+//! status code. A second oracle detects *markup survival* for the XSS
+//! family: attacker-shaped tags that reach the page unescaped.
+
+/// The set of canary tokens for one rig, derived from the campaign seed.
+#[derive(Debug, Clone)]
+pub struct CanarySet {
+    tokens: Vec<String>,
+}
+
+impl CanarySet {
+    /// `count` canaries derived from `seed`.
+    pub fn new(seed: u64, count: usize) -> CanarySet {
+        CanarySet {
+            tokens: (0..count)
+                .map(|i| format!("CANARY-{:08x}-{i}", seed & 0xffff_ffff))
+                .collect(),
+        }
+    }
+
+    /// The `i`-th token.
+    pub fn token(&self, i: usize) -> &str {
+        &self.tokens[i % self.tokens.len()]
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Whether `body` contains any canary, case-insensitively (mutated
+    /// payloads may re-case what they echo, but stored canaries come back
+    /// byte-identical — the fold is cheap insurance).
+    pub fn leaked(&self, body: &str) -> bool {
+        let haystack = body.to_ascii_lowercase();
+        self.tokens
+            .iter()
+            .any(|t| haystack.contains(&t.to_ascii_lowercase()))
+    }
+}
+
+/// Whether attacker-shaped markup survived into `body` unescaped. The XSS
+/// corpus builds payloads around distinctive tag openers; after correct
+/// escaping they appear only as `&lt;…` entities, which this scan
+/// (case-insensitive) does not match. Markers are raw *tag openers* only:
+/// an event-handler string or `javascript:` URL is inert as plain text,
+/// dangerous only inside a surviving tag — which the opener detects.
+pub fn xss_markup_survives(body: &str) -> bool {
+    let haystack = body.to_ascii_lowercase();
+    ["<canary", "<script", "<img", "<svg", "<a href"]
+        .iter()
+        .any(|marker| haystack.contains(marker))
+}
+
+/// Whether `body` mentions any of the victim's patient names — the
+/// label-leak disclosure oracle, mirroring the §5.2 study.
+pub fn names_leaked(body: &str, victim_names: &[String]) -> bool {
+    victim_names.iter().any(|n| body.contains(n.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canaries_are_seed_scoped_and_detected() {
+        let set = CanarySet::new(0xfeed, 4);
+        assert_eq!(set.len(), 4);
+        assert!(set.leaked(&format!("...{}...", set.token(2))));
+        assert!(set.leaked(&set.token(1).to_ascii_lowercase()));
+        assert!(!set.leaked("no canaries here"));
+        let other = CanarySet::new(0xbeef, 4);
+        assert!(!other.leaked(set.token(0)));
+    }
+
+    #[test]
+    fn markup_oracle_ignores_escaped_output() {
+        assert!(xss_markup_survives("<p><canary></p>"));
+        assert!(xss_markup_survives("<img src=x OnError=canary(1)>"));
+        assert!(!xss_markup_survives("&lt;canary&gt; &lt;script&gt;"));
+        assert!(!xss_markup_survives("hello <p>world</p>"));
+        // Escaped tag + surviving handler text is inert: the opener is
+        // what makes the handler executable.
+        assert!(!xss_markup_survives("&lt;img src=x onerror=canary(1)&gt;"));
+        assert!(!xss_markup_survives("Hello, javascript:canary(1)!"));
+    }
+
+    #[test]
+    fn name_oracle() {
+        let names = vec!["Ada Lovelace".to_string()];
+        assert!(names_leaked("{\"name\":\"Ada Lovelace\"}", &names));
+        assert!(!names_leaked("{\"name\":\"Grace Hopper\"}", &names));
+    }
+}

@@ -1,0 +1,206 @@
+//! The adversarial campaigns: four attack families, ≥100 seeded mutated
+//! attempts each, replayed against the live Figure-4 topology while
+//! legitimate traffic runs — plus the negative controls proving the
+//! oracles catch exactly the bugs the typed surfaces forbid.
+//!
+//! A failing campaign prints `SAFEWEB_ATTACK_SEED=<n>`; re-running with
+//! that variable set replays the identical attempt sequence. The optional
+//! `SAFEWEB_ATTACK_BUDGET_SECS` bounds a campaign's wall-clock (set by
+//! the CI adversarial-suite job).
+
+use std::time::Duration;
+
+use safeweb_attack::{
+    run_campaign, seed_from_env, AttackRig, BackgroundLoad, CampaignReport, Family, RigOptions,
+};
+use safeweb_mdt::VulnClass;
+
+/// Attempts per family — comfortably above the ≥100 floor.
+const ATTEMPTS: usize = 150;
+/// Attempts per vulnerability configuration in the label-leak sweep.
+const ATTEMPTS_PER_VULN: usize = 30;
+
+fn check_budget(reports: &[&CampaignReport]) {
+    let Some(budget) = std::env::var("SAFEWEB_ATTACK_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    else {
+        return;
+    };
+    let total: Duration = reports.iter().map(|r| r.elapsed).sum();
+    assert!(
+        total <= Duration::from_secs(budget),
+        "campaigns exceeded SAFEWEB_ATTACK_BUDGET_SECS={budget}: took {total:?}"
+    );
+}
+
+fn summarize(report: &CampaignReport, load_served: Option<u64>) {
+    println!(
+        "{}: {} attempts, {} denied, {} served, 0 leaks, {:.1} µs/attempt{}",
+        report.family,
+        report.attempts,
+        report.denied,
+        report.served,
+        report.micros_per_attempt(),
+        match load_served {
+            Some(n) => format!(", {n} legit requests alongside"),
+            None => String::new(),
+        }
+    );
+}
+
+#[test]
+fn sqli_campaign_is_sealed_under_load() {
+    let rig = AttackRig::build(RigOptions::default());
+    let load = BackgroundLoad::start(&rig, 2);
+    let report = run_campaign(&rig, Family::Sqli, ATTEMPTS, seed_from_env());
+    let served = load.stop();
+    report.assert_sealed();
+    assert_eq!(
+        report.leaks + report.denied + report.served,
+        report.attempts
+    );
+    assert!(
+        served > 0,
+        "legitimate traffic must flow during the campaign"
+    );
+    summarize(&report, Some(served));
+    check_budget(&[&report]);
+}
+
+#[test]
+fn xss_campaign_is_sealed_under_load() {
+    let rig = AttackRig::build(RigOptions::default());
+    let load = BackgroundLoad::start(&rig, 2);
+    let report = run_campaign(&rig, Family::Xss, ATTEMPTS, seed_from_env());
+    let served = load.stop();
+    report.assert_sealed();
+    assert_eq!(
+        report.leaks + report.denied + report.served,
+        report.attempts
+    );
+    assert!(
+        served > 0,
+        "legitimate traffic must flow during the campaign"
+    );
+    summarize(&report, Some(served));
+    check_budget(&[&report]);
+}
+
+#[test]
+fn session_forgery_campaign_is_sealed_under_load() {
+    let rig = AttackRig::build(RigOptions::default());
+    let load = BackgroundLoad::start(&rig, 2);
+    let report = run_campaign(&rig, Family::SessionForgery, ATTEMPTS, seed_from_env());
+    let served = load.stop();
+    report.assert_sealed();
+    // Forged credentials must never be served anything at all.
+    assert_eq!(
+        report.denied, report.attempts,
+        "every forged-credential attempt must be denied"
+    );
+    assert!(
+        served > 0,
+        "legitimate traffic must flow during the campaign"
+    );
+    summarize(&report, Some(served));
+    check_budget(&[&report]);
+}
+
+#[test]
+fn label_leak_campaign_is_sealed_across_vuln_classes() {
+    // The correct portal plus each §5.2 vulnerability class, SafeWeb
+    // enforcing throughout: the label check is what stands between the
+    // attacker and the canary records, and it must hold every time.
+    let seed = seed_from_env();
+    let mut reports = Vec::new();
+    let configs = std::iter::once(safeweb_mdt::VulnConfig::default())
+        .chain(VulnClass::all().into_iter().map(VulnClass::config));
+    for vuln in configs {
+        let rig = AttackRig::build(RigOptions {
+            vuln,
+            ..RigOptions::default()
+        });
+        let load = BackgroundLoad::start(&rig, 1);
+        let report = run_campaign(&rig, Family::LabelLeak, ATTEMPTS_PER_VULN, seed);
+        let served = load.stop();
+        report.assert_sealed();
+        assert!(
+            served > 0,
+            "legitimate traffic must flow during the campaign"
+        );
+        summarize(&report, Some(served));
+        reports.push(report);
+    }
+    let total: usize = reports.iter().map(|r| r.attempts).sum();
+    assert!(total >= 100, "label-leak family must replay ≥100 attempts");
+    check_budget(&reports.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn raw_query_and_template_paths_are_caught() {
+    // NEGATIVE CONTROL: re-enable the string-concatenated query path and
+    // the taint-laundering template splice; the same campaigns that come
+    // back clean against the typed surfaces must now report leaks —
+    // otherwise the oracles are blind and the green runs above prove
+    // nothing.
+    let rig = AttackRig::build(RigOptions {
+        raw_routes: true,
+        ..RigOptions::default()
+    });
+    let seed = seed_from_env();
+    let sqli = run_campaign(&rig, Family::Sqli, ATTEMPTS, seed);
+    assert!(
+        sqli.leaks > 0,
+        "the raw query path must leak canaries (oracle has gone blind?)"
+    );
+    let xss = run_campaign(&rig, Family::Xss, ATTEMPTS, seed);
+    assert!(
+        xss.leaks > 0,
+        "the raw template path must leak markup (oracle has gone blind?)"
+    );
+    println!(
+        "negative control: sqli {}/{} leaked, xss {}/{} leaked",
+        sqli.leaks, sqli.attempts, xss.leaks, xss.attempts
+    );
+}
+
+#[test]
+fn disabling_enforcement_reveals_the_label_leak() {
+    // Second negative control, for the label check itself: inject E6
+    // (omitted access check) AND disable response label checking — the
+    // planted canaries must escape, proving they sit where only the
+    // label check protects them.
+    let rig = AttackRig::build(RigOptions {
+        vuln: VulnClass::OmittedAccessCheck.config(),
+        label_checking: false,
+        ..RigOptions::default()
+    });
+    let report = run_campaign(&rig, Family::LabelLeak, ATTEMPTS_PER_VULN, seed_from_env());
+    assert!(
+        report.leaks > 0,
+        "without the label check the canaries must leak (oracle has gone blind?)"
+    );
+    println!(
+        "negative control: label check off → {}/{} attempts leaked",
+        report.leaks, report.attempts
+    );
+}
+
+#[test]
+fn campaign_replay_is_deterministic() {
+    let rig = AttackRig::build(RigOptions::default());
+    let a = run_campaign(&rig, Family::Sqli, 60, 1234);
+    let b = run_campaign(&rig, Family::Sqli, 60, 1234);
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed, same replay");
+    assert_eq!(
+        (a.leaks, a.denied, a.served),
+        (b.leaks, b.denied, b.served),
+        "same seed, same outcome counts"
+    );
+    let c = run_campaign(&rig, Family::Sqli, 60, 4321);
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "a different seed must mutate differently"
+    );
+}

@@ -1,0 +1,110 @@
+//! **Adversarial campaign bench**: the per-attempt cost of surviving each
+//! attack family, and the enforcement tax the typed surfaces + label
+//! check charge for that survival.
+//!
+//! One secure, enforcing [`AttackRig`] (the Figure-4 topology the
+//! campaign tests attack) replays every family's seeded corpus and
+//! records mean µs/attempt — the price of *rejecting* hostile traffic,
+//! which is the cost an attacked deployment actually pays. A second rig
+//! with response label checking disabled replays the label-leak family
+//! again; the delta is the enforcement tax on the denial path, the
+//! campaign-shaped counterpart of the §5.3 throughput overhead.
+//!
+//! `SAFEWEB_BENCH_SMOKE=1` shrinks the replay ~4×; `SAFEWEB_BENCH_JSON`
+//! records the medians that `bench_gate` compares against
+//! `crates/bench/baselines/attack.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safeweb_attack::{run_campaign, AttackRig, CampaignReport, Family, RigOptions, DEFAULT_SEED};
+use safeweb_bench::{overhead_pct, report_row};
+
+fn attempts() -> usize {
+    if criterion::smoke_run() {
+        50
+    } else {
+        200
+    }
+}
+
+fn bench_attack(c: &mut Criterion) {
+    let attempts = attempts();
+    eprintln!(
+        "adversarial campaign bench ({} attempts/family, seed {DEFAULT_SEED:#x})",
+        attempts
+    );
+
+    // The rig under test: secure portal, typed query surfaces, label
+    // checking on. Every campaign must come back sealed — a leak here is
+    // a correctness failure, not a slow benchmark.
+    let rig = AttackRig::build(RigOptions::default());
+    let reports: Vec<CampaignReport> = Family::all()
+        .into_iter()
+        .map(|family| {
+            let report = run_campaign(&rig, family, attempts, DEFAULT_SEED);
+            report.assert_sealed();
+            report
+        })
+        .collect();
+
+    // Enforcement tax: same secure portal, response label check off. The
+    // portal's own access checks still hold (no leaks), so the timing
+    // delta isolates what the label check adds to the denial path.
+    let unchecked_rig = AttackRig::build(RigOptions {
+        label_checking: false,
+        ..RigOptions::default()
+    });
+    let unchecked = run_campaign(&unchecked_rig, Family::LabelLeak, attempts, DEFAULT_SEED);
+    unchecked.assert_sealed();
+    let checked_us = reports
+        .iter()
+        .find(|r| r.family == Family::LabelLeak)
+        .map(|r| r.micros_per_attempt())
+        .unwrap_or(0.0);
+    let unchecked_us = unchecked.micros_per_attempt();
+
+    eprintln!("adversarial campaign results (all sealed):");
+    for report in &reports {
+        report_row(
+            &format!("{} campaign", report.family),
+            "n/a",
+            &format!(
+                "{:.1} µs/attempt ({} denied / {} served)",
+                report.micros_per_attempt(),
+                report.denied,
+                report.served
+            ),
+        );
+    }
+    report_row(
+        "label-leak enforcement tax",
+        "§5.3 overhead ≈ 15 %",
+        &format!(
+            "{:.1} µs checked vs {:.1} µs unchecked (+{:.0} %)",
+            checked_us,
+            unchecked_us,
+            overhead_pct(unchecked_us, checked_us)
+        ),
+    );
+
+    // Record every campaign's per-attempt cost as a criterion entry: each
+    // closure replays the precomputed duration through `iter_custom`, so
+    // `BENCH_attack.json` carries the medians for `bench_gate` without
+    // re-running the campaigns per sample.
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(3);
+    for report in &reports {
+        let us = report.micros_per_attempt();
+        group.bench_function(format!("{}_us_per_attempt", report.family), |b| {
+            b.iter_custom(|_| Duration::from_secs_f64(us.max(0.001) * 1e-6))
+        });
+    }
+    group.bench_function("label_leak_unchecked_us_per_attempt", |b| {
+        b.iter_custom(|_| Duration::from_secs_f64(unchecked_us.max(0.001) * 1e-6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1130,6 +1130,41 @@ impl DocStore {
         Ok(docs)
     }
 
+    /// [`DocStore::query_view`] with a secure-by-construction view name:
+    /// a compile-time literal, taint-checked string or audited declassify
+    /// (see [`safeweb_safeq::TrustedLiteral`]). The key stays plain data —
+    /// it is matched structurally against the index, so user input is safe
+    /// there; only the *view name* selects query structure.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownView`] if the view was never created.
+    pub fn query_view_trusted(
+        &self,
+        view: impl Into<safeweb_safeq::TrustedLiteral>,
+        key: &Value,
+    ) -> Result<Vec<Document>, StoreError> {
+        self.query_view(view.into().as_str(), key)
+    }
+
+    /// [`DocStore::query_view_range`] with a secure-by-construction view
+    /// name (see [`DocStore::query_view_trusted`]). Range bounds are data
+    /// and need no trust.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownView`] if the view was never created.
+    pub fn query_view_range_trusted<R>(
+        &self,
+        view: impl Into<safeweb_safeq::TrustedLiteral>,
+        range: R,
+    ) -> Result<Vec<Document>, StoreError>
+    where
+        R: std::ops::RangeBounds<Value>,
+    {
+        self.query_view_range(view.into().as_str(), range)
+    }
+
     /// Scans all documents with a predicate over bodies. `O(n)` — prefer
     /// [`DocStore::query_view`] or [`DocStore::scan_prefix`] on hot paths.
     pub fn scan(&self, mut predicate: impl FnMut(&Document) -> bool) -> Vec<Document> {

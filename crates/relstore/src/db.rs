@@ -93,6 +93,10 @@ impl Row {
         &self.cells
     }
 
+    pub(crate) fn from_parts(schema: Arc<Schema>, cells: Vec<CellValue>) -> Row {
+        Row { schema, cells }
+    }
+
     /// The row's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -286,7 +290,28 @@ impl Database {
         Ok(out)
     }
 
-    /// Selects rows where `column == value`.
+    /// Runs `f` over one table's schema and row storage under a single
+    /// read-lock acquisition — the shared fast path for index-resolved
+    /// scans ([`Database::select_eq`], [`Database::select_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RelError::UnknownTable`].
+    pub(crate) fn with_table<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&Arc<Schema>, &BTreeMap<CellValue, Vec<CellValue>>) -> R,
+    ) -> Result<R, RelError> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        Ok(f(&t.schema, &t.rows))
+    }
+
+    /// Selects rows where `column == value`: the column index is resolved
+    /// once against the schema and every row compares by index, all under
+    /// one table-map lock acquisition.
     ///
     /// # Errors
     ///
@@ -297,16 +322,18 @@ impl Database {
         column: &str,
         value: &CellValue,
     ) -> Result<Vec<Row>, RelError> {
-        {
-            let tables = self.tables.read();
-            let t = tables
-                .get(table)
-                .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
-            if t.schema.column_index(column).is_none() {
-                return Err(RelError::UnknownColumn(column.to_string()));
+        self.with_table(table, |schema, rows| {
+            let idx = schema
+                .column_index(column)
+                .ok_or_else(|| RelError::UnknownColumn(column.to_string()))?;
+            let mut out = Vec::new();
+            for cells in rows.values() {
+                if cells.get(idx) == Some(value) {
+                    out.push(Row::from_parts(Arc::clone(schema), cells.clone()));
+                }
             }
-        }
-        self.select(table, |row| row.get(column) == Some(value))
+            Ok(out)
+        })?
     }
 
     /// Row count of a table.

@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 mod db;
+mod query;
 mod types;
 
 pub use db::{Database, RelError, Row};
+pub use query::{Filter, QuerySpec, SpecOp};
 pub use types::{CellValue, ColumnDef, ColumnType, Schema};

@@ -21,9 +21,27 @@ use crate::ast::{ArithOp, CmpOp, Expr};
 use crate::error::ParseSelectorError;
 use crate::token::{tokenize, Token};
 
+/// Maximum nesting depth of `NOT` chains, unary minus chains and
+/// parenthesised groups. Parsing (and therefore the produced expression
+/// tree) is recursive; adversarial inputs like `((((…))))` or
+/// `NOT NOT NOT …` would otherwise walk the stack arbitrarily deep —
+/// in the parser here, and again in `Drop`/`Display`/evaluation of the
+/// resulting tree. 200 levels is far beyond any legitimate subscription
+/// filter while keeping worst-case recursion a few thousand frames.
+pub(crate) const MAX_DEPTH: usize = 200;
+
 pub(crate) fn parse(input: &str) -> Result<Expr, ParseSelectorError> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    parse_tokens(tokenize(input)?)
+}
+
+/// Parses an already-tokenised expression — the entry `Selector::bind`
+/// uses after substituting bind parameters for placeholder tokens.
+pub(crate) fn parse_tokens(tokens: Vec<Token>) -> Result<Expr, ParseSelectorError> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let expr = p.or_expr()?;
     if p.pos != p.tokens.len() {
         return Err(ParseSelectorError::new(
@@ -37,11 +55,26 @@ pub(crate) fn parse(input: &str) -> Result<Expr, ParseSelectorError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn err(&self, message: impl Into<String>) -> ParseSelectorError {
         ParseSelectorError::new(self.pos, message)
+    }
+
+    fn enter(&mut self) -> Result<(), ParseSelectorError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!(
+                "expression nesting exceeds the {MAX_DEPTH}-level limit"
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -97,8 +130,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, ParseSelectorError> {
         if self.eat(&Token::Not) {
-            let inner = self.not_expr()?;
-            Ok(Expr::Not(Box::new(inner)))
+            self.enter()?;
+            let inner = self.not_expr();
+            self.leave();
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.predicate()
         }
@@ -231,8 +266,10 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseSelectorError> {
         if self.eat(&Token::Minus) {
-            let inner = self.unary()?;
-            return Ok(Expr::Neg(Box::new(inner)));
+            self.enter()?;
+            let inner = self.unary();
+            self.leave();
+            return Ok(Expr::Neg(Box::new(inner?)));
         }
         self.atom()
     }
@@ -245,10 +282,17 @@ impl Parser {
             Some(Token::True) => Ok(Expr::Bool(true)),
             Some(Token::False) => Ok(Expr::Bool(false)),
             Some(Token::LParen) => {
-                let inner = self.or_expr()?;
+                self.enter()?;
+                let inner = self.or_expr();
+                self.leave();
+                let inner = inner?;
                 self.expect(&Token::RParen)?;
                 Ok(inner)
             }
+            Some(Token::Param) => Err(self.err(
+                "unbound parameter placeholder `?` (placeholders are only valid \
+                 in templates given to Selector::bind)",
+            )),
             Some(other) => Err(self.err(format!("unexpected token `{other}`"))),
             None => Err(self.err("unexpected end of input")),
         }
@@ -338,6 +382,39 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Comfortably inside the limit: fine.
+        let ok = format!("{}x = 1{}", "(".repeat(50), ")".repeat(50));
+        assert!(parse(&ok).is_ok());
+        let ok = format!("{}x = 1", "NOT ".repeat(50));
+        assert!(parse(&ok).is_ok());
+
+        // Past the limit: a typed error naming the bound, not a stack
+        // overflow. (These inputs nest 4x the limit.)
+        for pathological in [
+            format!(
+                "{}x = 1{}",
+                "(".repeat(MAX_DEPTH * 4),
+                ")".repeat(MAX_DEPTH * 4)
+            ),
+            format!("{}x = 1", "NOT ".repeat(MAX_DEPTH * 4)),
+            format!("x = {}1", "-".repeat(MAX_DEPTH * 4)),
+        ] {
+            let err = parse(&pathological).expect_err("depth limit fires");
+            assert!(
+                err.to_string().contains("nesting exceeds"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbound_placeholder_is_rejected() {
+        let err = parse("name = ?").expect_err("placeholder must not parse");
+        assert!(err.to_string().contains("Selector::bind"));
     }
 
     #[test]

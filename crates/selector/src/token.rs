@@ -61,6 +61,9 @@ pub enum Token {
     RParen,
     /// `,`
     Comma,
+    /// `?` — a bind-parameter placeholder, valid only in templates given
+    /// to `Selector::bind`; reaching the parser unbound is an error.
+    Param,
 }
 
 impl fmt::Display for Token {
@@ -93,6 +96,7 @@ impl fmt::Display for Token {
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
+            Token::Param => write!(f, "?"),
         }
     }
 }
@@ -121,6 +125,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseSelectorError> {
             }
             b',' => {
                 tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'?' => {
+                tokens.push(Token::Param);
                 i += 1;
             }
             b'=' => {

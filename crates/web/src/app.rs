@@ -132,9 +132,18 @@ impl<'a> Ctx<'a> {
     ///
     /// Views are incrementally indexed by the store, so this is a lookup
     /// whose cost scales with the result set, not the database size.
-    pub fn records_by(&self, view: &str, key: &str) -> Vec<SValue> {
+    ///
+    /// The view name is query *structure* and must be a
+    /// [`safeweb_safeq::TrustedLiteral`] — in practice a `&'static str`
+    /// written by the application author. The key is plain data (matched
+    /// structurally against the index), so user input is safe there.
+    pub fn records_by(
+        &self,
+        view: impl Into<safeweb_safeq::TrustedLiteral>,
+        key: &str,
+    ) -> Vec<SValue> {
         self.records
-            .query_view(view, &safeweb_json::Value::from(key))
+            .query_view_trusted(view, &safeweb_json::Value::from(key))
             .unwrap_or_default()
             .into_iter()
             .map(|doc| {

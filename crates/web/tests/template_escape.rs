@@ -1,0 +1,176 @@
+//! XSS escape coverage for the template engine: every sink that renders
+//! an [`SStr`] must HTML-escape `<`, `>`, `&`, `"` and `'` whenever the
+//! value is user-tainted (and always in `<%= %>` mode), across all
+//! template constructs — top-level interpolation, loop bodies, `if`
+//! bodies, dotted paths and `raw` mode.
+//!
+//! The suite is written as a mutation check: each test asserts the
+//! *exact* escaped output (or the absence of raw metacharacters via the
+//! [`assert_escaped`] oracle), so deleting the `sanitize_html()` call in
+//! the renderer — or weakening the taint condition around it — fails the
+//! suite. A final negative control proves the oracle has teeth by showing
+//! it fires on the one legitimately-unescaped path (`raw` + trusted).
+
+use proptest::prelude::*;
+use safeweb_taint::SStr;
+use safeweb_web::{TContext, TValue, Template};
+
+/// All five characters `sanitize_html` must neutralise, in one payload.
+const METACHARS: &str = "<>&\"'";
+
+/// The payload as it must appear after escaping.
+const METACHARS_ESCAPED: &str = "&lt;&gt;&amp;&quot;&#39;";
+
+/// Oracle: `rendered` contains no raw HTML metacharacter outside the five
+/// known escape entities. Returns rather than panicking so the negative
+/// control can observe a failure without aborting.
+fn is_escaped(rendered: &str) -> bool {
+    if rendered.contains(['<', '>', '"', '\'']) {
+        return false;
+    }
+    // Every `&` must begin one of the entities the sanitiser emits.
+    let bytes = rendered.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'&' {
+            let rest = &rendered[i..];
+            if !["&amp;", "&lt;", "&gt;", "&quot;", "&#39;"]
+                .iter()
+                .any(|e| rest.starts_with(e))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Panicking form of the oracle for positive tests.
+fn assert_escaped(rendered: &SStr) {
+    assert!(
+        is_escaped(rendered.as_str()),
+        "raw HTML metacharacter survived: {:?}",
+        rendered.as_str()
+    );
+    assert!(
+        !rendered.is_user_tainted(),
+        "escaped output must shed the user-taint bit"
+    );
+}
+
+#[test]
+fn interp_escapes_every_metacharacter_exactly() {
+    let t = Template::parse("<%= v %>").unwrap();
+    // Public value: `<%= %>` escapes unconditionally.
+    let out = t
+        .render(&TContext::new().bind("v", SStr::public(METACHARS)))
+        .unwrap();
+    assert_eq!(out.as_str(), METACHARS_ESCAPED);
+    // User-tainted value: same result, taint cleared.
+    let out = t
+        .render(&TContext::new().bind("v", SStr::from_user(METACHARS)))
+        .unwrap();
+    assert_eq!(out.as_str(), METACHARS_ESCAPED);
+    assert!(!out.is_user_tainted());
+}
+
+#[test]
+fn raw_mode_still_escapes_user_taint() {
+    let t = Template::parse("<%= raw v %>").unwrap();
+    let out = t
+        .render(&TContext::new().bind("v", SStr::from_user(METACHARS)))
+        .unwrap();
+    assert_eq!(out.as_str(), METACHARS_ESCAPED);
+    assert!(!out.is_user_tainted());
+}
+
+#[test]
+fn loop_body_sink_escapes() {
+    let t = Template::parse("<% for p in rows %><td><%= p.name %></td><% end %>").unwrap();
+    let rows = TValue::List(vec![
+        TContext::new().bind("name", SStr::from_user("<script>alert(1)</script>")),
+        TContext::new().bind("name", SStr::from_user("\"'&")),
+    ]);
+    let out = t.render(&TContext::new().bind("rows", rows)).unwrap();
+    assert_eq!(
+        out.as_str(),
+        "<td>&lt;script&gt;alert(1)&lt;/script&gt;</td><td>&quot;&#39;&amp;</td>"
+    );
+}
+
+#[test]
+fn loop_body_raw_sink_escapes_tainted_rows() {
+    let t = Template::parse("<% for p in rows %><%= raw p.name %><% end %>").unwrap();
+    let rows = TValue::List(vec![
+        TContext::new().bind("name", SStr::from_user("<img onerror=x>"))
+    ]);
+    let out = t.render(&TContext::new().bind("rows", rows)).unwrap();
+    assert_escaped(&out);
+    assert!(out.as_str().contains("&lt;img"));
+}
+
+#[test]
+fn if_body_sink_escapes() {
+    let t = Template::parse("<% if show %><%= v %><% end %>").unwrap();
+    let ctx = TContext::new()
+        .bind("show", true)
+        .bind("v", SStr::from_user("';alert(String.fromCharCode(88))//"));
+    let out = t.render(&ctx).unwrap();
+    assert_escaped(&out);
+    assert!(out.as_str().starts_with("&#39;;alert"));
+}
+
+#[test]
+fn attribute_context_cannot_be_broken_out_of() {
+    // Quote escaping is what keeps a payload inside an HTML attribute.
+    let t = Template::parse("<a title=\"<%= v %>\">x</a>").unwrap();
+    let ctx = TContext::new().bind("v", SStr::from_user("\" onmouseover=\"evil()"));
+    let out = t.render(&ctx).unwrap();
+    assert_eq!(
+        out.as_str(),
+        "<a title=\"&quot; onmouseover=&quot;evil()\">x</a>"
+    );
+}
+
+#[test]
+fn dotted_path_single_item_sink_escapes() {
+    let t = Template::parse("<%= row.v %>").unwrap();
+    let row = TValue::List(vec![TContext::new().bind("v", SStr::from_user(METACHARS))]);
+    let out = t.render(&TContext::new().bind("row", row)).unwrap();
+    assert_eq!(out.as_str(), METACHARS_ESCAPED);
+}
+
+#[test]
+fn oracle_has_teeth() {
+    // Negative control for the mutation check: the one path that is
+    // *supposed* to emit raw markup (`raw` + trusted server HTML) must
+    // trip the oracle. If this stops failing the oracle, the oracle —
+    // and therefore every assert_escaped above — has gone blind.
+    let t = Template::parse("<%= raw v %>").unwrap();
+    let out = t
+        .render(&TContext::new().bind("v", SStr::public("<b>bold</b>")))
+        .unwrap();
+    assert!(
+        !is_escaped(out.as_str()),
+        "oracle failed to flag deliberately raw markup"
+    );
+}
+
+proptest! {
+    /// Any printable user payload, rendered through any escaping sink,
+    /// leaves no raw metacharacter in the page.
+    #[test]
+    fn arbitrary_user_payloads_are_neutralised(payload in "\\PC{0,48}") {
+        for template in ["<%= v %>", "<%= raw v %>", "<% if g %><%= v %><% end %>"] {
+            let t = Template::parse(template).expect("static template parses");
+            let ctx = TContext::new()
+                .bind("g", true)
+                .bind("v", SStr::from_user(payload.clone()));
+            let out = t.render(&ctx).expect("render succeeds");
+            prop_assert!(
+                is_escaped(out.as_str()),
+                "template {template:?} leaked metacharacters for {payload:?}: {:?}",
+                out.as_str()
+            );
+        }
+    }
+}
