@@ -17,6 +17,9 @@
 //! reproduction target. Each bench prints a paper-vs-measured summary that
 //! `EXPERIMENTS.md` records.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::time::Duration;
 
 use safeweb_mdt::registry::RegistryConfig;

@@ -25,7 +25,7 @@
 //! `examples/mdt_portal.rs` for the complete MDT web portal.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod deployment;
 mod zones;

@@ -28,7 +28,7 @@
 //! application code cannot accidentally strip them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod document;
 mod replication;

@@ -18,7 +18,7 @@
 //! networked STOMP connection ([`RemoteBus`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bus;
 mod engine;

@@ -15,7 +15,7 @@
 //! * a blocking client for tests and the benchmark harness.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod base64;
 pub mod client;

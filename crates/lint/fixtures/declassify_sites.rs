@@ -1,0 +1,15 @@
+//! Declassification fixture: three marker call sites. Against an
+//! empty registry this is a SEEDED VIOLATION (three unregistered
+//! sites); against `declassify_registry.toml` (the clean twin of the
+//! policy, with exact counts) it is clean.
+
+/// Escapes a user comment for HTML interpolation.
+pub fn render_comment(raw: &SStr) -> SStr {
+    raw.sanitize_html()
+}
+
+/// Builds the admin console's free-form selector.
+pub fn admin_selector(text: &SStr) -> TrustedLiteral {
+    let escaped = text.sanitize_sql();
+    TrustedLiteral::declassified(&escaped, "admin console, reviewed query surface")
+}

@@ -1,0 +1,18 @@
+//! Clean twin of `liveness_violation_props.rs`: every `proptest!` fn
+//! carries the `#[test]` meta the shim requires, so both properties
+//! actually run.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn alive(x in 0..100i64) {
+        prop_assert!(x < 100);
+    }
+
+    /// Doc comments are fine as long as the meta is present too.
+    #[test]
+    fn also_alive(s in "\\PC{0,16}") {
+        prop_assert!(s.chars().all(|c| c != '\u{0}'));
+    }
+}

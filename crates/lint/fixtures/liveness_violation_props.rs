@@ -1,0 +1,18 @@
+//! SEEDED VIOLATION (test-liveness): the PR-7 bug class, twice over.
+//! `never_runs` has no `#[test]` meta, so the shim expands it to a
+//! plain function nothing invokes — the suite looks green because it
+//! asserts nothing.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn alive(x in 0..100i64) {
+        prop_assert!(x < 100);
+    }
+
+    /// A doc comment is not a `#[test]` meta.
+    fn never_runs(s in "\\PC{0,16}") {
+        prop_assert!(s.len() < 1, "would fail loudly if it ever ran");
+    }
+}

@@ -1,0 +1,38 @@
+//! Clean twin of `lock_violation.rs`: the same functions with one
+//! global acquisition order (`tables` before `index`, `log` before
+//! `map`), plus scoping/drop patterns that release before reacquiring.
+
+impl Store {
+    /// Takes `tables` then `index` — the canonical order.
+    pub fn insert(&self, rec: Record) {
+        let tables = self.tables.lock();
+        let index = self.index.lock();
+        index.add(tables.put(rec));
+    }
+
+    /// Same order as `insert`.
+    pub fn compact(&self) {
+        let tables = self.tables.lock();
+        let index = self.index.lock();
+        tables.sweep(&index);
+    }
+
+    /// A block releases `log` before `map`, so no edge forms.
+    pub fn replay(&self) {
+        {
+            let log = self.log.lock();
+            log.tick();
+        }
+        let map = self.map.read();
+        map.warm();
+    }
+
+    /// Explicit drop releases `map` before taking `log`.
+    pub fn snapshot(&self) {
+        let map = self.map.write();
+        map.stamp_header();
+        drop(map);
+        let log = self.log.lock();
+        log.flush();
+    }
+}

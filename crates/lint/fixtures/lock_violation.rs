@@ -1,0 +1,33 @@
+//! SEEDED VIOLATION (lock-order): two functions acquire the same two
+//! locks in opposite orders — the classic AB/BA deadlock, plus a
+//! reader/writer variant closing a second cycle through `map`.
+
+impl Store {
+    /// Takes `tables` then `index`.
+    pub fn insert(&self, rec: Record) {
+        let tables = self.tables.lock();
+        let index = self.index.lock();
+        index.add(tables.put(rec));
+    }
+
+    /// Takes `index` then `tables` — the reversed pair.
+    pub fn compact(&self) {
+        let index = self.index.lock();
+        let tables = self.tables.lock();
+        tables.sweep(&index);
+    }
+
+    /// `map` read while holding `log`…
+    pub fn replay(&self) {
+        let log = self.log.lock();
+        let map = self.map.read();
+        log.apply(&map);
+    }
+
+    /// …and `log` while holding `map`.
+    pub fn snapshot(&self) {
+        let map = self.map.write();
+        let log = self.log.lock();
+        map.stamp(&log);
+    }
+}

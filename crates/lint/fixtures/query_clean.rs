@@ -1,0 +1,16 @@
+//! Clean twin of `query_violation.rs`: the same queries through the
+//! typed surfaces — literal view names, bound parameters, and
+//! `format!` confined to *value* arguments, which are data, not
+//! structure.
+
+/// Structure from literals, user input as a bound value.
+pub fn find_direct(db: &Db, user: &SStr) -> Vec<Record> {
+    let spec = QuerySpec::table("records").filter(Filter::eq("name", user));
+    db.select_spec(&spec)
+}
+
+/// A literal view name; the formatted string is only the lookup *key*.
+pub fn find_indirect(ctx: &Ctx<'_>, mdt: u32) -> Vec<Record> {
+    let key = format!("mdt/{mdt}");
+    ctx.records_by("by_mdt", &key)
+}

@@ -1,0 +1,11 @@
+//! Clean twin of `unsafe_violation.rs`: the same operation through a
+//! safe API. The words "unsafe" in this doc comment and in the string
+//! below must NOT count — the rule is lexer-level, not grep-level.
+
+/// Safe header read.
+pub fn read_header(buf: &[u8]) -> u32 {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&buf[..4]);
+    let _note = "unsafe only as a string literal";
+    u32::from_le_bytes(out)
+}

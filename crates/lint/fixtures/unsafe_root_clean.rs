@@ -1,0 +1,9 @@
+//! Clean twin of `unsafe_root_violation.rs`: the root carries the gate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A perfectly safe function in a gated crate.
+pub fn fine() -> u8 {
+    7
+}

@@ -1,0 +1,10 @@
+//! SEEDED VIOLATION (unsafe-confinement): a crate root with no
+//! `#![forbid(unsafe_code)]` gate — the compiler half of the
+//! confinement invariant is missing.
+
+#![deny(missing_docs)]
+
+/// A perfectly safe function in an ungated crate.
+pub fn fine() -> u8 {
+    7
+}

@@ -1,0 +1,11 @@
+//! SEEDED VIOLATION (unsafe-confinement): an `unsafe` block outside
+//! the sanctioned `crates/reactor/src/sys.rs` module.
+
+/// Pretends to need a raw pointer read; the safe twin uses `copy_from_slice`.
+pub fn read_header(buf: &[u8]) -> u32 {
+    let mut out = [0u8; 4];
+    unsafe {
+        std::ptr::copy_nonoverlapping(buf.as_ptr(), out.as_mut_ptr(), 4);
+    }
+    u32::from_le_bytes(out)
+}

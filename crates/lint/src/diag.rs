@@ -1,0 +1,246 @@
+//! Findings, the per-rule allowlist, and the JSON report.
+
+use std::fmt;
+
+use crate::toml;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (`unsafe-confinement`, …).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: u32,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        } else {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        }
+    }
+}
+
+/// One `[[allow]]` entry from `lint.allow.toml`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The rule being allowlisted.
+    pub rule: String,
+    /// The exact workspace-relative path the exemption covers.
+    pub path: String,
+    /// Why this is acceptable — must be non-empty; reviewed in PRs.
+    pub justification: String,
+    /// Line of the entry in the allowlist file (diagnostics).
+    pub file_line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses `lint.allow.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the file is malformed or an entry
+    /// is missing its rule, path, or a non-empty justification.
+    pub fn parse(src: &str) -> Result<Allowlist, String> {
+        let entries = toml::parse(src).map_err(|e| format!("lint.allow.toml: {e}"))?;
+        let mut out = Vec::new();
+        for entry in entries {
+            if entry.header != "allow" {
+                return Err(format!(
+                    "lint.allow.toml line {}: unexpected [[{}]] (only [[allow]] is valid)",
+                    entry.line, entry.header
+                ));
+            }
+            let field = |k: &str| {
+                entry.str(k).map(str::to_string).ok_or_else(|| {
+                    format!(
+                        "lint.allow.toml line {}: [[allow]] entry missing string `{k}`",
+                        entry.line
+                    )
+                })
+            };
+            let justification = field("justification")?;
+            if justification.trim().len() < 10 {
+                return Err(format!(
+                    "lint.allow.toml line {}: justification must be a written sentence, \
+                     not {justification:?}",
+                    entry.line
+                ));
+            }
+            out.push(AllowEntry {
+                rule: field("rule")?,
+                path: field("path")?,
+                justification,
+                file_line: entry.line,
+            });
+        }
+        Ok(Allowlist { entries: out })
+    }
+
+    /// Splits `findings` into kept and suppressed, and appends a
+    /// finding for every entry that suppressed nothing — a stale
+    /// exemption is itself a violation, so the allowlist can only
+    /// shrink the audit surface, never silently rot.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut hits = vec![0usize; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for finding in findings {
+            let slot = self
+                .entries
+                .iter()
+                .position(|e| e.rule == finding.rule && e.path == finding.path);
+            match slot {
+                Some(i) => {
+                    hits[i] += 1;
+                    suppressed.push(finding);
+                }
+                None => kept.push(finding),
+            }
+        }
+        for (entry, hits) in self.entries.iter().zip(&hits) {
+            if *hits == 0 {
+                kept.push(Finding {
+                    rule: "allowlist",
+                    path: "lint.allow.toml".to_string(),
+                    line: entry.file_line,
+                    message: format!(
+                        "stale entry: rule `{}` no longer fires on `{}`; delete the exemption",
+                        entry.rule, entry.path
+                    ),
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+}
+
+/// The complete outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist (CI fails when non-empty).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: Vec<Finding>,
+    /// Number of files walked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the machine-readable report CI uploads as an artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        for (key, list) in [
+            ("findings", &self.findings),
+            ("suppressed", &self.suppressed),
+        ] {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            for (i, f) in list.iter().enumerate() {
+                let comma = if i + 1 == list.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{comma}\n",
+                    json_str(f.rule),
+                    json_str(&f.path),
+                    f.line,
+                    json_str(&f.message)
+                ));
+            }
+            let comma = if key == "findings" { "," } else { "" };
+            out.push_str(&format!("  ]{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_requires_written_justification() {
+        let src = "[[allow]]\nrule = \"query-hygiene\"\npath = \"a.rs\"\njustification = \"no\"";
+        assert!(Allowlist::parse(src).is_err());
+        let src = "[[allow]]\nrule = \"query-hygiene\"\npath = \"a.rs\"\n\
+                   justification = \"deliberate negative control exercised by tests\"";
+        assert_eq!(Allowlist::parse(src).unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn apply_suppresses_matches_and_flags_stale_entries() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nrule = \"r1\"\npath = \"a.rs\"\njustification = \"covered by fixture tests\"\n\
+             [[allow]]\nrule = \"r1\"\npath = \"gone.rs\"\njustification = \"covered by fixture tests\"",
+        )
+        .unwrap();
+        let (kept, suppressed) = allow.apply(vec![finding("r1", "a.rs"), finding("r2", "a.rs")]);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(kept.len(), 2, "r2 kept + stale entry flagged: {kept:?}");
+        assert!(kept.iter().any(|f| f.rule == "allowlist"));
+    }
+
+    #[test]
+    fn json_report_escapes() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            rule: "r",
+            path: "a\"b.rs".to_string(),
+            line: 3,
+            message: "x\ny".to_string(),
+        });
+        let json = report.to_json();
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("x\\ny"));
+    }
+}

@@ -1,0 +1,485 @@
+//! A self-contained Rust lexer: the token layer every lint rule reads.
+//!
+//! The build environment has no crates.io (so no `syn`/`proc-macro2`);
+//! following the repository's shim approach this module hand-rolls the
+//! subset of Rust lexing the rules need — identifiers, lifetimes versus
+//! character literals, all five string flavours (plain, raw, byte,
+//! byte-raw, C), nested block comments, numbers, and single-character
+//! punctuation — with byte-exact spans so [`lex_full`] round-trips any
+//! input. There is deliberately **no parser**: rules work on the raw
+//! token stream plus brace/paren nesting, which is enough to answer
+//! questions like "does an `unsafe` token appear outside
+//! `reactor::sys`?" without trusting `rustc` to be configured right.
+//!
+//! Robustness contract (property-tested in `tests/lint_props.rs`):
+//! lexing never panics on arbitrary input, and concatenating the
+//! `text` of every token from [`lex_full`] reproduces the input
+//! byte-for-byte — malformed source degrades into `Unknown`/unterminated
+//! tokens rather than errors, because a linter must be able to look at
+//! code that does not compile yet.
+
+/// What a lexed span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `format`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (including the quote).
+    Lifetime,
+    /// An integer or float literal.
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`.
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment (including doc comments) up to the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A run of whitespace (only emitted by [`lex_full`]).
+    Whitespace,
+    /// A single punctuation character (`#`, `!`, `+`, `.`, `{`, …).
+    Punct,
+    /// A byte the lexer has no rule for (emitted so round-trip holds).
+    Unknown,
+}
+
+/// One lexed token with its exact source text and position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification of the span.
+    pub kind: TokKind,
+    /// The exact source text of the span.
+    pub text: String,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: std::str::CharIndices<'a>,
+    peeked: Option<(usize, char)>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            chars: src.char_indices(),
+            peeked: None,
+            line: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<(usize, char)> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    /// Peeks one char past the next one without consuming anything.
+    fn peek2(&mut self) -> Option<char> {
+        let (idx, c) = self.peek()?;
+        self.src[idx + c.len_utf8()..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.peeked.take().or_else(|| self.chars.next());
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn pos(&mut self) -> usize {
+        match self.peek() {
+            Some((i, _)) => i,
+            None => self.src.len(),
+        }
+    }
+
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while let Some((_, c)) = self.peek() {
+            if f(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lexes `src` into code tokens only: comments and whitespace are
+/// dropped, which is what every rule wants (a quoted or commented-out
+/// `unsafe` is not an `unsafe`).
+pub fn lex(src: &str) -> Vec<Tok> {
+    lex_full(src)
+        .into_iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+/// Lexes `src` keeping every span — whitespace, comments, unknown
+/// bytes — so that the concatenated `text` of the result equals `src`.
+pub fn lex_full(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some((start, c)) = cur.peek() {
+        let line = cur.line;
+        let kind = next_kind(&mut cur, c);
+        let end = cur.pos();
+        debug_assert!(end > start, "lexer must always make progress");
+        out.push(Tok {
+            kind,
+            text: src[start..end].to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes one token starting at `c` and returns its kind.
+fn next_kind(cur: &mut Cursor<'_>, c: char) -> TokKind {
+    if c.is_whitespace() {
+        cur.eat_while(|c| c.is_whitespace());
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek2() {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                block_comment(cur);
+                return TokKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokKind::Punct;
+            }
+        }
+    }
+    // Raw strings / raw identifiers / byte and C strings share prefix
+    // letters with plain identifiers, so resolve those first.
+    if matches!(c, 'r' | 'b' | 'c') {
+        if let Some(kind) = prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        number(cur);
+        return TokKind::Number;
+    }
+    match c {
+        '"' => {
+            quoted(cur, '"');
+            TokKind::Str
+        }
+        '\'' => quote_or_lifetime(cur),
+        '{' | '}' | '(' | ')' | '[' | ']' => {
+            cur.bump();
+            TokKind::Punct
+        }
+        _ if c.is_ascii() && c.is_ascii_punctuation() => {
+            cur.bump();
+            TokKind::Punct
+        }
+        _ => {
+            cur.bump();
+            TokKind::Unknown
+        }
+    }
+}
+
+/// `/* … */` with nesting; an unterminated comment runs to EOF.
+fn block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.bump() {
+            Some((_, '*')) if matches!(cur.peek(), Some((_, '/'))) => {
+                cur.bump();
+                depth -= 1;
+            }
+            Some((_, '/')) if matches!(cur.peek(), Some((_, '*'))) => {
+                cur.bump();
+                depth += 1;
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+/// Tries `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'…'`,
+/// `c"…"` from the current position; returns `None` (consuming
+/// nothing) when the prefix letters turn out to start a plain ident.
+fn prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let (start, first) = cur.peek()?;
+    let rest = &cur.src[start..];
+    let mut prefix_len = 1usize;
+    if first == 'b' && rest[1..].starts_with('r') {
+        prefix_len = 2;
+    }
+    let after = &rest[prefix_len..];
+    let raw = first == 'r' || prefix_len == 2;
+    if raw {
+        // r / br: count hashes, then require a quote.
+        let hashes = after.chars().take_while(|&c| c == '#').count();
+        let after_hashes = &after[hashes..];
+        if after_hashes.starts_with('"') {
+            for _ in 0..(prefix_len + hashes + 1) {
+                cur.bump();
+            }
+            raw_string_body(cur, hashes);
+            return Some(TokKind::Str);
+        }
+        if first == 'r' && hashes == 1 {
+            // r#ident raw identifier.
+            if after_hashes.chars().next().map(is_ident_start) == Some(true) {
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                return Some(TokKind::Ident);
+            }
+        }
+        return None;
+    }
+    // b"…" / c"…" / b'…'
+    if after.starts_with('"') {
+        cur.bump();
+        quoted(cur, '"');
+        return Some(TokKind::Str);
+    }
+    if first == 'b' && after.starts_with('\'') {
+        cur.bump();
+        quoted(cur, '\'');
+        return Some(TokKind::Char);
+    }
+    None
+}
+
+/// Body of a raw string already past the opening quote: runs to a
+/// quote followed by `hashes` hashes, or EOF.
+fn raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some((i, c)) = cur.bump() {
+        if c == '"' {
+            let tail = &cur.src[i + 1..];
+            if tail.chars().take(hashes).filter(|&c| c == '#').count() == hashes {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A `"…"`/`'…'` literal with backslash escapes, starting at the
+/// opening quote; unterminated literals run to EOF (or end of line for
+/// chars, so one stray quote cannot swallow a whole file).
+fn quoted(cur: &mut Cursor<'_>, close: char) {
+    cur.bump(); // opening quote
+    while let Some((_, c)) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            c if c == close => return,
+            '\n' if close == '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Distinguishes `'a` / `'static` (lifetime) from `'x'` / `'\n'`
+/// (char literal): a quote then ident chars is a lifetime unless a
+/// closing quote follows immediately.
+fn quote_or_lifetime(cur: &mut Cursor<'_>) -> TokKind {
+    let next = cur.peek2();
+    match next {
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'abc (lifetime): lex the ident run
+            // and check for a closing quote right after it.
+            let (start, _) = cur.peek().expect("peeked");
+            let mut end = start + 1;
+            for c in cur.src[start + 1..].chars() {
+                if is_ident_continue(c) {
+                    end += c.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if cur.src[end..].starts_with('\'') {
+                quoted(cur, '\'');
+                TokKind::Char
+            } else {
+                cur.bump(); // '
+                cur.eat_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            quoted(cur, '\'');
+            TokKind::Char
+        }
+        None => {
+            cur.bump();
+            TokKind::Punct
+        }
+    }
+}
+
+/// Integer or float literal, including `0x…`/`0b…`, `_` separators,
+/// type suffixes, a fraction part, and exponents. Deliberately loose:
+/// `1.max` must stay `1` `.` `max`, and `0..10` two ints and a range.
+fn number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.eat_while(is_ident_continue);
+    // Fraction: only when '.' is followed by a digit (not `.method`,
+    // not `..` range).
+    if let Some((_, '.')) = cur.peek() {
+        if cur.peek2().map(|c| c.is_ascii_digit()) == Some(true) {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+        }
+    }
+    // Exponent sign: `1e-9` lexes `1e` then continues past the sign.
+    if let Some((i, c)) = cur.peek() {
+        if (c == '+' || c == '-') && cur.src[..i].ends_with(['e', 'E']) {
+            // Only if the digits continue: `1e-9` yes, `1-x` no
+            // (that '1' would not end with 'e').
+            if cur.peek2().map(|c| c.is_ascii_digit()) == Some(true) {
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("unsafe fn f(x: &str) {}");
+        assert_eq!(toks[0], (TokKind::Ident, "unsafe".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert!(toks.iter().any(|t| t.1 == "{"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "unsafe { }"; // unsafe"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "unsafe"));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let x = r#"a "quoted" b"#; y"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokKind::Str && t.1.contains("quoted")));
+        assert!(toks.iter().any(|t| t.1 == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "b");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_methods_or_ranges() {
+        let toks = kinds("1.max(2) 0..10 1.5e-3");
+        let texts: Vec<&str> = toks.iter().map(|t| t.1.as_str()).collect();
+        assert_eq!(texts[0], "1");
+        assert_eq!(texts[1], ".");
+        assert!(texts.contains(&"0") && texts.contains(&"10"));
+        assert!(texts.contains(&"1.5e-3"));
+    }
+
+    #[test]
+    fn full_lex_round_trips() {
+        let src =
+            "fn main() { /* c */ let s = \"x\\\"y\"; foo(b'\\n', r##\"raw\"##); } // t\n\u{1F980}";
+        let joined: String = lex_full(src).into_iter().map(|t| t.text).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "'\\",
+            "b",
+            "r#",
+            "\u{0}\u{7f}\\",
+        ] {
+            let joined: String = lex_full(src).into_iter().map(|t| t.text).collect();
+            assert_eq!(joined, src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Rule `test-liveness`: a test that cannot run is a failing test.
+//!
+//! PR 7 shipped two `proptest!` suites whose functions silently never
+//! ran: the in-repo proptest shim expands `proptest!` functions
+//! verbatim, so a function without an explicit `#[test]` meta inside
+//! the macro block compiles to a plain, never-invoked function. This
+//! rule machine-checks the two halves of that bug class:
+//!
+//! * **every `fn` inside a `proptest! { … }` block carries `#[test]`**
+//!   among the metas written before it in the macro body;
+//! * **every `*_props.rs` file and every file under a `tests/`
+//!   directory contains at least one `#[test]`** — an integration-test
+//!   file with zero live tests asserts nothing no matter how much it
+//!   sets up.
+
+use crate::diag::Finding;
+use crate::lexer::Tok;
+use crate::rules::{matching, matching_brace};
+use crate::workspace::Workspace;
+
+const RULE: &str = "test-liveness";
+
+/// Runs the rule over the workspace.
+pub fn check_test_liveness(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        check_proptest_blocks(&file.tokens, &file.rel, &mut findings);
+        let wants_tests = file.rel.ends_with("_props.rs")
+            || file.rel.contains("/tests/")
+            || file.rel.starts_with("tests/");
+        if wants_tests && !has_live_test(&file.tokens) {
+            findings.push(Finding {
+                rule: RULE,
+                path: file.rel.clone(),
+                line: 0,
+                message: "test file contains no live `#[test]`: nothing here ever runs \
+                          (the PR-7 bug class); add `#[test]` metas or delete the file"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether the stream contains a `#[test]` attribute.
+fn has_live_test(tokens: &[Tok]) -> bool {
+    tokens.windows(4).any(|w| {
+        w[0].is_punct('#') && w[1].is_punct('[') && w[2].is_ident("test") && w[3].is_punct(']')
+    })
+}
+
+/// Checks every `proptest! { … }` block: each `fn` at the macro's top
+/// level must have a `#[test]` meta between the previous item and
+/// itself.
+fn check_proptest_blocks(tokens: &[Tok], rel: &str, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("proptest")
+            && tokens[i + 1].is_punct('!')
+            && tokens[i + 2].is_punct('{')
+        {
+            let open = i + 2;
+            let close = matching_brace(tokens, open);
+            scan_block(tokens, open, close, rel, findings);
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn scan_block(tokens: &[Tok], open: usize, close: usize, rel: &str, findings: &mut Vec<Finding>) {
+    let mut pending_test = false;
+    let mut j = open + 1;
+    while j < close {
+        let tok = &tokens[j];
+        // An attribute: remember whether it is #[test].
+        if tok.is_punct('#') && tokens.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+            let end = matching(tokens, j + 1, '[', ']');
+            if tokens.get(j + 2).is_some_and(|t| t.is_ident("test")) && end == j + 3 {
+                pending_test = true;
+            }
+            j = end + 1;
+            continue;
+        }
+        if tok.is_ident("fn") {
+            let name = tokens
+                .get(j + 1)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            if !pending_test {
+                findings.push(Finding {
+                    rule: RULE,
+                    path: rel.to_string(),
+                    line: tok.line,
+                    message: format!(
+                        "`fn {name}` inside `proptest!` has no `#[test]` meta: the shim \
+                         expands it to a plain function that never runs"
+                    ),
+                });
+            }
+            pending_test = false;
+            // Skip to the end of this function's body so nested fns
+            // and braces inside it are not mistaken for block items.
+            let mut k = j + 1;
+            while k < close {
+                if tokens[k].is_punct('(') {
+                    k = matching(tokens, k, '(', ')') + 1;
+                    continue;
+                }
+                if tokens[k].is_punct('{') {
+                    k = matching_brace(tokens, k);
+                    break;
+                }
+                k += 1;
+            }
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileKind, SourceFile, Workspace};
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let kind = if rel.contains("tests/") {
+            FileKind::Test
+        } else {
+            FileKind::Src
+        };
+        check_test_liveness(&Workspace::from_files(vec![SourceFile::from_source(
+            rel, "x", kind, src,
+        )]))
+    }
+
+    const LIVE: &str = r#"
+proptest! {
+    /// Doc comment.
+    #[test]
+    fn round_trips(s in "\\PC{0,16}") { prop_assert!(true); }
+
+    #[test]
+    fn second(x in 0..10i64) { prop_assert!(x < 10); }
+}
+"#;
+
+    const DEAD: &str = r#"
+proptest! {
+    #[test]
+    fn alive(x in 0..10i64) { prop_assert!(true); }
+
+    fn dead(s in "\\PC{0,16}") { prop_assert!(true); }
+}
+"#;
+
+    #[test]
+    fn proptest_fns_with_metas_pass() {
+        assert!(run("crates/x/tests/a_props.rs", LIVE).is_empty());
+    }
+
+    #[test]
+    fn proptest_fn_without_test_meta_is_flagged() {
+        let findings = run("crates/x/tests/a_props.rs", DEAD);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("fn dead"));
+    }
+
+    #[test]
+    fn other_metas_do_not_satisfy_the_requirement() {
+        let src = r#"
+proptest! {
+    #[allow(dead_code)]
+    fn nope(x in 0..3i64) { prop_assert!(true); }
+}
+#[test]
+fn keeps_file_live() {}
+"#;
+        let findings = run("crates/x/tests/t.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("fn nope"));
+    }
+
+    #[test]
+    fn props_file_with_no_tests_at_all_is_flagged() {
+        let src = "fn helper() {} struct S;";
+        let findings = run("crates/x/tests/setup_props.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no live"));
+    }
+
+    #[test]
+    fn non_test_src_file_needs_no_tests() {
+        assert!(run("crates/x/src/lib.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn plain_test_fn_keeps_a_tests_file_live() {
+        assert!(run("tests/e2e.rs", "#[test]\nfn works() {}").is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! A minimal TOML-subset reader for the lint's two policy files
+//! (`lint.allow.toml`, `DECLASSIFY.toml`).
+//!
+//! The build environment has no crates.io, so — in the shims
+//! tradition — this parses exactly the subset those files use:
+//!
+//! * `#` comments and blank lines,
+//! * `[[name]]` array-of-tables headers (each opens a new entry),
+//! * `key = "basic string"` with `\"` `\\` `\n` `\t` escapes,
+//! * `key = 123`, `key = true` / `false`.
+//!
+//! Anything else is a hard parse error with a line number: policy
+//! files gate CI, so a typo must fail loudly rather than silently
+//! allowlisting nothing.
+
+use std::fmt;
+
+/// A scalar value in a policy file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[header]]` entry: the header name plus its key/value pairs in
+/// file order.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The array-of-tables name (`allow`, `site`, …).
+    pub header: String,
+    /// Line of the `[[header]]` row, for diagnostics.
+    pub line: u32,
+    /// Key/value pairs under the header.
+    pub pairs: Vec<(String, Value)>,
+}
+
+impl Entry {
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a string key.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+}
+
+/// A malformed policy file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending row.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: u32, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a policy file into its `[[…]]` entries.
+///
+/// # Errors
+///
+/// [`ParseError`] on any row the subset does not cover.
+pub fn parse(src: &str) -> Result<Vec<Entry>, ParseError> {
+    let mut entries: Vec<Entry> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[header]]"))?
+                .trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("bad table name {name:?}")));
+            }
+            entries.push(Entry {
+                header: name.to_string(),
+                line: lineno,
+                pairs: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                lineno,
+                "plain [tables] are not used here; use [[entry]] arrays",
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err(lineno, format!("bad key {key:?}")));
+        }
+        let value = parse_value(value.trim(), lineno)?;
+        let entry = entries
+            .last_mut()
+            .ok_or_else(|| err(lineno, "key/value outside any [[entry]]"))?;
+        if entry.get(key).is_some() {
+            return Err(err(lineno, format!("duplicate key {key:?} in entry")));
+        }
+        entry.pairs.push((key.to_string(), value));
+    }
+    Ok(entries)
+}
+
+/// Strips a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(v: &str, line: u32) -> Result<Value, ParseError> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = v.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| err(line, "unterminated string"))?;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '"' {
+                return Err(err(line, "unescaped quote inside string"));
+            }
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(err(line, format!("unsupported escape \\{other:?}"))),
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    v.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(line, format!("unrecognised value {v:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let src = r#"
+# registry
+[[site]]
+path = "crates/x/src/lib.rs"  # where
+count = 2
+audited = true
+
+[[site]]
+path = "other # not a comment"
+"#;
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].header, "site");
+        assert_eq!(entries[0].str("path"), Some("crates/x/src/lib.rs"));
+        assert_eq!(entries[0].get("count").unwrap().as_int(), Some(2));
+        assert_eq!(entries[0].get("audited"), Some(&Value::Bool(true)));
+        assert_eq!(entries[1].str("path"), Some("other # not a comment"));
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        let entries = parse("[[e]]\nj = \"a \\\"b\\\" \\n c\"").unwrap();
+        assert_eq!(entries[0].str("j"), Some("a \"b\" \n c"));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse("key = 1").is_err(), "kv outside entry");
+        assert!(parse("[[e]]\nkey 1").is_err(), "missing =");
+        assert!(parse("[[e]]\nkey = \"open").is_err(), "unterminated");
+        assert!(parse("[e]\n").is_err(), "plain table");
+        assert!(parse("[[e]]\nk = 1\nk = 2").is_err(), "duplicate key");
+        assert!(parse("[[e]]\nk = nope").is_err(), "bare word");
+    }
+}

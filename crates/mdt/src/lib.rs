@@ -25,7 +25,7 @@
 //!   classes, each shown to be contained by SafeWeb.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod labels;
 mod portal;

@@ -39,7 +39,7 @@
 //! `safeweb-bench` measure.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod conn;
 mod pool;

@@ -32,7 +32,7 @@
 //! the same trade-off Ruby's own backtracking engine makes in spirit.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod class;
 mod parse;

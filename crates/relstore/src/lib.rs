@@ -12,7 +12,7 @@
 //!   user accounts, privileges and session state.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod db;
 mod query;

@@ -36,7 +36,7 @@
 //! binding, where quoting metacharacters cannot change query structure.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::borrow::Cow;
 use std::fmt;
@@ -91,23 +91,31 @@ impl TrustedLiteral {
     /// The escape hatch: trusts `s` unconditionally, recording the use —
     /// justification plus a truncated preview of the value — in the
     /// process-wide audit log ([`declassify_events`]).
+    ///
+    /// The log retains at most [`AUDIT_CAP`] events so a hot
+    /// declassifying path cannot grow process memory without bound;
+    /// once full, further events only bump [`declassify_dropped`]
+    /// (and [`declassify_count`], which always counts every call).
     pub fn declassified(s: &SStr, justification: &'static str) -> TrustedLiteral {
         DECLASSIFY_COUNT.fetch_add(1, Ordering::Relaxed);
-        let mut preview = s.as_str().to_string();
-        if preview.len() > PREVIEW_LIMIT {
-            let mut end = PREVIEW_LIMIT;
-            while !preview.is_char_boundary(end) {
-                end -= 1;
+        let mut log = audit_log().lock().expect("audit log lock");
+        if log.len() < AUDIT_CAP {
+            let mut preview = s.as_str().to_string();
+            if preview.len() > PREVIEW_LIMIT {
+                let mut end = PREVIEW_LIMIT;
+                while !preview.is_char_boundary(end) {
+                    end -= 1;
+                }
+                preview.truncate(end);
             }
-            preview.truncate(end);
-        }
-        audit_log()
-            .lock()
-            .expect("audit log lock")
-            .push(DeclassifyEvent {
+            log.push(DeclassifyEvent {
                 justification,
                 preview,
             });
+        } else {
+            DECLASSIFY_DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(log);
         TrustedLiteral {
             text: Cow::Owned(s.as_str().to_string()),
             provenance: Provenance::Declassified,
@@ -190,7 +198,15 @@ pub struct DeclassifyEvent {
     pub preview: String,
 }
 
+/// Maximum events retained by the declassification audit log. The
+/// first `AUDIT_CAP` uses keep their full record (the audit question
+/// is "which call sites declassify what" — answered by the earliest
+/// events); beyond that only the counters grow, so the log is a fixed
+/// memory cost no matter how hot the declassifying path is.
+pub const AUDIT_CAP: usize = 4096;
+
 static DECLASSIFY_COUNT: AtomicU64 = AtomicU64::new(0);
+static DECLASSIFY_DROPPED: AtomicU64 = AtomicU64::new(0);
 static AUDIT: Mutex<Vec<DeclassifyEvent>> = Mutex::new(Vec::new());
 
 fn audit_log() -> &'static Mutex<Vec<DeclassifyEvent>> {
@@ -202,7 +218,15 @@ pub fn declassify_count() -> u64 {
     DECLASSIFY_COUNT.load(Ordering::Relaxed)
 }
 
-/// A snapshot of the declassification audit log.
+/// Events *not* recorded because the audit log was already at
+/// [`AUDIT_CAP`]. Nonzero means [`declassify_events`] is a prefix of
+/// the true history; [`declassify_count`] still counts every call.
+pub fn declassify_dropped() -> u64 {
+    DECLASSIFY_DROPPED.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the declassification audit log (at most
+/// [`AUDIT_CAP`] events; see [`declassify_dropped`]).
 pub fn declassify_events() -> Vec<DeclassifyEvent> {
     audit_log().lock().expect("audit log lock").clone()
 }

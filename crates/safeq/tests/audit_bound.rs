@@ -1,0 +1,50 @@
+//! Regression test: the declassification audit log is bounded.
+//!
+//! Before the cap, every [`TrustedLiteral::declassified`] call pushed
+//! an owned event into a process-wide `Vec`, so a hot declassifying
+//! path (the admin console under the load rig, say) grew process
+//! memory for the lifetime of the server. This test floods well past
+//! [`safeweb_safeq::AUDIT_CAP`] and asserts the log stops growing
+//! while the counters keep the full history countable.
+//!
+//! It lives in its own integration-test binary (own process) because
+//! it deliberately fills the global log, which would starve the unit
+//! tests that assert their own events are recorded.
+
+use safeweb_safeq::{
+    declassify_count, declassify_dropped, declassify_events, TrustedLiteral, AUDIT_CAP,
+};
+use safeweb_taint::SStr;
+
+#[test]
+fn audit_log_is_capped_and_drops_are_counted() {
+    const OVERSHOOT: usize = 1_000;
+    let tainted = SStr::from_user("x' OR '1'='1");
+    for _ in 0..AUDIT_CAP + OVERSHOOT {
+        let lit = TrustedLiteral::declassified(&tainted, "flood regression: audit bound");
+        assert_eq!(lit.as_str(), tainted.as_str());
+    }
+
+    let events = declassify_events();
+    assert_eq!(
+        events.len(),
+        AUDIT_CAP,
+        "the log must stop growing at the cap"
+    );
+    assert!(
+        declassify_dropped() >= OVERSHOOT as u64,
+        "every event past the cap must be counted: dropped = {}",
+        declassify_dropped()
+    );
+    assert!(
+        declassify_count() >= (AUDIT_CAP + OVERSHOOT) as u64,
+        "the total counter must still see every call"
+    );
+
+    // Still capped after further calls — the bound is a ceiling, not a
+    // high-water race.
+    let dropped_before = declassify_dropped();
+    let _ = TrustedLiteral::declassified(&tainted, "flood regression: audit bound");
+    assert_eq!(declassify_events().len(), AUDIT_CAP);
+    assert_eq!(declassify_dropped(), dropped_before + 1);
+}

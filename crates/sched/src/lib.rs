@@ -57,7 +57,7 @@
 //! fan-out (times the pipeline's amplification factor).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod inbox;
 mod scheduler;

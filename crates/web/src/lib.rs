@@ -19,7 +19,7 @@
 //! (unsanitised user input) are aborted with a 500 — the XSS defence.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod app;
 mod auth;

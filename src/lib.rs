@@ -9,7 +9,7 @@
 //! mapping.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use safeweb_core::{SafeWebBuilder, SafeWebDeployment, Zone, ZoneTopology, ZoneViolation};
 
