@@ -38,16 +38,22 @@ pub enum Family {
     LabelLeak,
     /// Forged credentials and cross-site state changes.
     SessionForgery,
+    /// Probes at the *cached* metrics route after the victim has warmed
+    /// the per-clearance render cache: a mis-keyed cache (route+path only,
+    /// forgetting the clearance id) would hand the attacker the victim's
+    /// rendered page without ever re-running the label check.
+    CacheProbe,
 }
 
 impl Family {
     /// All families, in replay order.
-    pub fn all() -> [Family; 4] {
+    pub fn all() -> [Family; 5] {
         [
             Family::Sqli,
             Family::Xss,
             Family::LabelLeak,
             Family::SessionForgery,
+            Family::CacheProbe,
         ]
     }
 
@@ -58,6 +64,7 @@ impl Family {
             Family::Xss => "xss",
             Family::LabelLeak => "label_leak",
             Family::SessionForgery => "session_forgery",
+            Family::CacheProbe => "cache_probe",
         }
     }
 
@@ -67,6 +74,7 @@ impl Family {
             Family::Xss => 0x52,
             Family::LabelLeak => 0x53,
             Family::SessionForgery => 0x54,
+            Family::CacheProbe => 0x55,
         }
     }
 }
@@ -178,6 +186,16 @@ fn build_request(rig: &AttackRig, family: Family, payload: &str, i: usize) -> Re
             Request::new(Method::Get, &format!("{route}/{payload}"))
                 .with_basic_auth(rig.attacker(), rig.attacker_password())
         }
+        Family::CacheProbe => {
+            // Only cached routes: every probe lands where the victim's
+            // rendered pages sit in the per-clearance cache. `/board` is
+            // the canary-bearing target; `/metrics` and `/compare` are
+            // warmed too.
+            let routes = ["/board", "/board", "/metrics", "/compare"];
+            let route = routes[i % routes.len()];
+            Request::new(Method::Get, &format!("{route}/{payload}"))
+                .with_basic_auth(rig.attacker(), rig.attacker_password())
+        }
         Family::SessionForgery => {
             // Alternate between reading victim records and forging a
             // state change; authorization comes from the forged payload,
@@ -207,6 +225,14 @@ fn is_leak(rig: &AttackRig, family: Family, status: u16, body: &str) -> bool {
         Family::Sqli => false,
         Family::Xss => status == 200 && xss_markup_survives(body),
         Family::LabelLeak => names_leaked(body, rig.victim_patient_names()),
+        Family::CacheProbe => {
+            // The canary scan above is the primary oracle (the cached
+            // board renders planted canary records); victim patient names
+            // escaping a cached page count too. Per-MDT *metrics* are
+            // region-visible aggregates by policy, so a 200 there is not
+            // by itself a leak.
+            names_leaked(body, rig.victim_patient_names())
+        }
         Family::SessionForgery => {
             // Forged credentials must never be granted anything.
             status < 400 || names_leaked(body, rig.victim_patient_names())
@@ -219,6 +245,11 @@ fn is_leak(rig: &AttackRig, family: Family, status: u16, body: &str) -> bool {
 pub fn run_campaign(rig: &AttackRig, family: Family, attempts: usize, seed: u64) -> CampaignReport {
     let mut mutator = Mutator::new(seed ^ family.seed_salt());
     let bases = base_payloads(family);
+    if family == Family::CacheProbe {
+        // Put the victim's rendered pages into the per-clearance cache
+        // before probing: the campaign attacks warm entries, not cold ones.
+        rig.warm_victim_views();
+    }
     let mut leaks = 0;
     let mut denied = 0;
     let mut served = 0;

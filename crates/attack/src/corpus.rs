@@ -59,6 +59,21 @@ pub fn base_payloads(family: Family) -> &'static [&'static str] {
             "{victim}//",
             "%2e%2e/{victim}",
         ],
+        // The cached-route probes reuse the identifier-twisting shapes:
+        // every payload names the victim whose rendered page is sitting in
+        // the per-clearance cache when the probe arrives.
+        Family::CacheProbe => &[
+            "{victim}",
+            "{VICTIM}",
+            "{victim}/",
+            "{victim}%00",
+            "{victim}.",
+            "./{victim}",
+            "../{victim}",
+            "{victim}%2F..",
+            "{victim}//",
+            "{victim}?cached=1",
+        ],
         // `b64:` prefixed entries are base64-encoded into a `Basic`
         // credential after mutation; the rest are raw header values.
         Family::SessionForgery => &[

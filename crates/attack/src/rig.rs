@@ -135,6 +135,7 @@ impl AttackRig {
         if !options.label_checking {
             app = app.with_options(safeweb_web::FrontendOptions {
                 label_checking: false,
+                ..Default::default()
             });
         }
         install_attack_routes(&mut app, &web_db, options.raw_routes);
@@ -204,6 +205,28 @@ impl AttackRig {
     /// Patient names treated by the victim MDT (disclosure oracle).
     pub fn victim_patient_names(&self) -> &[String] {
         &self.victim_patient_names
+    }
+
+    /// Browses the cached portal views as the victim, so the victim's
+    /// rendered pages sit warm in the per-clearance render cache. The
+    /// cache-probe campaign calls this before replaying: a cache keyed
+    /// without the clearance id would then serve these pages to the
+    /// attacker.
+    pub fn warm_victim_views(&self) {
+        let password = password_for(&self.victim);
+        for path in [
+            format!("/board/{}", self.victim),
+            format!("/metrics/{}", self.victim),
+            format!("/compare/{}", self.victim),
+        ] {
+            let request = Request::new(Method::Get, &path).with_basic_auth(&self.victim, &password);
+            let response = self.app.handle(&request);
+            assert_eq!(
+                response.status(),
+                200,
+                "victim cannot warm {path}: the rig pipeline has not produced metrics"
+            );
+        }
     }
 }
 
@@ -332,6 +355,27 @@ fn install_attack_routes(app: &mut SafeWebApp, web_db: &Database, raw_routes: bo
     // --- POST /profile/note — a state-changing route (forgery target) ---
     app.post("/profile/note", move |_ctx: &Ctx<'_>| {
         SResponse::text(SStr::public("saved"))
+    });
+
+    // --- GET /board/:mid — per-clearance CACHED case board --------------
+    // The cache-probe campaign's target. Deliberately no app-level access
+    // check: the response carries the MDT's case records (canaries
+    // included) labelled with that MDT's label, so the boundary label
+    // check — and correct `(route, path, clearance)` cache keying — are
+    // all that stand between the planted canaries and the attacker. The
+    // handler depends only on the path and the store, which is the
+    // `get_cached` contract.
+    app.get_cached("/board/:mid", move |ctx: &Ctx<'_>| {
+        let mid = ctx.param_raw("mid").unwrap_or("");
+        let records = ctx.records_by("by_mid", mid);
+        let json_parts: Vec<SStr> = records
+            .iter()
+            .map(safeweb_taint::SValue::to_json_sstr)
+            .collect();
+        let mut body = SStr::public("[");
+        body.push_sstr(&SStr::join(json_parts.iter(), ","));
+        body.push_str("]");
+        SResponse::json(body)
     });
 
     if !raw_routes {

@@ -138,6 +138,37 @@ fn label_leak_campaign_is_sealed_across_vuln_classes() {
 }
 
 #[test]
+fn cache_probe_campaign_is_sealed_and_cache_is_warm() {
+    // The render-cache leak oracle: the victim browses the cached routes
+    // (their pages go into the per-clearance cache), then the attacker
+    // replays twisted identifiers at the same route. A cache keyed
+    // without the clearance id would serve the victim's page straight
+    // from memory, skipping the label check entirely.
+    let rig = AttackRig::build(RigOptions::default());
+    let report = run_campaign(&rig, Family::CacheProbe, ATTEMPTS, seed_from_env());
+    report.assert_sealed();
+    assert_eq!(
+        report.leaks + report.denied + report.served,
+        report.attempts
+    );
+    let stats = rig.app().stats();
+    assert!(
+        stats.render_cache_misses() > 0,
+        "the cached route must actually be cache-backed during the campaign"
+    );
+    // And the probes must not have poisoned the victim's own entry: the
+    // victim still gets their metrics, now served from cache.
+    let hits_before = stats.render_cache_hits();
+    rig.warm_victim_views();
+    assert!(
+        stats.render_cache_hits() > hits_before,
+        "the victim's warmed pages must be served from the cache"
+    );
+    summarize(&report, None);
+    check_budget(&[&report]);
+}
+
+#[test]
 fn raw_query_and_template_paths_are_caught() {
     // NEGATIVE CONTROL: re-enable the string-concatenated query path and
     // the taint-laundering template splice; the same campaigns that come

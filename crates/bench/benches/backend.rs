@@ -86,7 +86,7 @@ fn build_pipeline(tracking: bool) -> Pipeline {
                     .put(
                         &format!("doc-{seq}"),
                         safeweb_json::jobject! {"digest" => event.attr("digest").unwrap_or("")},
-                        jail.labels().clone(),
+                        *jail.labels(),
                         None,
                     )
                     .map_err(|e| UnitError::Application(e.to_string()))?;

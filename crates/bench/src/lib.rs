@@ -70,6 +70,7 @@ pub fn bench_portal(tracking: bool) -> (MdtPortal, SafeWebApp) {
     if !tracking {
         app = app.with_options(safeweb_web::FrontendOptions {
             label_checking: false,
+            ..Default::default()
         });
     }
     (portal, app)

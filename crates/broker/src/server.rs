@@ -264,7 +264,7 @@ fn handle_frame(shared: &Arc<SessionShared>, frame: Frame, io: &ConnHandle) {
                 sub_id,
                 dest,
                 selector,
-                session.privileges.clone(),
+                session.privileges,
                 move |delivery| {
                     let mut frame = event_to_frame(&delivery.event, Command::Message);
                     frame.push_header(SUBSCRIPTION_HEADER, delivery.subscription_id.to_string());

@@ -202,7 +202,7 @@ fn reader_loop(
                     },
                     None => None,
                 };
-                let rx = broker.subscribe(client_id, &sub_id, dest, selector, privileges.clone());
+                let rx = broker.subscribe(client_id, &sub_id, dest, selector, *privileges);
                 spawn_delivery_pump(rx, out_tx.clone());
             }
             Command::Unsubscribe => {

@@ -40,7 +40,7 @@ fn full_wiring_and_replication() {
                 db.put(
                     &format!("r-{}", event.attr("n").unwrap_or("0")),
                     safeweb_json::jobject! {"kind" => "result", "n" => event.attr("n").unwrap_or("0")},
-                    jail.labels().clone(),
+                    *jail.labels(),
                     None,
                 )
                 .map_err(|e| UnitError::Application(e.to_string()))?;

@@ -54,7 +54,7 @@ proptest! {
                     let id = format!("doc-{id}");
                     if let Some(doc) = src.get(&id) {
                         let rev = doc.rev().clone();
-                        src.put(&id, jobject!{"v" => v}, doc.labels().clone(), Some(&rev)).unwrap();
+                        src.put(&id, jobject!{"v" => v}, *doc.labels(), Some(&rev)).unwrap();
                     }
                 }
                 Op::Delete(id) => {

@@ -83,7 +83,7 @@ proptest! {
                     let id = format!("doc-{id}");
                     if let Some(doc) = src.get(&id) {
                         let rev = doc.rev().clone();
-                        src.put(&id, jobject!{"v" => 0}, doc.labels().clone(), Some(&rev))
+                        src.put(&id, jobject!{"v" => 0}, *doc.labels(), Some(&rev))
                             .unwrap();
                     }
                 }

@@ -259,7 +259,7 @@ impl Engine {
             let tracking = self.options.label_tracking;
             let unit_violations = Arc::clone(&violations);
             let unit_name = name.clone();
-            let jail_privileges = privileges.clone();
+            let jail_privileges = privileges;
             let mut store = LabelledStore::new();
 
             let sender = scheduler.spawn(&name, move |batch| {
@@ -274,7 +274,7 @@ impl Engine {
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
                             UnitMsg::Event { callback, delivery } => {
                                 let initial = if tracking {
-                                    delivery.event.labels().clone()
+                                    *delivery.event.labels()
                                 } else {
                                     LabelSet::new()
                                 };
@@ -340,7 +340,7 @@ impl Engine {
                     &format!("{name}-{idx}"),
                     topic,
                     selector.as_deref(),
-                    privileges.clone(),
+                    privileges,
                     Box::new(move |delivery| {
                         tx.send(UnitMsg::Event {
                             callback: idx,
@@ -387,7 +387,7 @@ impl Engine {
                     &format!("{}-{idx}", unit.name),
                     topic,
                     selector.as_deref(),
-                    privileges.clone(),
+                    privileges,
                 )?;
                 receivers.push((rx, idx));
             }
@@ -726,7 +726,7 @@ fn run_unit(
             for delivery in batch.drain(..) {
                 let sink = BufferedBusSink::new();
                 let initial = if tracking {
-                    delivery.event.labels().clone()
+                    *delivery.event.labels()
                 } else {
                     LabelSet::new()
                 };

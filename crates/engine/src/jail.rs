@@ -226,7 +226,9 @@ impl<'a> Jail<'a> {
     pub fn get(&mut self, key: &str) -> Option<String> {
         let (value, labels) = self.store.get_raw(key)?.clone();
         if self.tracking {
-            self.labels.extend(labels);
+            // Interned union: a no-op pointer compare when the key's labels
+            // are already covered by `$LABELS`, the common steady state.
+            self.labels = self.labels.union(&labels);
         }
         Some(value)
     }
@@ -269,7 +271,7 @@ impl<'a> Jail<'a> {
         if !self.tracking {
             return Ok(LabelSet::new());
         }
-        let mut labels = self.labels.clone();
+        let mut labels = self.labels;
         match relabel.remove {
             RemoveSpec::None => {}
             RemoveSpec::All => {

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
 
 use safeweb_labels::{Label, LabelSet};
 use safeweb_selector::AttributeSource;
@@ -149,7 +148,7 @@ impl Event {
     pub fn with_labels<I: IntoIterator<Item = Label>>(self, labels: I) -> LabelledEvent {
         LabelledEvent {
             event: self,
-            labels: Arc::new(labels.into_iter().collect()),
+            labels: labels.into_iter().collect(),
         }
     }
 
@@ -157,7 +156,7 @@ impl Event {
     pub fn with_label_set(self, labels: LabelSet) -> LabelledEvent {
         LabelledEvent {
             event: self,
-            labels: Arc::new(labels),
+            labels,
         }
     }
 }
@@ -176,19 +175,17 @@ impl AttributeSource for Event {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabelledEvent {
     event: Event,
-    // Shared: the broker clones every event once per matching subscriber,
-    // and label sets rarely change in flight — reference counting makes
-    // that clone (and the cross-thread free on the consumer side) cheap.
-    labels: Arc<LabelSet>,
+    // An interned handle: one pointer, `Copy`, equality by id. The broker
+    // clones every event once per matching subscriber and this costs
+    // nothing per clone (the CoW `Arc<LabelSet>` this replaced is obsolete
+    // now that label sets are hash-consed).
+    labels: LabelSet,
 }
 
 impl LabelledEvent {
     /// Creates a labelled event.
     pub fn new(event: Event, labels: LabelSet) -> LabelledEvent {
-        LabelledEvent {
-            event,
-            labels: Arc::new(labels),
-        }
+        LabelledEvent { event, labels }
     }
 
     /// The underlying event.
@@ -201,17 +198,27 @@ impl LabelledEvent {
         &self.labels
     }
 
-    /// Mutable access to the labels — restricted to the enforcement layers
-    /// (the broker and engine re-export narrow wrappers). Copies the set
-    /// if it is currently shared.
-    pub fn labels_mut(&mut self) -> &mut LabelSet {
-        Arc::make_mut(&mut self.labels)
+    /// Replaces the label set, returning the rewritten event — the builder
+    /// path the enforcement layers use instead of mutating labels in place.
+    pub fn with_label_set(mut self, labels: LabelSet) -> LabelledEvent {
+        self.labels = labels;
+        self
     }
 
-    /// Splits into parts (copies the label set if shared).
+    /// Rewrites the labels through `f`, returning the rewritten event.
+    ///
+    /// This replaces the old `labels_mut` escape hatch: label rewrites are
+    /// now explicit set-to-set functions (the enforcement layers compute a
+    /// new interned set and re-point the event at it), which keeps every
+    /// relabelling auditable at the call site.
+    pub fn map_labels<F: FnOnce(LabelSet) -> LabelSet>(self, f: F) -> LabelledEvent {
+        let labels = f(self.labels);
+        self.with_label_set(labels)
+    }
+
+    /// Splits into parts.
     pub fn into_parts(self) -> (Event, LabelSet) {
-        let labels = Arc::try_unwrap(self.labels).unwrap_or_else(|arc| (*arc).clone());
-        (self.event, labels)
+        (self.event, self.labels)
     }
 
     /// Convenience: topic of the inner event.
@@ -228,14 +235,11 @@ impl LabelledEvent {
     /// §4.1 (confidentiality union, integrity intersection) with the labels
     /// of `other_inputs`.
     pub fn derive(&self, event: Event, other_inputs: &[&LabelledEvent]) -> LabelledEvent {
-        let mut labels = LabelSet::clone(&self.labels);
+        let mut labels = self.labels;
         for other in other_inputs {
             labels = labels.combine(&other.labels);
         }
-        LabelledEvent {
-            event,
-            labels: Arc::new(labels),
-        }
+        LabelledEvent { event, labels }
     }
 }
 

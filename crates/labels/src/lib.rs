@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 
 mod error;
+mod intern;
 mod label;
 mod manager;
 mod pattern;
@@ -45,6 +46,7 @@ mod privilege;
 mod set;
 
 pub use error::{ParseLabelError, ParsePolicyError};
+pub use intern::{LabelSetId, PrivilegeSetId};
 pub use label::{Label, LabelKind};
 pub use manager::{DelegationError, DelegationId, LabelManager, Principal};
 pub use pattern::LabelPattern;

@@ -132,7 +132,7 @@ impl Policy {
     /// hold no privileges at all (fail-closed).
     pub fn privileges(&self, kind: PrincipalKind, name: &str) -> PrivilegeSet {
         self.get(kind, name)
-            .map(|e| e.privileges().clone())
+            .map(|e| *e.privileges())
             .unwrap_or_default()
     }
 

@@ -5,12 +5,20 @@
 //! remove the label, making the data public). The integrity duals are
 //! **low-integrity clearance** (the right to read unendorsed data) and
 //! **endorsement** (the right to attach an integrity label).
+//!
+//! Like [`crate::LabelSet`], a [`PrivilegeSet`] is an interned `Copy`
+//! handle: its [`PrivilegeSetId`] is the second
+//! half of the memo key that makes repeated
+//! [`crate::LabelSet::flows_to`] checks one cache lookup.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 use crate::error::ParseLabelError;
+use crate::intern::{self, PrivRepr, PrivilegeSetId};
 use crate::label::Label;
 use crate::pattern::LabelPattern;
 
@@ -115,6 +123,11 @@ impl fmt::Display for Privilege {
 /// The set of privileges held by a principal (a unit in the backend or an
 /// authenticated user in the frontend).
 ///
+/// Interned and `Copy`: equality is one [`PrivilegeSetId`] compare, and the
+/// id keys per-clearance caches (the `flows_to` memo, the frontend's
+/// rendered-view cache). "Mutations" such as [`PrivilegeSet::grant`]
+/// re-intern and re-point the handle.
+///
 /// ```
 /// use safeweb_labels::{Label, Privilege, PrivilegeSet};
 ///
@@ -123,31 +136,68 @@ impl fmt::Display for Privilege {
 /// assert!(privs.has_clearance(&Label::conf("ecric.org.uk", "mdt/a")));
 /// assert!(!privs.has_clearance(&Label::conf("ecric.org.uk", "mdt/b")));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Copy)]
 pub struct PrivilegeSet {
-    privileges: BTreeSet<Privilege>,
+    repr: &'static PrivRepr,
 }
 
 impl PrivilegeSet {
     /// Creates an empty privilege set (may only receive public data).
     pub fn new() -> PrivilegeSet {
-        PrivilegeSet::default()
+        PrivilegeSet {
+            repr: intern::intern_sorted_privileges(Vec::new()),
+        }
+    }
+
+    /// Interns an arbitrary (possibly unsorted, duplicated) privilege list.
+    fn from_vec(privileges: Vec<Privilege>) -> PrivilegeSet {
+        let canonical: BTreeSet<Privilege> = privileges.into_iter().collect();
+        PrivilegeSet {
+            repr: intern::intern_sorted_privileges(canonical.into_iter().collect()),
+        }
+    }
+
+    /// The interned identity of this set. Equal ids ⇔ equal sets;
+    /// process-local, never on the wire.
+    pub fn id(&self) -> PrivilegeSetId {
+        self.repr.id
+    }
+
+    /// Number of distinct privilege sets interned in this process.
+    pub fn interned_count() -> usize {
+        intern::interned_priv_count()
     }
 
     /// Grants a privilege. Returns `true` if it was newly added.
     pub fn grant(&mut self, privilege: Privilege) -> bool {
-        self.privileges.insert(privilege)
+        match self.repr.privileges.binary_search(&privilege) {
+            Ok(_) => false,
+            Err(pos) => {
+                let mut privileges = self.repr.privileges.to_vec();
+                privileges.insert(pos, privilege);
+                self.repr = intern::intern_sorted_privileges(privileges);
+                true
+            }
+        }
     }
 
     /// Revokes an exact privilege previously granted. Returns `true` if it
     /// was present.
     pub fn revoke(&mut self, privilege: &Privilege) -> bool {
-        self.privileges.remove(privilege)
+        match self.repr.privileges.binary_search(privilege) {
+            Err(_) => false,
+            Ok(pos) => {
+                let mut privileges = self.repr.privileges.to_vec();
+                privileges.remove(pos);
+                self.repr = intern::intern_sorted_privileges(privileges);
+                true
+            }
+        }
     }
 
     /// Whether any held privilege permits `kind` on `label`.
     pub fn permits(&self, kind: PrivilegeKind, label: &Label) -> bool {
-        self.privileges.iter().any(|p| p.permits(kind, label))
+        self.repr.privileges.iter().any(|p| p.permits(kind, label))
     }
 
     /// Whether the principal may receive data labelled with `label`.
@@ -170,45 +220,100 @@ impl PrivilegeSet {
     }
 
     /// Iterates over the held privileges in deterministic order.
-    pub fn iter(&self) -> impl Iterator<Item = &Privilege> {
-        self.privileges.iter()
+    pub fn iter(&self) -> std::slice::Iter<'static, Privilege> {
+        self.repr.privileges.iter()
     }
 
     /// Number of privileges held.
     pub fn len(&self) -> usize {
-        self.privileges.len()
+        self.repr.privileges.len()
     }
 
     /// Whether the set holds no privileges.
     pub fn is_empty(&self) -> bool {
-        self.privileges.is_empty()
+        self.repr.privileges.is_empty()
     }
 
     /// Merges all privileges of `other` into `self`.
     pub fn merge(&mut self, other: &PrivilegeSet) {
-        for p in other.iter() {
-            self.privileges.insert(p.clone());
+        if self.id() == other.id() || other.is_empty() {
+            return;
         }
+        if self.is_empty() {
+            *self = *other;
+            return;
+        }
+        let mut privileges = self.repr.privileges.to_vec();
+        privileges.extend(other.iter().cloned());
+        *self = PrivilegeSet::from_vec(privileges);
+    }
+}
+
+impl Default for PrivilegeSet {
+    fn default() -> PrivilegeSet {
+        PrivilegeSet::new()
+    }
+}
+
+impl PartialEq for PrivilegeSet {
+    fn eq(&self, other: &PrivilegeSet) -> bool {
+        self.repr.id == other.repr.id
+    }
+}
+
+impl Eq for PrivilegeSet {}
+
+impl Hash for PrivilegeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.repr.id.hash(state);
+    }
+}
+
+impl PartialOrd for PrivilegeSet {
+    fn partial_cmp(&self, other: &PrivilegeSet) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrivilegeSet {
+    fn cmp(&self, other: &PrivilegeSet) -> Ordering {
+        if self.repr.id == other.repr.id {
+            return Ordering::Equal;
+        }
+        self.repr.privileges.cmp(&other.repr.privileges)
+    }
+}
+
+impl fmt::Debug for PrivilegeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrivilegeSet({} {self})", self.id())
     }
 }
 
 impl FromIterator<Privilege> for PrivilegeSet {
     fn from_iter<I: IntoIterator<Item = Privilege>>(iter: I) -> PrivilegeSet {
-        PrivilegeSet {
-            privileges: iter.into_iter().collect(),
-        }
+        PrivilegeSet::from_vec(iter.into_iter().collect())
     }
 }
 
 impl Extend<Privilege> for PrivilegeSet {
     fn extend<I: IntoIterator<Item = Privilege>>(&mut self, iter: I) {
-        self.privileges.extend(iter);
+        let novel: Vec<Privilege> = iter
+            .into_iter()
+            .filter(|p| self.repr.privileges.binary_search(p).is_err())
+            .collect();
+        if novel.is_empty() {
+            return;
+        }
+        let mut privileges = self.repr.privileges.to_vec();
+        privileges.extend(novel);
+        *self = PrivilegeSet::from_vec(privileges);
     }
 }
 
 impl fmt::Display for PrivilegeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self.privileges.iter().map(|p| p.to_string()).collect();
+        let parts: Vec<String> = self.iter().map(|p| p.to_string()).collect();
         write!(f, "[{}]", parts.join("; "))
     }
 }
@@ -287,5 +392,17 @@ mod tests {
             assert_eq!(kind.keyword().parse::<PrivilegeKind>().unwrap(), kind);
         }
         assert!("superuser".parse::<PrivilegeKind>().is_err());
+    }
+
+    #[test]
+    fn equal_grants_share_one_identity() {
+        let mut a = PrivilegeSet::new();
+        a.grant(Privilege::clearance(mdt("a")));
+        a.grant(Privilege::clearance(mdt("b")));
+        let mut b = PrivilegeSet::new();
+        b.grant(Privilege::clearance(mdt("b")));
+        b.grant(Privilege::clearance(mdt("a")));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
     }
 }

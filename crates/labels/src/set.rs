@@ -4,66 +4,115 @@
 //! must preserve every flow restriction of the originals: confidentiality
 //! labels are combined by **union** (sticky) while integrity labels are
 //! combined by **intersection** (fragile).
+//!
+//! Since the interning redesign (ROADMAP item 1) a [`LabelSet`] is a `Copy`
+//! handle onto a global hash-cons table: copying one
+//! is a pointer copy, equality is one integer compare, and every lattice
+//! operation returns another interned handle. "Mutating" methods such as
+//! [`LabelSet::insert`] keep their historical signatures but re-intern and
+//! re-point the handle rather than editing shared state.
 
-use std::collections::BTreeSet;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 use crate::error::ParseLabelError;
+use crate::intern::{self, LabelSetId, SetRepr};
 use crate::label::{Label, LabelKind};
 use crate::privilege::PrivilegeSet;
 
-/// An immutable-by-default, ordered set of [`Label`]s.
+/// An immutable, interned, ordered set of [`Label`]s.
+///
+/// Equality and hashing are by [`LabelSetId`] — one integer — which the
+/// hash-cons table guarantees coincides with content equality. Ordering is
+/// content-wise (lexicographic over the sorted labels) so sort orders stay
+/// deterministic across processes.
 ///
 /// ```
 /// use safeweb_labels::{Label, LabelSet};
 ///
 /// let patient = Label::conf("ecric.org.uk", "patient/1");
 /// let mdt = Label::conf("ecric.org.uk", "mdt/addenbrookes");
-/// let set = LabelSet::from_iter([patient.clone(), mdt]);
+/// let set = LabelSet::from_iter([patient.clone(), mdt.clone()]);
 /// assert!(set.contains(&patient));
 /// assert_eq!(set.len(), 2);
+/// // Structurally equal sets share one identity.
+/// assert_eq!(set.id(), LabelSet::from_iter([mdt, patient]).id());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy)]
 pub struct LabelSet {
-    labels: BTreeSet<Label>,
+    repr: &'static SetRepr,
 }
 
 impl LabelSet {
     /// Creates an empty label set (public data).
     pub fn new() -> LabelSet {
-        LabelSet::default()
+        LabelSet {
+            repr: intern::intern_sorted_labels(Vec::new()),
+        }
     }
 
     /// Creates a set containing a single label.
     pub fn singleton(label: Label) -> LabelSet {
-        let mut labels = BTreeSet::new();
-        labels.insert(label);
-        LabelSet { labels }
+        LabelSet {
+            repr: intern::intern_sorted_labels(vec![label]),
+        }
+    }
+
+    /// Interns an arbitrary (possibly unsorted, possibly duplicated) list.
+    fn from_vec(mut labels: Vec<Label>) -> LabelSet {
+        labels.sort();
+        labels.dedup();
+        LabelSet {
+            repr: intern::intern_sorted_labels(labels),
+        }
+    }
+
+    /// The interned identity of this set. Equal ids ⇔ equal sets; ids are
+    /// process-local and never appear on the wire.
+    pub fn id(&self) -> LabelSetId {
+        self.repr.id
+    }
+
+    /// Number of distinct label sets interned in this process — the
+    /// hash-cons table only grows with *novel* sets, so steady-state
+    /// workloads stop growing it (asserted by tests and the labels bench).
+    pub fn interned_count() -> usize {
+        intern::interned_set_count()
     }
 
     /// Whether the set contains no labels at all.
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.repr.labels.is_empty()
     }
 
     /// The number of labels in the set.
     pub fn len(&self) -> usize {
-        self.labels.len()
+        self.repr.labels.len()
     }
 
     /// Whether `label` is a member of this set.
     pub fn contains(&self, label: &Label) -> bool {
-        self.labels.contains(label)
+        self.repr.labels.binary_search(label).is_ok()
     }
 
-    /// Adds a label. Returns `true` if it was newly inserted.
+    /// Adds a label, re-pointing this handle at the interned result.
+    /// Returns `true` if it was newly inserted.
     ///
     /// Adding confidentiality labels never requires privilege (it only makes
     /// data *more* restricted); removing them does — see
     /// [`LabelSet::declassify`].
     pub fn insert(&mut self, label: Label) -> bool {
-        self.labels.insert(label)
+        match self.repr.labels.binary_search(&label) {
+            Ok(_) => false,
+            Err(pos) => {
+                let mut labels = self.repr.labels.to_vec();
+                labels.insert(pos, label);
+                self.repr = intern::intern_sorted_labels(labels);
+                true
+            }
+        }
     }
 
     /// Removes a label without any privilege check.
@@ -73,52 +122,118 @@ impl LabelSet {
     /// labels, its endorsement-revocation) rights; application code should go
     /// through [`LabelSet::declassify`] instead.
     pub fn remove_unchecked(&mut self, label: &Label) -> bool {
-        self.labels.remove(label)
+        match self.repr.labels.binary_search(label) {
+            Err(_) => false,
+            Ok(pos) => {
+                let mut labels = self.repr.labels.to_vec();
+                labels.remove(pos);
+                self.repr = intern::intern_sorted_labels(labels);
+                true
+            }
+        }
     }
 
     /// Iterates over the labels in deterministic (sorted) order.
-    pub fn iter(&self) -> impl Iterator<Item = &Label> {
-        self.labels.iter()
+    pub fn iter(&self) -> std::slice::Iter<'static, Label> {
+        self.repr.labels.iter()
     }
 
-    /// Returns only the confidentiality labels.
+    /// Returns the interned projection onto the confidentiality labels.
+    ///
+    /// Computed once when the set is first interned; calling this is a
+    /// pointer read, never an allocation.
     pub fn confidentiality(&self) -> LabelSet {
-        self.filter_kind(LabelKind::Confidentiality)
-    }
-
-    /// Returns only the integrity labels.
-    pub fn integrity(&self) -> LabelSet {
-        self.filter_kind(LabelKind::Integrity)
-    }
-
-    fn filter_kind(&self, kind: LabelKind) -> LabelSet {
         LabelSet {
-            labels: self
-                .labels
-                .iter()
-                .filter(|l| l.kind() == kind)
-                .cloned()
-                .collect(),
+            repr: intern::projection(self.repr, LabelKind::Confidentiality),
+        }
+    }
+
+    /// Returns the interned projection onto the integrity labels.
+    ///
+    /// Computed once when the set is first interned; calling this is a
+    /// pointer read, never an allocation.
+    pub fn integrity(&self) -> LabelSet {
+        LabelSet {
+            repr: intern::projection(self.repr, LabelKind::Integrity),
         }
     }
 
     /// Set union, irrespective of label kind.
     pub fn union(&self, other: &LabelSet) -> LabelSet {
+        if self.id() == other.id() || other.is_empty() {
+            return *self;
+        }
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_subset(self) {
+            return *self;
+        }
+        if self.is_subset(other) {
+            return *other;
+        }
+        let mut merged = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (self.iter().peekable(), other.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    Ordering::Less => merged.push(a.next().unwrap().clone()),
+                    Ordering::Greater => merged.push(b.next().unwrap().clone()),
+                    Ordering::Equal => {
+                        merged.push(a.next().unwrap().clone());
+                        b.next();
+                    }
+                },
+                (Some(_), None) => merged.push(a.next().unwrap().clone()),
+                (None, Some(_)) => merged.push(b.next().unwrap().clone()),
+                (None, None) => break,
+            }
+        }
         LabelSet {
-            labels: self.labels.union(&other.labels).cloned().collect(),
+            repr: intern::intern_sorted_labels(merged),
         }
     }
 
     /// Set intersection, irrespective of label kind.
     pub fn intersection(&self, other: &LabelSet) -> LabelSet {
+        if self.id() == other.id() {
+            return *self;
+        }
+        if self.is_empty() || other.is_empty() {
+            return LabelSet::new();
+        }
+        if self.is_subset(other) {
+            return *self;
+        }
+        if other.is_subset(self) {
+            return *other;
+        }
+        let common: Vec<Label> = self.iter().filter(|l| other.contains(l)).cloned().collect();
         LabelSet {
-            labels: self.labels.intersection(&other.labels).cloned().collect(),
+            repr: intern::intern_sorted_labels(common),
         }
     }
 
     /// Whether every label in `self` is also in `other`.
     pub fn is_subset(&self, other: &LabelSet) -> bool {
-        self.labels.is_subset(&other.labels)
+        if self.id() == other.id() || self.is_empty() {
+            return true;
+        }
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut candidates = other.iter();
+        'outer: for needle in self.iter() {
+            for candidate in candidates.by_ref() {
+                match candidate.cmp(needle) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => continue 'outer,
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     /// Combines the labels of two inputs into the label set of data derived
@@ -135,6 +250,9 @@ impl LabelSet {
     /// assert_eq!(c.integrity().len(), 1);       // intersection
     /// ```
     pub fn combine(&self, other: &LabelSet) -> LabelSet {
+        if self.id() == other.id() {
+            return *self;
+        }
         let conf = self.confidentiality().union(&other.confidentiality());
         let int = self.integrity().intersection(&other.integrity());
         conf.union(&int)
@@ -147,22 +265,45 @@ impl LabelSet {
     /// Integrity labels never *block* a flow (they vouch for data rather than
     /// restrict it), so they are ignored here; consumers that require a given
     /// integrity label should check [`LabelSet::contains`] explicitly.
+    ///
+    /// The fast path is one counter check plus one memo lookup on
+    /// `(LabelSetId, PrivilegeSetId)` — no allocation. Verdicts are memoised
+    /// forever because both operands are interned and immutable.
     pub fn flows_to(&self, privileges: &PrivilegeSet) -> bool {
-        self.labels
+        if self.repr.conf_count == 0 {
+            return true;
+        }
+        let key = (self.id(), privileges.id());
+        if let Some(verdict) = intern::flows_memo_get(key.0, key.1) {
+            return verdict;
+        }
+        let verdict = self
             .iter()
             .filter(|l| l.is_confidentiality())
-            .all(|l| privileges.has_clearance(l))
+            .all(|l| privileges.has_clearance(l));
+        intern::flows_memo_put(key.0, key.1, verdict);
+        verdict
+    }
+
+    /// The confidentiality labels in `self` that `privileges` does **not**
+    /// have clearance for — the non-allocating variant of
+    /// [`LabelSet::blocking_labels`]. Yields labels in sorted order; empty
+    /// when the flow is permitted.
+    pub fn blocking<'a>(
+        &self,
+        privileges: &'a PrivilegeSet,
+    ) -> impl Iterator<Item = &'static Label> + 'a {
+        self.repr
+            .labels
+            .iter()
+            .filter(move |l| l.is_confidentiality() && !privileges.has_clearance(l))
     }
 
     /// The confidentiality labels in `self` that `privileges` does **not**
     /// have clearance for — i.e. the reason a [`LabelSet::flows_to`] check
     /// fails. Empty when the flow is permitted.
     pub fn blocking_labels(&self, privileges: &PrivilegeSet) -> Vec<Label> {
-        self.labels
-            .iter()
-            .filter(|l| l.is_confidentiality() && !privileges.has_clearance(l))
-            .cloned()
-            .collect()
+        self.blocking(privileges).cloned().collect()
     }
 
     /// Removes `label` from the set if `privileges` grants declassification
@@ -183,7 +324,7 @@ impl LabelSet {
         if !privileges.can_declassify(label) {
             return Err(DeclassifyError::MissingPrivilege(label.clone()));
         }
-        self.labels.remove(label);
+        self.remove_unchecked(label);
         Ok(())
     }
 
@@ -205,7 +346,7 @@ impl LabelSet {
         if !privileges.can_endorse(label) {
             return Err(EndorseError::MissingPrivilege(label.clone()));
         }
-        self.labels.insert(label.clone());
+        self.insert(label.clone());
         Ok(())
     }
 
@@ -213,7 +354,7 @@ impl LabelSet {
     /// order; the wire format used in STOMP headers and database documents.
     /// Returns an empty string for the empty set.
     pub fn to_wire(&self) -> String {
-        let parts: Vec<String> = self.labels.iter().map(|l| l.to_string()).collect();
+        let parts: Vec<String> = self.iter().map(|l| l.to_string()).collect();
         parts.join(",")
     }
 
@@ -225,47 +366,92 @@ impl LabelSet {
     ///
     /// Returns [`ParseLabelError`] if any element is not a valid label URI.
     pub fn from_wire(s: &str) -> Result<LabelSet, ParseLabelError> {
-        let mut set = LabelSet::new();
+        let mut labels = Vec::new();
         for part in s.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            set.insert(part.parse()?);
+            labels.push(part.parse()?);
         }
-        Ok(set)
+        Ok(LabelSet::from_vec(labels))
+    }
+}
+
+impl Default for LabelSet {
+    fn default() -> LabelSet {
+        LabelSet::new()
+    }
+}
+
+impl PartialEq for LabelSet {
+    fn eq(&self, other: &LabelSet) -> bool {
+        self.repr.id == other.repr.id
+    }
+}
+
+impl Eq for LabelSet {}
+
+impl Hash for LabelSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.repr.id.hash(state);
+    }
+}
+
+impl PartialOrd for LabelSet {
+    fn partial_cmp(&self, other: &LabelSet) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LabelSet {
+    fn cmp(&self, other: &LabelSet) -> Ordering {
+        if self.repr.id == other.repr.id {
+            return Ordering::Equal;
+        }
+        self.repr.labels.cmp(&other.repr.labels)
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LabelSet({} {{{}}})", self.id(), self.to_wire())
     }
 }
 
 impl FromIterator<Label> for LabelSet {
     fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> LabelSet {
-        LabelSet {
-            labels: iter.into_iter().collect(),
-        }
+        LabelSet::from_vec(iter.into_iter().collect())
     }
 }
 
 impl Extend<Label> for LabelSet {
     fn extend<I: IntoIterator<Item = Label>>(&mut self, iter: I) {
-        self.labels.extend(iter);
+        let novel: Vec<Label> = iter.into_iter().filter(|l| !self.contains(l)).collect();
+        if novel.is_empty() {
+            return;
+        }
+        let mut labels = self.repr.labels.to_vec();
+        labels.extend(novel);
+        *self = LabelSet::from_vec(labels);
     }
 }
 
 impl<'a> IntoIterator for &'a LabelSet {
     type Item = &'a Label;
-    type IntoIter = std::collections::btree_set::Iter<'a, Label>;
+    type IntoIter = std::slice::Iter<'a, Label>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.labels.iter()
+        self.repr.labels.iter()
     }
 }
 
 impl IntoIterator for LabelSet {
     type Item = Label;
-    type IntoIter = std::collections::btree_set::IntoIter<Label>;
+    type IntoIter = std::iter::Cloned<std::slice::Iter<'static, Label>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.labels.into_iter()
+        self.repr.labels.iter().cloned()
     }
 }
 
@@ -430,6 +616,7 @@ mod tests {
         let wire = set.to_wire();
         let back = LabelSet::from_wire(&wire).unwrap();
         assert_eq!(set, back);
+        assert_eq!(set.id(), back.id());
     }
 
     #[test]
@@ -442,5 +629,46 @@ mod tests {
     #[test]
     fn wire_rejects_garbage() {
         assert!(LabelSet::from_wire("label:conf:a,nonsense").is_err());
+    }
+
+    #[test]
+    fn equal_content_means_equal_id() {
+        let a = LabelSet::from_iter([conf("mdt/a"), conf("patient/1")]);
+        let b = LabelSet::from_iter([conf("patient/1"), conf("mdt/a"), conf("mdt/a")]);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handle_copies_are_free_and_stable() {
+        let a = LabelSet::from_iter([conf("patient/7")]);
+        let before = LabelSet::interned_count();
+        for _ in 0..100 {
+            let b = a; // Copy
+            assert_eq!(a, b);
+        }
+        assert_eq!(LabelSet::interned_count(), before);
+    }
+
+    #[test]
+    fn projections_are_precomputed_and_interned() {
+        let mixed = LabelSet::from_iter([conf("patient/1"), int("mdt")]);
+        assert_eq!(mixed.confidentiality().id(), mixed.confidentiality().id());
+        assert_eq!(
+            mixed.confidentiality(),
+            LabelSet::singleton(conf("patient/1"))
+        );
+        assert_eq!(mixed.integrity(), LabelSet::singleton(int("mdt")));
+        let pure = LabelSet::singleton(conf("patient/1"));
+        assert_eq!(pure.confidentiality().id(), pure.id());
+    }
+
+    #[test]
+    fn ordering_matches_label_contents() {
+        let a = LabelSet::singleton(conf("a"));
+        let b = LabelSet::singleton(conf("b"));
+        assert!(a < b);
+        assert!(LabelSet::new() < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
     }
 }

@@ -98,7 +98,7 @@ proptest! {
         extra in arb_label(),
     ) {
         if set.flows_to(&privs) {
-            let mut bigger = privs.clone();
+            let mut bigger = privs;
             bigger.grant(Privilege::clearance(extra));
             prop_assert!(set.flows_to(&bigger));
         }
@@ -137,7 +137,7 @@ proptest! {
         prop_assume!(target.is_confidentiality());
         let mut privs = PrivilegeSet::new();
         privs.grant(Privilege::declassify(target.clone()));
-        let mut after = set.clone();
+        let mut after = set;
         after.declassify(&target, &privs).unwrap();
         prop_assert!(!after.contains(&target));
         for l in set.iter() {

@@ -199,6 +199,7 @@ impl MdtPortal {
             .new_frontend()
             .with_options(FrontendOptions {
                 label_checking: true,
+                ..Default::default()
             });
         install_routes(
             &mut app,
@@ -353,9 +354,9 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
                             v.as_sstr()
                                 .or_else(|| v.as_snum().map(|n| n.to_sstr()))
                                 .or_else(|| {
-                                    v.value().as_f64().map(|f| {
-                                        SStr::with_label_set(format!("{f}"), v.labels().clone())
-                                    })
+                                    v.value()
+                                        .as_f64()
+                                        .map(|f| SStr::with_label_set(format!("{f}"), *v.labels()))
                                 })
                         })
                         .map(TValue::Str)
@@ -382,7 +383,7 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
                         .or_else(|| {
                             v.value()
                                 .as_f64()
-                                .map(|f| SStr::with_label_set(format!("{f}"), v.labels().clone()))
+                                .map(|f| SStr::with_label_set(format!("{f}"), *v.labels()))
                         })
                 })
                 .map(TValue::Str)
@@ -400,8 +401,10 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
     });
 
     // --- GET /metrics/:mid — per-MDT aggregates (F2/F3) ------------------
+    // Cached per clearance: the page is a pure function of the path and the
+    // store; the boundary label check keys the cache by PrivilegeSetId.
     let idx = Arc::clone(&mdt_index);
-    app.get("/metrics/:mid", move |ctx: &Ctx<'_>| {
+    app.get_cached("/metrics/:mid", move |ctx: &Ctx<'_>| {
         let mid = ctx.param_raw("mid").unwrap_or("").to_string();
         if !idx.contains_key(&mid) {
             return SResponse::not_found();
@@ -413,9 +416,11 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
     });
 
     // --- GET /compare/:mid — region comparison page (F3) -----------------
+    // Cached per clearance: the comparison page renders the same rows for
+    // every user holding the same privilege set (all users of one MDT).
     let idx = Arc::clone(&mdt_index);
     let template = Arc::clone(&compare_template);
-    app.get("/compare/:mid", move |ctx: &Ctx<'_>| {
+    app.get_cached("/compare/:mid", move |ctx: &Ctx<'_>| {
         let mid = ctx.param_raw("mid").unwrap_or("").to_string();
         let Some(mdt) = idx.get(&mid) else {
             return SResponse::not_found();
@@ -437,9 +442,9 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
                             v.as_sstr()
                                 .or_else(|| v.as_snum().map(|n| n.to_sstr()))
                                 .or_else(|| {
-                                    v.value().as_f64().map(|x| {
-                                        SStr::with_label_set(format!("{x}"), v.labels().clone())
-                                    })
+                                    v.value()
+                                        .as_f64()
+                                        .map(|x| SStr::with_label_set(format!("{x}"), *v.labels()))
                                 })
                         })
                         .map(TValue::Str)
@@ -462,7 +467,7 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
                         .or_else(|| {
                             v.value()
                                 .as_f64()
-                                .map(|x| SStr::with_label_set(format!("{x}"), v.labels().clone()))
+                                .map(|x| SStr::with_label_set(format!("{x}"), *v.labels()))
                         })
                 })
                 .map(TValue::Str)
@@ -481,7 +486,8 @@ fn install_routes(app: &mut SafeWebApp, mdts: &[MdtInfo], web_db: &Database, vul
     });
 
     // --- GET /aggregates/regional — visible to every MDT (P1) ------------
-    app.get("/aggregates/regional", move |ctx: &Ctx<'_>| {
+    // Cached per clearance (pure function of the store; no user state).
+    app.get_cached("/aggregates/regional", move |ctx: &Ctx<'_>| {
         let docs = ctx.records_by("by_kind", "regional_metrics");
         let parts: Vec<SStr> = docs.iter().map(SValue::to_json_sstr).collect();
         let mut body = SStr::public("[");

@@ -343,7 +343,7 @@ pub fn data_storage(app_db: DocStore) -> UnitSpec {
     UnitSpec::new("data_storage")
         .subscribe(MDT_RECORD_TOPIC, None, move |jail, event| {
             let _io = jail.io()?;
-            store_event(&records_db, jail.labels().clone(), event, |e| {
+            store_event(&records_db, *jail.labels(), event, |e| {
                 format!(
                     "record-{}-{}",
                     e.attr("mdt").unwrap_or("x"),
@@ -353,13 +353,13 @@ pub fn data_storage(app_db: DocStore) -> UnitSpec {
         })
         .subscribe(MDT_METRICS_TOPIC, None, move |jail, event| {
             let _io = jail.io()?;
-            store_event(&metrics_db, jail.labels().clone(), event, |e| {
+            store_event(&metrics_db, *jail.labels(), event, |e| {
                 format!("metrics-{}", e.attr("mdt").unwrap_or("x"))
             })
         })
         .subscribe(REGIONAL_METRICS_TOPIC, None, move |jail, event| {
             let _io = jail.io()?;
-            store_event(&regional_db, jail.labels().clone(), event, |e| {
+            store_event(&regional_db, *jail.labels(), event, |e| {
                 format!("regional-{}", e.attr("region_id").unwrap_or("x"))
             })
         })

@@ -73,7 +73,7 @@ impl SNum {
 
     /// Converts to a labelled string (e.g. for template interpolation).
     pub fn to_sstr(&self) -> SStr {
-        SStr::with_label_set(self.value.to_string(), self.labels.clone())
+        SStr::with_label_set(self.value.to_string(), self.labels)
     }
 
     /// Boundary check, like [`SStr::check_release`].

@@ -9,7 +9,6 @@
 
 use std::fmt;
 use std::ops::Add;
-use std::sync::Arc;
 
 use safeweb_labels::{Label, LabelSet, PrivilegeSet};
 use safeweb_regex::Regex;
@@ -29,11 +28,12 @@ use safeweb_regex::Regex;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SStr {
     value: String,
-    // Shared: most derived strings carry exactly their parent's labels, so
-    // label sets are reference-counted and unions are skipped when one side
-    // is empty or a subset of the other. (The paper's implementation points
-    // out efficiency of label propagation as a design goal, §1.)
-    labels: Arc<LabelSet>,
+    // An interned handle: most derived strings carry exactly their parent's
+    // labels, and with hash-consed sets that is a plain pointer copy;
+    // unions short-circuit on identical ids, empty operands and subsets.
+    // (The paper's implementation points out efficiency of label
+    // propagation as a design goal, §1.)
+    labels: LabelSet,
     user_tainted: bool,
 }
 
@@ -42,7 +42,7 @@ impl SStr {
     pub fn public(value: impl Into<String>) -> SStr {
         SStr {
             value: value.into(),
-            labels: empty_labels(),
+            labels: LabelSet::new(),
             user_tainted: false,
         }
     }
@@ -51,22 +51,14 @@ impl SStr {
     pub fn labelled(value: impl Into<String>, labels: impl IntoIterator<Item = Label>) -> SStr {
         SStr {
             value: value.into(),
-            labels: Arc::new(labels.into_iter().collect()),
+            labels: labels.into_iter().collect(),
             user_tainted: false,
         }
     }
 
-    /// A string with an existing label set.
+    /// A string with an existing label set (an interned handle — attaching
+    /// it costs one pointer copy).
     pub fn with_label_set(value: impl Into<String>, labels: LabelSet) -> SStr {
-        SStr {
-            value: value.into(),
-            labels: Arc::new(labels),
-            user_tainted: false,
-        }
-    }
-
-    /// A string sharing an existing reference-counted label set (no copy).
-    pub fn with_shared_labels(value: impl Into<String>, labels: Arc<LabelSet>) -> SStr {
         SStr {
             value: value.into(),
             labels,
@@ -79,7 +71,7 @@ impl SStr {
     pub fn from_user(value: impl Into<String>) -> SStr {
         SStr {
             value: value.into(),
-            labels: empty_labels(),
+            labels: LabelSet::new(),
             user_tainted: true,
         }
     }
@@ -113,7 +105,7 @@ impl SStr {
     /// Attaches an additional label (always permitted — data may freely
     /// become more restricted).
     pub fn add_label(&mut self, label: Label) {
-        Arc::make_mut(&mut self.labels).insert(label);
+        self.labels.insert(label);
     }
 
     /// Builder-style [`SStr::add_label`].
@@ -123,10 +115,10 @@ impl SStr {
     }
 
     fn derive(&self, value: String, others: &[&SStr]) -> SStr {
-        let mut labels = Arc::clone(&self.labels);
+        let mut labels = self.labels;
         let mut tainted = self.user_tainted;
         for o in others {
-            merge_labels(&mut labels, &o.labels);
+            labels = labels.union(&o.labels);
             tainted |= o.user_tainted;
         }
         SStr {
@@ -145,7 +137,7 @@ impl SStr {
     /// Appends another labelled string in place.
     pub fn push_sstr(&mut self, other: &SStr) {
         self.value.push_str(&other.value);
-        merge_labels(&mut self.labels, &other.labels);
+        self.labels = self.labels.union(&other.labels);
         self.user_tainted |= other.user_tainted;
     }
 
@@ -263,7 +255,7 @@ impl SStr {
         }
         SStr {
             value: out,
-            labels: Arc::clone(&self.labels),
+            labels: self.labels,
             user_tainted: false,
         }
     }
@@ -273,7 +265,7 @@ impl SStr {
     pub fn sanitize_sql(&self) -> SStr {
         SStr {
             value: self.value.replace('\'', "''"),
-            labels: Arc::clone(&self.labels),
+            labels: self.labels,
             user_tainted: false,
         }
     }
@@ -286,46 +278,22 @@ impl SStr {
     /// Returns [`ReleaseError`] naming the blocking labels; the caller
     /// (the web frontend) turns this into an aborted response.
     pub fn check_release(&self, privileges: &PrivilegeSet) -> Result<&str, ReleaseError> {
-        let blocking = self.labels.blocking_labels(privileges);
-        if blocking.is_empty() {
+        // Fast path: one memoised id-pair lookup, no allocation. The
+        // blocking labels are only materialised to explain a denial.
+        if self.labels.flows_to(privileges) {
             Ok(&self.value)
         } else {
-            Err(ReleaseError { blocking })
+            Err(ReleaseError {
+                blocking: self.labels.blocking_labels(privileges),
+            })
         }
     }
 
     /// Parses the value as a labelled integer, keeping labels.
     pub fn parse_snum(&self) -> Option<crate::snum::SNum> {
         let n: i64 = self.value.trim().parse().ok()?;
-        Some(crate::snum::SNum::with_label_set(
-            n,
-            LabelSet::clone(&self.labels),
-        ))
+        Some(crate::snum::SNum::with_label_set(n, self.labels))
     }
-}
-
-/// The shared empty label set (public data is the overwhelmingly common
-/// case, so it is allocated once).
-pub(crate) fn empty_labels() -> Arc<LabelSet> {
-    use std::sync::OnceLock;
-    static EMPTY: OnceLock<Arc<LabelSet>> = OnceLock::new();
-    Arc::clone(EMPTY.get_or_init(|| Arc::new(LabelSet::new())))
-}
-
-/// Folds `other` into `acc`, skipping the union when it cannot change the
-/// result (identical sets, empty operands, or subset relations).
-pub(crate) fn merge_labels(acc: &mut Arc<LabelSet>, other: &Arc<LabelSet>) {
-    if other.is_empty() || Arc::ptr_eq(acc, other) {
-        return;
-    }
-    if acc.is_empty() {
-        *acc = Arc::clone(other);
-        return;
-    }
-    if other.is_subset(acc) {
-        return;
-    }
-    *acc = Arc::new(acc.union(other));
 }
 
 /// Labelled regex captures; see [`SStr::regex_captures`].

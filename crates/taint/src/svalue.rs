@@ -3,8 +3,6 @@
 //! by units in the backend to the data fetched" (§4.4 step 2). [`SValue`]
 //! is that fetched-and-labelled document.
 
-use std::sync::Arc;
-
 use safeweb_json::Value;
 use safeweb_labels::{Label, LabelSet, PrivilegeSet};
 
@@ -16,7 +14,7 @@ use crate::sstr::{ReleaseError, SStr};
 #[derive(Debug, Clone, PartialEq)]
 pub struct SValue {
     value: Value,
-    labels: Arc<LabelSet>,
+    labels: LabelSet,
 }
 
 impl SValue {
@@ -24,7 +22,7 @@ impl SValue {
     pub fn public(value: Value) -> SValue {
         SValue {
             value,
-            labels: crate::sstr::empty_labels(),
+            labels: LabelSet::new(),
         }
     }
 
@@ -32,16 +30,13 @@ impl SValue {
     pub fn labelled(value: Value, labels: impl IntoIterator<Item = Label>) -> SValue {
         SValue {
             value,
-            labels: Arc::new(labels.into_iter().collect()),
+            labels: labels.into_iter().collect(),
         }
     }
 
     /// A value with an existing label set.
     pub fn with_label_set(value: Value, labels: LabelSet) -> SValue {
-        SValue {
-            value,
-            labels: Arc::new(labels),
-        }
+        SValue { value, labels }
     }
 
     /// The raw JSON (inspection, not release).
@@ -56,14 +51,14 @@ impl SValue {
 
     /// Adds a label.
     pub fn add_label(&mut self, label: Label) {
-        Arc::make_mut(&mut self.labels).insert(label);
+        self.labels.insert(label);
     }
 
     /// Member access on objects; the field inherits the document's labels.
     pub fn get(&self, key: &str) -> Option<SValue> {
         self.value.get(key).map(|v| SValue {
             value: v.clone(),
-            labels: Arc::clone(&self.labels),
+            labels: self.labels,
         })
     }
 
@@ -71,7 +66,7 @@ impl SValue {
     pub fn at(&self, index: usize) -> Option<SValue> {
         self.value.at(index).map(|v| SValue {
             value: v.clone(),
-            labels: Arc::clone(&self.labels),
+            labels: self.labels,
         })
     }
 
@@ -84,29 +79,27 @@ impl SValue {
     pub fn as_sstr(&self) -> Option<SStr> {
         self.value
             .as_str()
-            .map(|s| SStr::with_shared_labels(s.to_string(), Arc::clone(&self.labels)))
+            .map(|s| SStr::with_label_set(s.to_string(), self.labels))
     }
 
     /// Integer payload as a labelled number.
     pub fn as_snum(&self) -> Option<crate::snum::SNum> {
         self.value
             .as_i64()
-            .map(|n| crate::snum::SNum::with_label_set(n, LabelSet::clone(&self.labels)))
+            .map(|n| crate::snum::SNum::with_label_set(n, self.labels))
     }
 
     /// Serialises to compact JSON **as a labelled string** — the paper's
     /// Listing 2 `r.to_json` whose taint made the omitted-check bug
     /// harmless.
     pub fn to_json_sstr(&self) -> SStr {
-        SStr::with_shared_labels(self.value.to_json(), Arc::clone(&self.labels))
+        SStr::with_label_set(self.value.to_json(), self.labels)
     }
 
     /// Combines two labelled values into an array entry-style merge,
     /// unioning labels (used when aggregating records).
     pub fn merge_labels_from(&mut self, other: &SValue) {
-        let mut acc = Arc::clone(&self.labels);
-        crate::sstr::merge_labels(&mut acc, &other.labels);
-        self.labels = acc;
+        self.labels = self.labels.union(&other.labels);
     }
 
     /// Boundary check on the serialised form.

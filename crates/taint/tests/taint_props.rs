@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn label_monotonicity(a in arb_sstr(), b in arb_sstr(), ops in proptest::collection::vec(arb_op(), 1..5)) {
         let mut acc = a.clone();
-        let mut expected = a.labels().clone();
+        let mut expected = *a.labels();
         for op in &ops {
             acc = apply(op, &acc, &b);
             if uses_both(op) {

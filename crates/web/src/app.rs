@@ -16,6 +16,7 @@ use safeweb_relstore::{CellValue, Database, Row};
 use safeweb_taint::{SStr, SValue};
 
 use crate::auth::{AuthenticatedUser, UserStore};
+use crate::render_cache::{RenderCache, RenderedPage};
 use crate::router::Router;
 
 /// A labelled response produced by a route handler.
@@ -171,12 +172,17 @@ pub struct FrontendOptions {
     /// When `false`, the response label check is skipped — the paper's
     /// §5.3 "without taint tracking" baseline. Never disable in production.
     pub label_checking: bool,
+    /// When `false`, routes registered with [`SafeWebApp::get_cached`] are
+    /// served as if registered with [`SafeWebApp::get`] — every request
+    /// renders. Useful for measuring the cache's contribution.
+    pub render_caching: bool,
 }
 
 impl Default for FrontendOptions {
     fn default() -> FrontendOptions {
         FrontendOptions {
             label_checking: true,
+            render_caching: true,
         }
     }
 }
@@ -191,6 +197,8 @@ pub struct FrontendStats {
     handler_ns: AtomicU64,
     label_check_ns: AtomicU64,
     denied: AtomicU64,
+    render_cache_hits: AtomicU64,
+    render_cache_misses: AtomicU64,
 }
 
 impl FrontendStats {
@@ -224,6 +232,18 @@ impl FrontendStats {
     pub fn denied(&self) -> u64 {
         self.denied.load(Ordering::Relaxed)
     }
+
+    /// Requests on cacheable routes served from the per-clearance render
+    /// cache (no handler run, no re-check).
+    pub fn render_cache_hits(&self) -> u64 {
+        self.render_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests on cacheable routes that had to render (cold entry, store
+    /// advanced, or evicted).
+    pub fn render_cache_misses(&self) -> u64 {
+        self.render_cache_misses.load(Ordering::Relaxed)
+    }
 }
 
 type AuthLookup = Arc<dyn Fn(&Database, &str) -> Option<Row> + Send + Sync>;
@@ -232,10 +252,14 @@ type AuthLookup = Arc<dyn Fn(&Database, &str) -> Option<Row> + Send + Sync>;
 pub struct SafeWebApp {
     router: Router,
     handlers: Vec<RouteHandler>,
+    /// Parallel to `handlers`: whether the route opted into the
+    /// per-clearance render cache via [`SafeWebApp::get_cached`].
+    cacheable: Vec<bool>,
     users: UserStore,
     records: DocStore,
     options: FrontendOptions,
     stats: Arc<FrontendStats>,
+    render_cache: RenderCache,
     auth_lookup: AuthLookup,
 }
 
@@ -246,10 +270,12 @@ impl SafeWebApp {
         SafeWebApp {
             router: Router::new(),
             handlers: Vec::new(),
+            cacheable: Vec::new(),
             users,
             records,
             options: FrontendOptions::default(),
             stats: Arc::new(FrontendStats::default()),
+            render_cache: RenderCache::new(),
             auth_lookup: Arc::new(|db, name| {
                 db.get("users", &CellValue::from(name)).ok().flatten()
             }),
@@ -282,6 +308,31 @@ impl SafeWebApp {
         self.add_route(Method::Get, pattern, handler);
     }
 
+    /// Registers a GET route whose rendered pages may be shared across
+    /// users **with equal privilege sets** via the per-clearance render
+    /// cache.
+    ///
+    /// Opting in is a promise about the handler: its output must be a
+    /// function of the request path and query, the caller's privileges, and
+    /// the document store only — never of the username or other per-user
+    /// state (no `ctx.user().username`-dependent branching). The cache key
+    /// is `(route, path+query, PrivilegeSetId)` and entries are tagged with
+    /// the store's change sequence, so two users hit the same entry iff
+    /// their interned privilege sets are *identical* and the store has not
+    /// advanced. Only responses that passed the boundary label check (200,
+    /// untainted, released for that exact clearance) are ever stored.
+    pub fn get_cached(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Ctx<'_>) -> SResponse + Send + Sync + 'static,
+    ) {
+        self.add_route(Method::Get, pattern, handler);
+        *self
+            .cacheable
+            .last_mut()
+            .expect("add_route pushed a handler") = true;
+    }
+
     /// Registers a POST route.
     pub fn post(
         &mut self,
@@ -299,6 +350,7 @@ impl SafeWebApp {
     ) {
         let idx = self.handlers.len();
         self.handlers.push(Arc::new(handler));
+        self.cacheable.push(false);
         self.router.add(method, pattern, idx);
     }
 
@@ -339,6 +391,42 @@ impl SafeWebApp {
                 .with_header("www-authenticate", "Basic realm=\"SafeWeb\"")
                 .with_body("bad credentials");
         };
+
+        // Per-clearance render cache (opt-in routes only, and only while
+        // label checking is on — the cached body is the *released* one).
+        // The seq is read before the handler runs; if the store advances
+        // mid-render the entry is born stale, which is the safe direction.
+        let cache_route = self.options.render_caching
+            && self.options.label_checking
+            && self.cacheable[handler_idx];
+        let (path_query, seq) = if cache_route {
+            let mut key = request.path().to_string();
+            let mut sep = '?';
+            for (name, value) in request.query_params() {
+                key.push(sep);
+                key.push_str(name);
+                key.push('=');
+                key.push_str(value);
+                sep = '&';
+            }
+            (key, self.records.seq())
+        } else {
+            (String::new(), 0)
+        };
+        if cache_route {
+            if let Some(page) =
+                self.render_cache
+                    .get(handler_idx, &path_query, user.privileges.id(), seq)
+            {
+                self.stats.render_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::new(page.status)
+                    .with_header("content-type", page.content_type)
+                    .with_body(page.body);
+            }
+            self.stats
+                .render_cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
 
         // Steps 2–3: run the handler over labelled data.
         let ctx = Ctx {
@@ -381,6 +469,22 @@ impl SafeWebApp {
         self.stats
             .label_check_ns
             .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Cache only fully released 200s, keyed by the exact clearance the
+        // label check just ran against.
+        if cache_route && sresponse.status == 200 {
+            self.render_cache.put(
+                handler_idx,
+                &path_query,
+                user.privileges.id(),
+                seq,
+                &RenderedPage {
+                    status: sresponse.status,
+                    content_type: sresponse.content_type.clone(),
+                    body: released.clone(),
+                },
+            );
+        }
 
         Response::new(sresponse.status)
             .with_header("content-type", sresponse.content_type.clone())
@@ -512,10 +616,127 @@ mod tests {
         let (app, _) = setup();
         let app = app.with_options(FrontendOptions {
             label_checking: false,
+            ..Default::default()
         });
         // Baseline: even the uncleared user gets data (measured config only).
         let resp = app.handle(&req("/records/a", "nosy"));
         assert_eq!(resp.status(), 200);
+    }
+
+    /// An app with a cached route over the same records as `setup()`, plus
+    /// a second user whose privileges equal `mdt_a`'s (distinct username,
+    /// same interned clearance).
+    fn setup_cached() -> (SafeWebApp, DocStore) {
+        let users = UserStore::new(
+            Database::new("web"),
+            AuthConfig {
+                hash_iterations: 500,
+            },
+        );
+        let mut privs = PrivilegeSet::new();
+        privs.grant(Privilege::clearance(Label::conf("e", "mdt/a")));
+        users.create_user("mdt_a", "pw", &privs, false).unwrap();
+        users.create_user("peer_a", "pw", &privs, false).unwrap();
+        users
+            .create_user("nosy", "pw", &PrivilegeSet::new(), false)
+            .unwrap();
+
+        let records = DocStore::new("app");
+        records.create_view("by_mid", "mdt_id");
+        records
+            .put(
+                "rec-1",
+                jobject! {"mdt_id" => "a", "patient" => "Ann"},
+                LabelSet::singleton(Label::conf("e", "mdt/a")),
+                None,
+            )
+            .unwrap();
+
+        let mut app = SafeWebApp::new(users, records.clone());
+        app.get_cached("/records/:mid", |ctx: &Ctx<'_>| {
+            let mid = ctx.param_raw("mid").unwrap_or("");
+            let docs = ctx.records_by("by_mid", mid);
+            let body = SStr::concat_all(
+                docs.iter()
+                    .map(|d| d.to_json_sstr())
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
+            SResponse::json(body)
+        });
+        (app, records)
+    }
+
+    #[test]
+    fn cached_route_shares_pages_across_equal_clearances() {
+        let (app, _) = setup_cached();
+        let first = app.handle(&req("/records/a", "mdt_a"));
+        assert_eq!(first.status(), 200);
+        // Same user again: hit.
+        let second = app.handle(&req("/records/a", "mdt_a"));
+        assert_eq!(second.status(), 200);
+        assert_eq!(second.body_str().unwrap(), first.body_str().unwrap());
+        // Different user, *equal* privilege set: also a hit.
+        let peer = app.handle(&req("/records/a", "peer_a"));
+        assert_eq!(peer.status(), 200);
+        assert_eq!(peer.body_str().unwrap(), first.body_str().unwrap());
+        let stats = app.stats();
+        assert_eq!(stats.render_cache_misses(), 1);
+        assert_eq!(stats.render_cache_hits(), 2);
+    }
+
+    #[test]
+    fn cached_route_never_crosses_clearances() {
+        let (app, _) = setup_cached();
+        // Warm the cache as the cleared user.
+        assert_eq!(app.handle(&req("/records/a", "mdt_a")).status(), 200);
+        // The uncleared user must still be denied — a denial is never
+        // cached, and the cleared user's page is under a different key.
+        let resp = app.handle(&req("/records/a", "nosy"));
+        assert_eq!(resp.status(), 403);
+        assert!(!resp.body_str().unwrap().contains("Ann"));
+        // And the denial must not have poisoned the cleared user's entry.
+        let again = app.handle(&req("/records/a", "mdt_a"));
+        assert_eq!(again.status(), 200);
+        assert!(again.body_str().unwrap().contains("Ann"));
+    }
+
+    #[test]
+    fn cached_route_invalidates_when_store_advances() {
+        let (app, records) = setup_cached();
+        let first = app.handle(&req("/records/a", "mdt_a"));
+        assert!(first.body_str().unwrap().contains("Ann"));
+        let rev = records.get("rec-1").unwrap().rev().clone();
+        records
+            .put(
+                "rec-1",
+                jobject! {"mdt_id" => "a", "patient" => "Bea"},
+                LabelSet::singleton(Label::conf("e", "mdt/a")),
+                Some(&rev),
+            )
+            .unwrap();
+        let second = app.handle(&req("/records/a", "mdt_a"));
+        assert!(
+            second.body_str().unwrap().contains("Bea"),
+            "store advanced, cache entry must be stale"
+        );
+        let stats = app.stats();
+        assert_eq!(stats.render_cache_hits(), 0);
+        assert_eq!(stats.render_cache_misses(), 2);
+    }
+
+    #[test]
+    fn render_caching_can_be_disabled() {
+        let (app, _) = setup_cached();
+        let app = app.with_options(FrontendOptions {
+            render_caching: false,
+            ..Default::default()
+        });
+        app.handle(&req("/records/a", "mdt_a"));
+        app.handle(&req("/records/a", "mdt_a"));
+        let stats = app.stats();
+        assert_eq!(stats.render_cache_hits(), 0);
+        assert_eq!(stats.render_cache_misses(), 0);
     }
 
     #[test]

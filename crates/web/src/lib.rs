@@ -23,6 +23,7 @@
 
 mod app;
 mod auth;
+mod render_cache;
 mod router;
 mod template;
 

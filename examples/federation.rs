@@ -53,7 +53,7 @@ fn main() {
                     .with_payload(event.payload().unwrap_or(""));
                 // The labels ride along unchanged: Relabel::keep() means
                 // West enforces exactly the restrictions East attached.
-                let labelled = forwarded.with_label_set(jail.labels().clone());
+                let labelled = forwarded.with_label_set(*jail.labels());
                 west_for_bridge.publish(&labelled);
                 // Also keep a copy on the eastern audit topic.
                 jail.publish(

@@ -82,7 +82,7 @@ fn networked_pipeline_end_to_end() {
                     .put(
                         &format!("rec-{}", event.attr("name").unwrap_or("x")),
                         body,
-                        jail.labels().clone(),
+                        *jail.labels(),
                         None,
                     )
                     .map_err(|e| UnitError::Application(e.to_string()))?;
