@@ -1,0 +1,109 @@
+//! Negative control `metrics_probe`: the observability layer must not
+//! weaken the security argument. Two claims, both exercised against
+//! the live rig:
+//!
+//! 1. the ops surface itself is a guarded door — anonymous callers and
+//!    authenticated-but-under-cleared principals (the attacker's own
+//!    MDT account) get nothing;
+//! 2. telemetry is not a side channel — after a full label-leak
+//!    campaign (every attempt minted traces and bumped counters), no
+//!    canary token appears anywhere in the metrics, health, or trace
+//!    snapshots an admin can pull.
+
+use safeweb_attack::{run_campaign, seed_from_env, AttackRig, Family, RigOptions};
+use safeweb_http::{client, Method, Request};
+use safeweb_labels::PrivilegeSet;
+
+const OPS_PATHS: [&str; 2] = ["/__obs/metrics", "/__obs/health"];
+
+#[test]
+fn ops_surface_denies_attackers_and_leaks_no_canaries() {
+    let rig = AttackRig::build(RigOptions::default());
+    let deployment = rig.portal().deployment();
+    deployment
+        .users()
+        .create_user("obs-admin", "obs-admin-pw", &PrivilegeSet::new(), true)
+        .expect("admin account is fresh");
+
+    let ops = deployment.serve_ops("127.0.0.1:0").expect("ops binds");
+    let addr = ops.addr().to_string();
+
+    // Claim 1: the door holds. The attacker's portal credentials are
+    // real, but carry no admin bit — same denial as anonymous probing.
+    for path in OPS_PATHS.iter().copied().chain(["/__obs/trace/1234"]) {
+        let anon = client::send(&addr, Request::new(Method::Get, path)).unwrap();
+        assert_eq!(anon.status(), 401, "{path}: anonymous must be refused");
+        let attacker = client::send(
+            &addr,
+            Request::new(Method::Get, path)
+                .with_basic_auth(rig.attacker(), rig.attacker_password()),
+        )
+        .unwrap();
+        assert_eq!(
+            attacker.status(),
+            403,
+            "{path}: an under-cleared principal must be refused"
+        );
+        for denied in [&anon, &attacker] {
+            assert!(
+                !denied.body_str().unwrap_or_default().contains('{'),
+                "{path}: a denial must carry no telemetry"
+            );
+        }
+    }
+
+    // Drive the full label-leak family through the frontend, collecting
+    // the trace ids the responses advertise — the exact ids an attacker
+    // (or a curious admin) could later look up.
+    let mut trace_ids = Vec::new();
+    let probe = rig.handle(
+        &Request::new(Method::Get, "/records")
+            .with_basic_auth(rig.attacker(), rig.attacker_password()),
+    );
+    if let Some(id) = probe.headers().get("x-safeweb-trace") {
+        trace_ids.push(id.to_string());
+    }
+    let report = run_campaign(&rig, Family::LabelLeak, 120, seed_from_env());
+    report.assert_sealed();
+
+    // Claim 2: nothing the campaign touched shows up in telemetry. The
+    // canary oracle scans every snapshot body the admin can fetch.
+    let mut bodies = Vec::new();
+    for path in OPS_PATHS {
+        let response = client::send(
+            &addr,
+            Request::new(Method::Get, path).with_basic_auth("obs-admin", "obs-admin-pw"),
+        )
+        .unwrap();
+        assert_eq!(response.status(), 200, "{path}: admin scrape must work");
+        bodies.push((path.to_string(), response.body_str().unwrap().to_string()));
+    }
+    for id in &trace_ids {
+        let response = client::send(
+            &addr,
+            Request::new(Method::Get, &format!("/__obs/trace/{id}"))
+                .with_basic_auth("obs-admin", "obs-admin-pw"),
+        )
+        .unwrap();
+        // 404 (ring evicted under load) is fine; a live body joins the
+        // scan.
+        if response.status() == 200 {
+            bodies.push((
+                format!("trace {id}"),
+                response.body_str().unwrap().to_string(),
+            ));
+        }
+    }
+    for (what, body) in &bodies {
+        assert!(
+            !rig.canaries().leaked(body),
+            "{what}: canary token leaked into telemetry"
+        );
+        for name in rig.victim_patient_names() {
+            assert!(
+                !body.contains(name),
+                "{what}: victim patient name leaked into telemetry"
+            );
+        }
+    }
+}

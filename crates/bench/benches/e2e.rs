@@ -42,9 +42,10 @@ use safeweb_bench::report_row;
 use safeweb_broker::{Broker, BrokerServer};
 use safeweb_docstore::{DocStore, ReplicationHandle, WalSync};
 use safeweb_events::{Event, LabelledEvent};
-use safeweb_http::{HttpServer, Request, Response};
+use safeweb_http::{client, HttpServer, Method, Request, Response};
 use safeweb_json::jobject;
 use safeweb_labels::{LabelSet, Policy};
+use safeweb_obs::MetricsRegistry;
 
 /// Documents cycled by the background writer and read by the handler.
 const DOC_SLOTS: usize = 64;
@@ -269,11 +270,32 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
     sorted[idx] as f64 / 1_000.0 // ns → µs
 }
 
+/// A bench-local ops listener serving the same `/__obs/metrics` body
+/// the deployment's ops surface renders, so the load phases can be
+/// scraped mid-run exactly the way an operator would scrape them.
+fn serve_metrics(registry: &MetricsRegistry) -> HttpServer {
+    let registry = registry.clone();
+    HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req: Request| {
+            if req.path() == "/__obs/metrics" {
+                Response::json(registry.snapshot().to_json())
+            } else {
+                Response::text("not found")
+            }
+        }),
+    )
+    .expect("bind bench ops listener")
+}
+
 fn run_http_phase() -> HttpResults {
     let dir = bench_dir("http");
     let app = DocStore::open(dir.join("app")).expect("open app store");
     let dmz = DocStore::open(dir.join("dmz")).expect("open dmz store");
     dmz.set_read_only(true);
+    let registry = MetricsRegistry::new();
+    app.attach_metrics(&registry, "docstore.app");
+    dmz.attach_metrics(&registry, "docstore.dmz");
     for i in 0..DOC_SLOTS {
         app.put(
             &format!("doc-{i:03}"),
@@ -355,14 +377,45 @@ fn run_http_phase() -> HttpResults {
     // Open-loop latency at ~60 % of the 4-shard saturation point.
     let mut server =
         HttpServer::bind_sharded("127.0.0.1:0", 4, Arc::clone(&handler)).expect("bind http");
+    server.attach_metrics(&registry, "frontend");
     let addr = server.addr().to_string();
     let rate = (rps[1] * 0.6).max(50.0);
     // Stay under the server's 1000-request keep-alive budget per conn.
     let planned = rate * open_dur.as_secs_f64();
     let conns = ((planned / 800.0).ceil() as usize).clamp(8, 64);
+
+    // Scrape `/__obs/metrics` halfway through the load window — while
+    // the frontend, replication writer and both stores are hot — the
+    // way a live deployment gets scraped. The body lands in
+    // `SAFEWEB_OBS_SCRAPE` (CI uploads it as an artifact).
+    let mut ops = serve_metrics(&registry);
+    let scrape = {
+        let ops_addr = ops.addr().to_string();
+        let delay = open_dur / 2;
+        thread::spawn(move || {
+            thread::sleep(delay);
+            client::send(&ops_addr, Request::new(Method::Get, "/__obs/metrics"))
+                .ok()
+                .filter(|r| r.status() == 200)
+                .and_then(|r| r.body_str().map(str::to_string))
+        })
+    };
     let mut latencies = open_loop(&addr, conns, rate, open_dur);
+    let snapshot = scrape
+        .join()
+        .unwrap()
+        .expect("mid-run /__obs/metrics scrape answered");
     server.shutdown();
+    ops.shutdown();
     latencies.sort_unstable();
+    assert!(
+        snapshot.contains("frontend.accepted") && snapshot.contains("docstore.app.put_ns"),
+        "mid-run snapshot must carry frontend and store metrics: {snapshot}"
+    );
+    if let Ok(path) = std::env::var("SAFEWEB_OBS_SCRAPE") {
+        std::fs::write(&path, &snapshot).expect("write obs scrape artifact");
+        eprintln!("  mid-run /__obs/metrics snapshot written to {path}");
+    }
 
     stop.store(true, Ordering::Relaxed);
     writer.join().unwrap();

@@ -45,6 +45,7 @@ fn scheduled_mode() -> ExecutionMode {
         inbox_cap: 1024,
         burst: 128,
         name: "bench-sched".to_string(),
+        ..Default::default()
     })
 }
 

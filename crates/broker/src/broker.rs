@@ -59,7 +59,6 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -67,6 +66,7 @@ use parking_lot::RwLock;
 
 use safeweb_events::LabelledEvent;
 use safeweb_labels::PrivilegeSet;
+use safeweb_obs::{record_span, tracer, Counter, MetricsRegistry, TraceId};
 use safeweb_selector::Selector;
 
 /// Number of routing shards (power of two; topic hash picks the shard).
@@ -174,34 +174,50 @@ pub struct Delivery {
     pub event: Arc<LabelledEvent>,
 }
 
-/// Counters exposed for the evaluation benches.
+/// Broker counters: a thin view over [`safeweb_obs`] registry counters.
+///
+/// Standalone brokers get detached counters (`Default`); a broker built
+/// with [`Broker::with_metrics`] registers them as `broker.published`,
+/// `broker.delivered`, `broker.label_filtered` and
+/// `broker.selector_filtered` in the deployment's shared registry, so
+/// the same atomics back both these accessors and the
+/// `deployment.metrics()` snapshot.
 #[derive(Debug, Default)]
 pub struct BrokerStats {
-    published: AtomicU64,
-    delivered: AtomicU64,
-    label_filtered: AtomicU64,
-    selector_filtered: AtomicU64,
+    published: Counter,
+    delivered: Counter,
+    label_filtered: Counter,
+    selector_filtered: Counter,
 }
 
 impl BrokerStats {
+    fn registered(registry: &MetricsRegistry) -> BrokerStats {
+        BrokerStats {
+            published: registry.counter("broker.published"),
+            delivered: registry.counter("broker.delivered"),
+            label_filtered: registry.counter("broker.label_filtered"),
+            selector_filtered: registry.counter("broker.selector_filtered"),
+        }
+    }
+
     /// Events published.
     pub fn published(&self) -> u64 {
-        self.published.load(Ordering::Relaxed)
+        self.published.get()
     }
 
     /// Deliveries made (one per matching subscription).
     pub fn delivered(&self) -> u64 {
-        self.delivered.load(Ordering::Relaxed)
+        self.delivered.get()
     }
 
     /// Deliveries suppressed because the subscriber lacked clearance.
     pub fn label_filtered(&self) -> u64 {
-        self.label_filtered.load(Ordering::Relaxed)
+        self.label_filtered.get()
     }
 
     /// Deliveries suppressed by a content selector.
     pub fn selector_filtered(&self) -> u64 {
-        self.selector_filtered.load(Ordering::Relaxed)
+        self.selector_filtered.get()
     }
 }
 
@@ -217,20 +233,16 @@ struct LocalStats {
 impl LocalStats {
     fn flush(self, stats: &BrokerStats, published: u64) {
         if published > 0 {
-            stats.published.fetch_add(published, Ordering::Relaxed);
+            stats.published.add(published);
         }
         if self.delivered > 0 {
-            stats.delivered.fetch_add(self.delivered, Ordering::Relaxed);
+            stats.delivered.add(self.delivered);
         }
         if self.label_filtered > 0 {
-            stats
-                .label_filtered
-                .fetch_add(self.label_filtered, Ordering::Relaxed);
+            stats.label_filtered.add(self.label_filtered);
         }
         if self.selector_filtered > 0 {
-            stats
-                .selector_filtered
-                .fetch_add(self.selector_filtered, Ordering::Relaxed);
+            stats.selector_filtered.add(self.selector_filtered);
         }
     }
 }
@@ -340,6 +352,19 @@ impl Broker {
                 shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
                 directory: RwLock::default(),
                 stats: BrokerStats::default(),
+                options,
+            }),
+        }
+    }
+
+    /// Creates a broker whose counters live in `registry` (under
+    /// `broker.*`), so a deployment-wide snapshot sees them.
+    pub fn with_metrics(options: BrokerOptions, registry: &MetricsRegistry) -> Broker {
+        Broker {
+            inner: Arc::new(Inner {
+                shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+                directory: RwLock::default(),
+                stats: BrokerStats::registered(registry),
                 options,
             }),
         }
@@ -615,7 +640,18 @@ impl Broker {
 
     /// Like [`Broker::publish`] for an event already behind an [`Arc`]
     /// (avoids the defensive clone of the borrowed-event entry point).
-    pub fn publish_arc(&self, event: Arc<LabelledEvent>) -> usize {
+    pub fn publish_arc(&self, mut event: Arc<LabelledEvent>) -> usize {
+        // Engine-originated events reach their first publish untraced;
+        // mint here so the rest of the pipeline (scheduler activation,
+        // docstore write) stitches onto one id. A shared `Arc` cannot be
+        // retraced in place, but every in-process path wraps immediately
+        // before publishing, so uniqueness is the common case.
+        if !event.trace_id().is_set() {
+            if let Some(owned) = Arc::get_mut(&mut event) {
+                owned.set_trace_id(TraceId::mint());
+            }
+        }
+        let start = safeweb_obs::now_ns();
         let mut local = LocalStats::default();
         let mut matches = Vec::new();
         {
@@ -624,6 +660,13 @@ impl Broker {
         }
         let delivered = Self::deliver_matches(&mut matches, &mut local);
         local.flush(&self.inner.stats, 1);
+        record_span(
+            "broker",
+            event.topic(),
+            event.trace_id(),
+            start,
+            Some(event.labels().id().as_u32()),
+        );
         delivered
     }
 
@@ -643,9 +686,15 @@ impl Broker {
             return self.publish_arc(Arc::new(events.pop().expect("len checked")));
         }
         let published = events.len() as u64;
+        let start = safeweb_obs::now_ns();
         let mut buckets: Vec<Vec<Arc<LabelledEvent>>> = Vec::new();
         buckets.resize_with(SHARD_COUNT, Vec::new);
-        for event in events {
+        for mut event in events {
+            // Same minting rule as `publish_arc`: every event leaves the
+            // broker traced, even when its publisher never opened a scope.
+            if !event.trace_id().is_set() {
+                event.set_trace_id(TraceId::mint());
+            }
             let event = Arc::new(event);
             buckets[shard_of(event.topic())].push(event);
         }
@@ -666,6 +715,20 @@ impl Broker {
             delivered += Self::deliver_matches(&mut matches, &mut local);
         }
         local.flush(&self.inner.stats, published);
+        if tracer().enabled() {
+            // Batch spans share the batch window: per-event timing inside
+            // a grouped fan-out is not separable without defeating the
+            // one-lock-per-shard batching this path exists for.
+            for event in buckets.iter().flatten() {
+                record_span(
+                    "broker",
+                    event.topic(),
+                    event.trace_id(),
+                    start,
+                    Some(event.labels().id().as_u32()),
+                );
+            }
+        }
         delivered
     }
 

@@ -4,19 +4,22 @@
 //! web frontend on top.
 
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use safeweb_broker::Broker;
+use safeweb_broker::{Broker, BrokerOptions};
 use safeweb_docstore::{DocStore, ReplicationHandle};
 use safeweb_engine::{
     Engine, EngineError, EngineHandle, EngineOptions, ExecutionMode, SchedulerOptions, UnitSpec,
 };
 use safeweb_http::HttpServer;
 use safeweb_labels::Policy;
+use safeweb_obs::MetricsRegistry;
 use safeweb_relstore::Database;
 use safeweb_web::{AuthConfig, SafeWebApp, UserStore};
 
+use crate::ops;
 use crate::zones::{Zone, ZoneTopology};
 
 /// Builder for a complete SafeWeb deployment.
@@ -41,6 +44,7 @@ pub struct SafeWebBuilder {
     app_views: Vec<(String, String)>,
     data_dir: Option<PathBuf>,
     frontend_shards: usize,
+    slow_activation: Option<Duration>,
 }
 
 impl Default for SafeWebBuilder {
@@ -62,6 +66,7 @@ impl SafeWebBuilder {
             app_views: Vec::new(),
             data_dir: None,
             frontend_shards: 1,
+            slow_activation: None,
         }
     }
 
@@ -118,6 +123,17 @@ impl SafeWebBuilder {
         self
     }
 
+    /// Flags engine activations slower than `threshold` to the process
+    /// tracer's slow-activation buffer (scheduled execution only; see
+    /// `Tracer::slow_activations` in `safeweb-obs`). Off by default.
+    /// Overridden by an explicit
+    /// [`safeweb_engine::SchedulerOptions::slow_activation_ns`] passed
+    /// through [`SafeWebBuilder::scheduler`].
+    pub fn slow_activation_threshold(mut self, threshold: Duration) -> SafeWebBuilder {
+        self.slow_activation = Some(threshold);
+        self
+    }
+
     /// Number of reactor event-loop shards each served frontend runs
     /// (default 1, clamped to ≥ 1). With more shards, accepted
     /// connections are spread across that many epoll threads, so
@@ -159,7 +175,12 @@ impl SafeWebBuilder {
     /// ([`SafeWebBuilder::data_dir`]) cannot open or recover its stores.
     pub fn build(self) -> Result<SafeWebDeployment, EngineError> {
         let topology = ZoneTopology::ecric();
-        let broker = Broker::new();
+
+        // One registry for the whole deployment: every subsystem's
+        // counters, histograms and derived gauges land here, and the
+        // ops surface ([`SafeWebDeployment::serve_ops`]) snapshots it.
+        let metrics = MetricsRegistry::new();
+        let broker = Broker::with_metrics(BrokerOptions::default(), &metrics);
 
         // Application DB lives in the Intranet; replica in the DMZ.
         // Durable mode recovers both from their write-ahead logs.
@@ -178,6 +199,8 @@ impl SafeWebBuilder {
             app_db.create_view(view, field);
             dmz_db.create_view(view, field);
         }
+        app_db.attach_metrics(&metrics, "docstore.app");
+        dmz_db.attach_metrics(&metrics, "docstore.dmz");
 
         // Replication pushes Intranet → DMZ; assert the firewall allows it.
         // A durable replica resumes from its recovered checkpoint instead
@@ -195,8 +218,37 @@ impl SafeWebBuilder {
             ReplicationHandle::start(app_db.clone(), dmz_db.clone(), self.replication_interval)
         };
 
-        let mut engine = Engine::new(Arc::new(broker.clone()), self.policy.clone())
-            .with_options(self.engine_options);
+        // Replication lag in sequence numbers: how far the DMZ replica's
+        // checkpoint trails the Intranet store. A count, never content.
+        let lag_source = app_db.clone();
+        let lag_checkpoint = replication.checkpoint_cell();
+        metrics.register_derived("replication.lag_seqs", move || {
+            lag_source
+                .seq()
+                .saturating_sub(lag_checkpoint.load(Ordering::SeqCst)) as f64
+        });
+
+        // The declassification audit trail is process-global (every
+        // `SStr` declassify anywhere counts); surfacing it per
+        // deployment keeps the audit pressure visible on the ops page.
+        metrics.register_derived("safeq.declassify_count", || {
+            safeweb_safeq::declassify_count() as f64
+        });
+        metrics.register_derived("safeq.declassify_dropped", || {
+            safeweb_safeq::declassify_dropped() as f64
+        });
+
+        let mut engine_options = self.engine_options;
+        if let ExecutionMode::Scheduled(opts) = &mut engine_options.execution {
+            if opts.metrics.is_none() {
+                opts.metrics = Some(metrics.clone());
+            }
+            if opts.slow_activation_ns.is_none() {
+                opts.slow_activation_ns = self.slow_activation.map(|d| d.as_nanos() as u64);
+            }
+        }
+        let mut engine =
+            Engine::new(Arc::new(broker.clone()), self.policy.clone()).with_options(engine_options);
         for unit in self.units {
             engine.add_unit(unit)?;
         }
@@ -218,6 +270,7 @@ impl SafeWebBuilder {
             users,
             policy: self.policy,
             frontend_shards: self.frontend_shards,
+            metrics,
         })
     }
 }
@@ -233,6 +286,7 @@ pub struct SafeWebDeployment {
     users: UserStore,
     policy: Policy,
     frontend_shards: usize,
+    metrics: MetricsRegistry,
 }
 
 impl SafeWebDeployment {
@@ -282,6 +336,18 @@ impl SafeWebDeployment {
         self.app_db.is_durable()
     }
 
+    /// The deployment-wide metrics registry. Every subsystem reports
+    /// here — broker (`broker.*`), scheduler (`sched.*`), document
+    /// stores (`docstore.app.*` / `docstore.dmz.*`), replication lag
+    /// (`replication.lag_seqs`), declassification audit (`safeq.*`),
+    /// and, once served, the frontend (`web.*`, `frontend.*`). Call
+    /// [`safeweb_obs::MetricsRegistry::snapshot`] for one consistent
+    /// JSON view, or serve it over HTTP with
+    /// [`SafeWebDeployment::serve_ops`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Violations recorded by the engine so far.
     pub fn engine_violations(&self) -> Vec<safeweb_engine::Violation> {
         self.engine_handle
@@ -295,6 +361,10 @@ impl SafeWebDeployment {
     /// [`SafeWebDeployment::stop`]). Pair with
     /// [`safeweb_http::HttpServer::queued_bytes`] on the served frontend
     /// to see which side of the pipeline is backed up.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `sched.queued_messages` from `SafeWebDeployment::metrics()` instead"
+    )]
     pub fn engine_queued_messages(&self) -> usize {
         self.engine_handle
             .as_ref()
@@ -319,7 +389,31 @@ impl SafeWebDeployment {
     ///
     /// Propagates bind errors.
     pub fn serve(&self, app: SafeWebApp, addr: &str) -> std::io::Result<HttpServer> {
-        HttpServer::bind_sharded(addr, self.frontend_shards, Arc::new(app).into_handler())
+        app.attach_metrics(&self.metrics);
+        let server =
+            HttpServer::bind_sharded(addr, self.frontend_shards, Arc::new(app).into_handler())?;
+        server.attach_metrics(&self.metrics, "frontend");
+        Ok(server)
+    }
+
+    /// Serves the operator surface on its **own** listener (never the
+    /// public frontend address): `/__obs/metrics`, `/__obs/health` and
+    /// `/__obs/trace/:id`. Every route requires HTTP basic credentials
+    /// for an **admin** user from [`SafeWebDeployment::users`]; anyone
+    /// else gets 401/403 and no body. See [`crate::ops`] for the
+    /// label-safety contract of what these endpoints may expose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn serve_ops(&self, addr: &str) -> std::io::Result<HttpServer> {
+        let state = ops::OpsState {
+            metrics: self.metrics.clone(),
+            users: self.users.clone(),
+            app_db: self.app_db.clone(),
+            dmz_db: self.dmz_db.clone(),
+        };
+        HttpServer::bind(addr, ops::handler(state))
     }
 
     /// Stops the engine and replication (idempotent; also runs on drop).

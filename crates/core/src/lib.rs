@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 mod deployment;
+pub mod ops;
 mod zones;
 
 pub use deployment::{SafeWebBuilder, SafeWebDeployment};
@@ -42,6 +43,7 @@ pub use safeweb_events as events;
 pub use safeweb_http as http;
 pub use safeweb_json as json;
 pub use safeweb_labels as labels;
+pub use safeweb_obs as obs;
 pub use safeweb_relstore as relstore;
 pub use safeweb_taint as taint;
 pub use safeweb_web as web;

@@ -272,6 +272,13 @@ impl ReplicationHandle {
         self.checkpoint.load(Ordering::SeqCst)
     }
 
+    /// A shared handle onto the live checkpoint cell. Lets callers wire
+    /// derived gauges (e.g. replication lag = source seq − checkpoint)
+    /// without keeping a borrow of the handle alive.
+    pub fn checkpoint_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.checkpoint)
+    }
+
     /// Stops the loop and joins the thread.
     pub fn stop(mut self) {
         self.shutdown();

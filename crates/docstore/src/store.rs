@@ -16,6 +16,7 @@ use parking_lot::RwLock;
 
 use safeweb_json::Value;
 use safeweb_labels::LabelSet;
+use safeweb_obs::{Histogram, MetricsRegistry};
 
 use crate::document::{Document, Revision};
 use crate::snapshot;
@@ -210,6 +211,10 @@ struct Inner {
     read_only: bool,
     /// `Some` iff the store was opened with [`DocStore::open`].
     durability: Option<Durability>,
+    /// End-to-end [`DocStore::put`] latency (including the group-commit
+    /// durability wait). Detached until [`DocStore::attach_metrics`]
+    /// swaps in a registry-backed handle.
+    put_ns: Histogram,
 }
 
 impl Default for Inner {
@@ -223,6 +228,7 @@ impl Default for Inner {
             views: BTreeMap::new(),
             read_only: false,
             durability: None,
+            put_ns: Histogram::new(),
         }
     }
 }
@@ -728,6 +734,53 @@ impl DocStore {
         &self.name
     }
 
+    /// Wires this store's telemetry into `registry` under `prefix`
+    /// (e.g. `"docstore.app"`), so a deployment can attach several
+    /// stores to one registry without name collisions:
+    ///
+    /// * `<prefix>.put_ns` — end-to-end [`DocStore::put`] latency;
+    /// * `<prefix>.wal_fsync_ns` — group-commit leader `fdatasync` cost
+    ///   (durable stores under [`WalSync::Always`] only);
+    /// * `<prefix>.commit_batch_size` — appends released per leader sync;
+    /// * `<prefix>.seq` / `<prefix>.docs` / `<prefix>.wal_bytes` —
+    ///   derived gauges over the live store.
+    ///
+    /// Safe to call on any clone; handles are shared, so every clone's
+    /// writes land in the registry afterwards. Metric values are counts,
+    /// durations and sequence numbers — no document data.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        let put_ns = registry.histogram(&format!("{prefix}.put_ns"));
+        let fsync_ns = registry.histogram(&format!("{prefix}.wal_fsync_ns"));
+        let batch = registry.histogram_with(
+            &format!("{prefix}.commit_batch_size"),
+            Histogram::size_bounds(),
+        );
+        let mut inner = self.inner.write();
+        inner.put_ns = put_ns;
+        if let Some(d) = inner.durability.as_ref() {
+            d.wal.group().set_metrics(fsync_ns, batch);
+        }
+        drop(inner);
+        let store = self.clone();
+        registry.register_derived(&format!("{prefix}.seq"), move || store.seq() as f64);
+        let store = self.clone();
+        registry.register_derived(&format!("{prefix}.docs"), move || store.len() as f64);
+        let store = self.clone();
+        registry.register_derived(&format!("{prefix}.wal_bytes"), move || {
+            store.wal_len().unwrap_or(0) as f64
+        });
+    }
+
+    /// The WAL flush policy of a durable store, or `None` for an
+    /// in-memory store; health endpoints report it as the sync state.
+    pub fn wal_sync(&self) -> Option<WalSync> {
+        self.inner
+            .read()
+            .durability
+            .as_ref()
+            .map(|d| d.wal.sync_mode())
+    }
+
     /// Whether this store persists through a write-ahead log
     /// ([`DocStore::open`]) rather than living purely in memory.
     pub fn is_durable(&self) -> bool {
@@ -931,10 +984,13 @@ impl DocStore {
         expected_rev: Option<&Revision>,
     ) -> Result<Revision, StoreError> {
         validate_id(id)?;
+        let span_start = safeweb_obs::now_ns();
+        let trace = safeweb_obs::current_trace();
         let mut inner = self.inner.write();
         if inner.read_only {
             return Err(StoreError::ReadOnly);
         }
+        let put_ns = inner.put_ns.clone();
         let new_rev = match (inner.docs.get(id), expected_rev) {
             (None, None) => Revision::first(&body),
             (Some(current), Some(expected)) if current.rev() == expected => {
@@ -950,11 +1006,16 @@ impl DocStore {
         let doc = Document::new(id.to_string(), new_rev.clone(), labels, body);
         let next_seq = inner.seq + 1;
         let ticket = inner.persist(|| wal::encode_put(next_seq, &doc))?;
+        let labels_id = doc.labels().id().as_u32();
         inner.store_doc(doc);
         inner.record_change(id.to_string(), Some(new_rev.clone()));
         inner.maybe_snapshot();
         drop(inner);
         self.wait_durable(ticket)?;
+        // The span carries only structure: the store's name, the interned
+        // label-set id, and timing — never the document id or body.
+        put_ns.observe(safeweb_obs::now_ns().saturating_sub(span_start));
+        safeweb_obs::record_span("docstore", &self.name, trace, span_start, Some(labels_id));
         Ok(new_rev)
     }
 

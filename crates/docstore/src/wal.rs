@@ -56,6 +56,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use safeweb_json::Value;
 use safeweb_labels::LabelSet;
+use safeweb_obs::Histogram;
 
 use crate::document::{Document, Revision};
 
@@ -437,6 +438,13 @@ struct GroupState {
     /// issuing a second concurrent fsync.
     leading: bool,
     failed: Option<String>,
+    /// Leader `fdatasync` latency. Detached until
+    /// [`crate::DocStore::attach_metrics`] swaps in registry-backed
+    /// handles; observing a detached histogram is still valid, just
+    /// invisible to any ops surface.
+    fsync_ns: Histogram,
+    /// Tickets released per leader sync — the group-commit batch size.
+    batch: Histogram,
 }
 
 impl GroupCommit {
@@ -448,9 +456,19 @@ impl GroupCommit {
                 file: None,
                 leading: false,
                 failed: None,
+                fsync_ns: Histogram::new(),
+                batch: Histogram::with_bounds(Histogram::size_bounds()),
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Swaps in registry-backed histograms for fsync latency and batch
+    /// size (see [`crate::DocStore::attach_metrics`]).
+    pub(crate) fn set_metrics(&self, fsync_ns: Histogram, batch: Histogram) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.fsync_ns = fsync_ns;
+        st.batch = batch;
     }
 
     /// Records that `ticket`'s frame reached the active segment `file`.
@@ -481,14 +499,19 @@ impl GroupCommit {
             }
             st.leading = true;
             let target = st.appended;
+            let covered = target.saturating_sub(st.synced);
             let file = st.file.clone();
+            let (fsync_ns, batch) = (st.fsync_ns.clone(), st.batch.clone());
             drop(st);
             // `target >= ticket`: our append published its ticket before
             // this wait began, so the sync we lead always covers us.
+            let started = std::time::Instant::now();
             let result = match &file {
                 Some(f) => f.sync_data(),
                 None => Ok(()),
             };
+            fsync_ns.observe_ns(started.elapsed());
+            batch.observe(covered);
             st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             st.leading = false;
             match result {
@@ -620,6 +643,10 @@ impl Wal {
 
     pub(crate) fn set_sync(&mut self, sync: WalSync) {
         self.sync = sync;
+    }
+
+    pub(crate) fn sync_mode(&self) -> WalSync {
+        self.sync
     }
 
     pub(crate) fn set_segment_bytes(&mut self, bytes: u64) {

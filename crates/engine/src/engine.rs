@@ -278,6 +278,13 @@ impl Engine {
                                 } else {
                                     LabelSet::new()
                                 };
+                                // The delivery's trace becomes the ambient
+                                // scope: everything the callback publishes
+                                // inherits it, and the slow-activation
+                                // window sees which traces ran here.
+                                let trace = delivery.event.trace_id();
+                                let _scope = safeweb_obs::trace_scope(trace);
+                                let span_start = safeweb_obs::now_ns();
                                 let mut jail = Jail::new(
                                     &unit_name,
                                     initial,
@@ -287,7 +294,16 @@ impl Engine {
                                     &sink,
                                     tracking,
                                 );
-                                (callbacks[callback])(&mut jail, delivery.event.event())
+                                let result =
+                                    (callbacks[callback])(&mut jail, delivery.event.event());
+                                safeweb_obs::record_span(
+                                    "engine",
+                                    &unit_name,
+                                    trace,
+                                    span_start,
+                                    Some(delivery.event.labels().id().as_u32()),
+                                );
+                                result
                             }
                             UnitMsg::Timer { timer } => {
                                 let mut jail = Jail::new(
@@ -730,6 +746,10 @@ fn run_unit(
                 } else {
                     LabelSet::new()
                 };
+                // Same trace propagation as the scheduled path.
+                let trace = delivery.event.trace_id();
+                let _scope = safeweb_obs::trace_scope(trace);
+                let span_start = safeweb_obs::now_ns();
                 let mut jail = Jail::new(
                     &unit.name,
                     initial,
@@ -740,6 +760,13 @@ fn run_unit(
                     tracking,
                 );
                 let result = callback(&mut jail, delivery.event.event());
+                safeweb_obs::record_span(
+                    "engine",
+                    &unit.name,
+                    trace,
+                    span_start,
+                    Some(delivery.event.labels().id().as_u32()),
+                );
                 // Events the jail admitted are published even when the
                 // callback later failed — exactly as with the unbuffered
                 // sink, where they had already left the unit.

@@ -23,6 +23,7 @@ fn scheduled(workers: usize, inbox_cap: usize, burst: usize) -> EngineOptions {
             inbox_cap,
             burst,
             name: "sched-itest".to_string(),
+            ..Default::default()
         }),
         ..EngineOptions::default()
     }

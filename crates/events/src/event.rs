@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use safeweb_labels::{Label, LabelSet};
+use safeweb_obs::TraceId;
 use safeweb_selector::AttributeSource;
 
 use crate::id::EventId;
@@ -146,18 +147,12 @@ impl Event {
 
     /// Wraps this event with labels, producing a [`LabelledEvent`].
     pub fn with_labels<I: IntoIterator<Item = Label>>(self, labels: I) -> LabelledEvent {
-        LabelledEvent {
-            event: self,
-            labels: labels.into_iter().collect(),
-        }
+        LabelledEvent::new(self, labels.into_iter().collect())
     }
 
     /// Wraps this event with an existing label set.
     pub fn with_label_set(self, labels: LabelSet) -> LabelledEvent {
-        LabelledEvent {
-            event: self,
-            labels,
-        }
+        LabelledEvent::new(self, labels)
     }
 }
 
@@ -172,7 +167,7 @@ impl AttributeSource for Event {
 /// The labels are *not* part of the application-visible attribute map; they
 /// travel as a protected header (`x-safeweb-labels`) that only the
 /// middleware may write.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LabelledEvent {
     event: Event,
     // An interned handle: one pointer, `Copy`, equality by id. The broker
@@ -180,12 +175,52 @@ pub struct LabelledEvent {
     // nothing per clone (the CoW `Arc<LabelSet>` this replaced is obsolete
     // now that label sets are hash-consed).
     labels: LabelSet,
+    // The causal chain this event belongs to. Inherited from the
+    // thread's ambient trace scope at construction (a frontend request,
+    // a unit activation), or minted by the broker at first publish.
+    trace: TraceId,
 }
 
+/// Trace ids are telemetry routing, not event identity: two events that
+/// agree on content and labels are equal even if observed under
+/// different traces.
+impl PartialEq for LabelledEvent {
+    fn eq(&self, other: &LabelledEvent) -> bool {
+        self.event == other.event && self.labels == other.labels
+    }
+}
+
+impl Eq for LabelledEvent {}
+
 impl LabelledEvent {
-    /// Creates a labelled event.
+    /// Creates a labelled event, inheriting the ambient
+    /// [`trace scope`](safeweb_obs::trace_scope) of the calling thread
+    /// (unset outside any scope).
     pub fn new(event: Event, labels: LabelSet) -> LabelledEvent {
-        LabelledEvent { event, labels }
+        LabelledEvent {
+            event,
+            labels,
+            trace: safeweb_obs::current_trace(),
+        }
+    }
+
+    /// The trace this event belongs to ([`TraceId::UNSET`] if it has
+    /// not been traced yet).
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Attaches a trace id (used by the broker to mint one at first
+    /// publish for engine-originated events, and by transports to
+    /// restore the id after the wire).
+    pub fn set_trace_id(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+
+    /// Builder-style trace attachment.
+    pub fn with_trace_id(mut self, trace: TraceId) -> LabelledEvent {
+        self.trace = trace;
+        self
     }
 
     /// The underlying event.
@@ -239,7 +274,18 @@ impl LabelledEvent {
         for other in other_inputs {
             labels = labels.combine(&other.labels);
         }
-        LabelledEvent { event, labels }
+        // Causality follows the primary input: the derived event stays
+        // on this event's trace (falling back to the ambient scope).
+        let trace = if self.trace.is_set() {
+            self.trace
+        } else {
+            safeweb_obs::current_trace()
+        };
+        LabelledEvent {
+            event,
+            labels,
+            trace,
+        }
     }
 }
 

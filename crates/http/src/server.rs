@@ -98,6 +98,12 @@ impl HttpServer {
         self.reactor.queued_bytes()
     }
 
+    /// Wires the underlying reactor's connection telemetry into
+    /// `registry` under `prefix`; see [`Reactor::attach_metrics`].
+    pub fn attach_metrics(&self, registry: &safeweb_obs::MetricsRegistry, prefix: &str) {
+        self.reactor.attach_metrics(registry, prefix);
+    }
+
     /// Stops the server: no new connections, existing ones closed,
     /// in-flight handlers drained. Idempotent.
     pub fn shutdown(&mut self) {

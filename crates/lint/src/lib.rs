@@ -10,7 +10,7 @@
 //! spirit of LWeb's statically-checked label policies, this crate is
 //! the static layer that checks the enforcement layer itself.
 //!
-//! Five rules, all hard CI failures with `file:line` diagnostics:
+//! Six rules, all hard CI failures with `file:line` diagnostics:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -18,6 +18,7 @@
 //! | `declassify-registry`  | every `TrustedLiteral::declassified` / `Privilege::declassify` / sanitiser call site is enumerated in `DECLASSIFY.toml` with a justification |
 //! | `query-hygiene`        | `format!`/`+` output never flows (same function, token level) into `parse_trusted`, `select_spec`, `Selector::parse`, `records_by`, or view names |
 //! | `lock-order`           | the per-crate `Mutex`/`RwLock` acquisition graph is acyclic |
+//! | `telemetry-hygiene`    | payload/principal-derived values never flow (same function, token level) into `record_span`/`record_slow` names or registry metric names |
 //! | `test-liveness`        | every `proptest!` fn carries `#[test]`; every `*_props.rs` / `tests/*.rs` file has a live test |
 //!
 //! Exemptions go in `lint.allow.toml`; every entry needs a written
@@ -74,6 +75,7 @@ pub fn run_rules(ws: &Workspace, registry: &Registry, allow: &Allowlist) -> Repo
     findings.extend(rules::check_declassify_registry(ws, registry));
     findings.extend(rules::check_query_hygiene(ws));
     findings.extend(rules::check_lock_order(ws));
+    findings.extend(rules::check_telemetry_hygiene(ws));
     findings.extend(rules::check_test_liveness(ws));
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))

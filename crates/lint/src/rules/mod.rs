@@ -1,4 +1,4 @@
-//! The five invariant checks, plus the token-walking helpers they
+//! The six invariant checks, plus the token-walking helpers they
 //! share. Each rule is a pure function from a lexed
 //! [`Workspace`](crate::workspace::Workspace) (and optionally a policy
 //! file) to [`Finding`](crate::diag::Finding)s; `tests/rule_fixtures.rs`
@@ -9,12 +9,14 @@ use crate::lexer::Tok;
 pub mod declassify_registry;
 pub mod lock_order;
 pub mod query_hygiene;
+pub mod telemetry_hygiene;
 pub mod test_liveness;
 pub mod unsafe_confinement;
 
 pub use declassify_registry::{check_declassify_registry, Registry, RegistryEntry};
 pub use lock_order::check_lock_order;
 pub use query_hygiene::check_query_hygiene;
+pub use telemetry_hygiene::check_telemetry_hygiene;
 pub use test_liveness::check_test_liveness;
 pub use unsafe_confinement::check_unsafe_confinement;
 

@@ -19,6 +19,8 @@ const LOCK_VIOLATION: &str = include_str!("../fixtures/lock_violation.rs");
 const LOCK_CLEAN: &str = include_str!("../fixtures/lock_clean.rs");
 const LIVENESS_VIOLATION: &str = include_str!("../fixtures/liveness_violation_props.rs");
 const LIVENESS_CLEAN: &str = include_str!("../fixtures/liveness_clean_props.rs");
+const TELEMETRY_VIOLATION: &str = include_str!("../fixtures/telemetry_violation.rs");
+const TELEMETRY_CLEAN: &str = include_str!("../fixtures/telemetry_clean.rs");
 
 /// A one-file workspace at a realistic workspace-relative path.
 fn ws(rel: &str, kind: FileKind, src: &str) -> Workspace {
@@ -114,6 +116,40 @@ fn declassify_registry_catches_count_drift_and_stale_entries() {
     for f in &findings {
         assert!(f.message.contains("stale"), "{f}");
         assert_eq!(f.path, "DECLASSIFY.toml");
+    }
+}
+
+#[test]
+fn telemetry_hygiene_catches_payload_into_record_sinks() {
+    // Three seeded flows: an event attribute directly into a span
+    // name, a principal-derived string interpolated into a metric
+    // name, and document bytes into a slow-activation task name.
+    mutation_check(
+        "telemetry-hygiene",
+        3,
+        &ws(
+            "crates/netstub/src/obs.rs",
+            FileKind::Src,
+            TELEMETRY_VIOLATION,
+        ),
+        &ws("crates/netstub/src/obs.rs", FileKind::Src, TELEMETRY_CLEAN),
+    );
+
+    // Mutation: neutering the seeded flows one at a time must drop
+    // exactly one finding each — proving each detector fires
+    // independently rather than one flow masking the others.
+    for (needle, replacement) in [
+        (r#"event.attr("patient").unwrap_or("")"#, r#""unit-name""#),
+        ("web.requests.{who}", "web.requests"),
+        ("record_slow(summary, dur", r#"record_slow("storage", dur"#),
+    ] {
+        let mutated = TELEMETRY_VIOLATION.replacen(needle, replacement, 1);
+        assert_ne!(
+            mutated, TELEMETRY_VIOLATION,
+            "mutation {needle:?} must apply"
+        );
+        let findings = lint(&ws("crates/netstub/src/obs.rs", FileKind::Src, &mutated));
+        assert_eq!(findings.len(), 2, "neutering {needle:?}: {findings:?}");
     }
 }
 

@@ -1,0 +1,181 @@
+//! Property tests for the fixed-bucket histogram against a sorted-`Vec`
+//! oracle: quantiles must equal the bucket upper bound covering the true
+//! order statistic, bucket assignment must respect the boundary
+//! convention (`lo < v <= hi`), and per-writer snapshots merged together
+//! must be indistinguishable from one shared histogram.
+
+use proptest::prelude::*;
+use safeweb_obs::{Histogram, HistogramSnapshot};
+
+/// The bucket upper bound the histogram is *allowed* to report for a
+/// raw value: the smallest bound `>= v`, saturating to the last bound
+/// for overflow observations.
+fn covering_bound(bounds: &[u64], v: u64) -> u64 {
+    bounds
+        .iter()
+        .copied()
+        .find(|b| v <= *b)
+        .unwrap_or(*bounds.last().unwrap())
+}
+
+/// The oracle: sort the raw observations, take the 1-based rank
+/// `max(1, ceil(q*n))` order statistic, and map it through the bucket
+/// layout. Bucket resolution loses the exact value but must never move
+/// the statistic into a different bucket.
+fn oracle_quantile(bounds: &[u64], values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    covering_bound(bounds, sorted[rank - 1])
+}
+
+fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        Just(Histogram::latency_bounds().to_vec()),
+        Just(Histogram::size_bounds().to_vec()),
+        // Irregular layouts shake out off-by-ones the power-of-two
+        // layouts cannot (repeats removed to keep bounds strictly
+        // increasing).
+        proptest::collection::vec(1u64..10_000, 1..12).prop_map(|mut b| {
+            b.sort_unstable();
+            b.dedup();
+            b
+        }),
+    ]
+}
+
+proptest! {
+    /// Quantiles at bucket resolution equal the sorted-Vec oracle for
+    /// every q, including the tails the registry snapshots (p50, p99,
+    /// p999).
+    #[test]
+    fn quantiles_match_the_sorted_vec_oracle(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..100_000, 1..300),
+        permille in proptest::collection::vec(1u64..1001, 1..8),
+    ) {
+        let h = Histogram::with_bounds(&bounds);
+        for v in &values {
+            h.observe(*v);
+        }
+        let qs: Vec<f64> = permille.iter().map(|p| *p as f64 / 1000.0).collect();
+        for q in qs.iter().chain([0.5, 0.99, 0.999].iter()) {
+            prop_assert_eq!(
+                h.quantile(*q),
+                oracle_quantile(&bounds, &values, *q),
+                "q={} over {} values", q, values.len()
+            );
+        }
+    }
+
+    /// Boundary convention: an observation lands in bucket `i` iff
+    /// `bounds[i-1] < v <= bounds[i]`; values above the last bound land
+    /// in the overflow bucket, and a value *equal* to a bound lands at
+    /// that bound, not the next bucket up.
+    #[test]
+    fn bucket_assignment_respects_boundaries(bounds in arb_bounds(), v in 0u64..200_000) {
+        let h = Histogram::with_bounds(&bounds);
+        h.observe(v);
+        let snap = h.snapshot();
+        let idx = snap.counts.iter().position(|c| *c == 1).unwrap();
+        if idx < bounds.len() {
+            prop_assert!(v <= bounds[idx], "value above its bucket's bound");
+        } else {
+            prop_assert!(v > *bounds.last().unwrap(), "finite value in overflow");
+        }
+        if idx > 0 {
+            prop_assert!(v > bounds[idx - 1], "value belongs in an earlier bucket");
+        }
+    }
+
+    /// Exact bound values are the interesting edge: `observe(bound)`
+    /// must count under that bound (closed upper interval), so the
+    /// quantile of a bound-only stream is the bound itself.
+    #[test]
+    fn exact_bound_observations_stay_in_their_bucket(bounds in arb_bounds()) {
+        let h = Histogram::with_bounds(&bounds);
+        for b in &bounds {
+            h.observe(*b);
+        }
+        let snap = h.snapshot();
+        for (i, _) in bounds.iter().enumerate() {
+            prop_assert_eq!(snap.counts[i], 1, "one observation per finite bucket");
+        }
+        prop_assert_eq!(*snap.counts.last().unwrap(), 0, "no overflow");
+    }
+
+    /// Sharded writers: distributing the same observations over any
+    /// partition of per-writer histograms and merging the snapshots is
+    /// equivalent to one shared histogram — counts, sum and every
+    /// quantile.
+    #[test]
+    fn merged_shards_equal_one_shared_histogram(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..100_000, 1..200),
+        shards in 1usize..6,
+    ) {
+        let shared = Histogram::with_bounds(&bounds);
+        let per_shard: Vec<Histogram> =
+            (0..shards).map(|_| Histogram::with_bounds(&bounds)).collect();
+        for (i, v) in values.iter().enumerate() {
+            shared.observe(*v);
+            per_shard[i % shards].observe(*v);
+        }
+        let mut merged: HistogramSnapshot = per_shard[0].snapshot();
+        for shard in &per_shard[1..] {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(&merged, &shared.snapshot());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(merged.quantile(q), shared.quantile(q));
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by the covering bounds
+    /// of the extremes.
+    #[test]
+    fn quantiles_are_monotone(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let h = Histogram::with_bounds(&bounds);
+        for v in &values {
+            h.observe(*v);
+        }
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        prop_assert!(p50 <= p99 && p99 <= p999);
+        let min = covering_bound(&bounds, *values.iter().min().unwrap());
+        let max = covering_bound(&bounds, *values.iter().max().unwrap());
+        prop_assert!(min <= p50 && p999 <= max);
+    }
+}
+
+/// True concurrency (not just a partition): racing writers through
+/// clone handles onto one histogram lose nothing, and the result equals
+/// the same observations applied sequentially.
+#[test]
+fn concurrent_writers_lose_no_observations() {
+    let shared = Histogram::new();
+    let threads = 8;
+    let per_thread: u64 = 5_000;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let handle = shared.clone();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Spread across buckets deterministically.
+                    handle.observe((i * 997 + t * 131) % 50_000_000);
+                }
+            });
+        }
+    });
+
+    let sequential = Histogram::new();
+    for t in 0..threads {
+        for i in 0..per_thread {
+            sequential.observe((i * 997 + t * 131) % 50_000_000);
+        }
+    }
+    assert_eq!(shared.count(), threads * per_thread);
+    assert_eq!(shared.snapshot(), sequential.snapshot());
+}

@@ -37,6 +37,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use safeweb_obs::{Counter, MetricsRegistry};
+
 use crate::conn::{Command, ConnHandle, ConnShared, Outbox, ReactorShared};
 use crate::pool::WorkerPool;
 use crate::sys::{
@@ -123,6 +125,8 @@ pub struct Reactor {
     shards: Vec<Arc<ReactorShared>>,
     active: Arc<AtomicUsize>,
     queued_bytes: Arc<AtomicUsize>,
+    accepted: Counter,
+    disconnected: Counter,
     threads: Vec<JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
@@ -151,6 +155,8 @@ impl Reactor {
         let pool = WorkerPool::new(&config.name, config.workers);
         let active = Arc::new(AtomicUsize::new(0));
         let queued_bytes = Arc::new(AtomicUsize::new(0));
+        let accepted = Counter::new();
+        let disconnected = Counter::new();
         let shards: Vec<Arc<ReactorShared>> = (0..shard_count)
             .map(|_| Ok(Arc::new(ReactorShared::new(EventFd::new()?))))
             .collect::<io::Result<_>>()?;
@@ -181,6 +187,8 @@ impl Reactor {
                 read_buf: vec![0u8; 64 * 1024],
                 active: Arc::clone(&active),
                 queued_bytes: Arc::clone(&queued_bytes),
+                accepted: accepted.clone(),
+                disconnected: disconnected.clone(),
                 reaccept_at: None,
                 next_sweep: Instant::now(),
                 stopping: false,
@@ -196,9 +204,30 @@ impl Reactor {
             shards,
             active,
             queued_bytes,
+            accepted,
+            disconnected,
             threads,
             pool: Some(pool),
         })
+    }
+
+    /// Wires this reactor's telemetry into `registry` under `prefix`
+    /// (several reactors — broker frontend, HTTP frontends — can share a
+    /// registry, each with its own prefix): `<prefix>.accepted` /
+    /// `<prefix>.disconnected` counters plus derived gauges
+    /// `<prefix>.active_connections` and `<prefix>.outbox_bytes` (the
+    /// aggregate outbox depth [`Reactor::queued_bytes`] reports).
+    pub fn attach_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.accepted"), &self.accepted);
+        registry.register_counter(&format!("{prefix}.disconnected"), &self.disconnected);
+        let active = Arc::clone(&self.active);
+        registry.register_derived(&format!("{prefix}.active_connections"), move || {
+            active.load(Ordering::Relaxed) as f64
+        });
+        let queued = Arc::clone(&self.queued_bytes);
+        registry.register_derived(&format!("{prefix}.outbox_bytes"), move || {
+            queued.load(Ordering::Relaxed) as f64
+        });
     }
 
     /// The bound address.
@@ -290,6 +319,8 @@ struct Core {
     read_buf: Vec<u8>,
     active: Arc<AtomicUsize>,
     queued_bytes: Arc<AtomicUsize>,
+    accepted: Counter,
+    disconnected: Counter,
     /// When set, the listener is disarmed after an accept error until
     /// this instant.
     reaccept_at: Option<Instant>,
@@ -455,6 +486,7 @@ impl Core {
         }
         self.slots[idx].state = Some(state);
         self.active.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
     }
 
     // ---- per-connection events -----------------------------------------
@@ -541,6 +573,7 @@ impl Core {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(idx);
         self.active.fetch_sub(1, Ordering::Relaxed);
+        self.disconnected.inc();
         let _ = self.epoll.delete(state.stream.as_raw_fd());
         {
             let mut out = state.shared.out.lock().unwrap_or_else(|e| e.into_inner());

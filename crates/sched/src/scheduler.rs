@@ -7,6 +7,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use safeweb_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::inbox::{Inbox, Pushed, SendError, TrySendError};
 
@@ -26,6 +29,17 @@ pub struct SchedulerOptions {
     pub burst: usize,
     /// Thread-name prefix for the worker threads.
     pub name: String,
+    /// Registry for the scheduler's metrics (`sched.activation_ns`,
+    /// `sched.steals`, `sched.parks`, `sched.queued_messages`). `None`
+    /// keeps detached handles: everything still counts, nothing is
+    /// published to a snapshot.
+    pub metrics: Option<MetricsRegistry>,
+    /// Activations at or above this many nanoseconds are captured —
+    /// task name, duration and the trace ids processed — into the
+    /// process tracer's slow-activation buffer
+    /// ([`safeweb_obs::Tracer::slow_activations`]). `None` disables
+    /// capture (the activation histogram still records).
+    pub slow_activation_ns: Option<u64>,
 }
 
 impl Default for SchedulerOptions {
@@ -35,6 +49,38 @@ impl Default for SchedulerOptions {
             inbox_cap: 1024,
             burst: 128,
             name: "safeweb-sched".to_string(),
+            metrics: None,
+            slow_activation_ns: None,
+        }
+    }
+}
+
+/// The scheduler's metric handles (detached unless a registry was
+/// supplied in [`SchedulerOptions::metrics`]).
+#[derive(Debug, Default)]
+struct SchedMetrics {
+    activation_ns: Histogram,
+    steals: Counter,
+    parks: Counter,
+}
+
+impl SchedMetrics {
+    fn registered(
+        registry: &MetricsRegistry,
+        depth: &Arc<AtomicUsize>,
+        inbox_cap: usize,
+    ) -> SchedMetrics {
+        let depth = Arc::clone(depth);
+        registry.register_derived("sched.queued_messages", move || {
+            depth.load(Ordering::Relaxed) as f64
+        });
+        // The static cap next to the live depth, so an ops page can
+        // render "queued / cap" without knowing the builder options.
+        registry.register_derived("sched.inbox_cap", move || inbox_cap as f64);
+        SchedMetrics {
+            activation_ns: registry.histogram("sched.activation_ns"),
+            steals: registry.counter("sched.steals"),
+            parks: registry.counter("sched.parks"),
         }
     }
 }
@@ -116,6 +162,9 @@ struct Inner<M> {
     /// Messages queued across every task inbox (see [`Inbox`]); one
     /// relaxed load serves the engine/deployment stats surface.
     depth: Arc<AtomicUsize>,
+    metrics: SchedMetrics,
+    /// Slow-activation capture threshold (ns); `None` disables capture.
+    slow_ns: Option<u64>,
 }
 
 impl<M: Send + 'static> Inner<M> {
@@ -196,6 +245,9 @@ impl<M: Send + 'static> Inner<M> {
                 .pop_front()
             {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                if queue_index != index && queue_index != self.workers {
+                    self.metrics.steals.inc();
+                }
                 return Some(task);
             }
         }
@@ -209,10 +261,32 @@ impl<M: Send + 'static> Inner<M> {
         if !scratch.is_empty() {
             let mut handler = task.handler.lock().unwrap_or_else(|e| e.into_inner());
             CURRENT_TASK.with(|current| current.set(task.uid));
+            // Activation latency covers handler time only (not queueing);
+            // the capture window collects trace ids the handler scopes
+            // into, so a slow activation can name what it was processing.
+            let capture = self.slow_ns.is_some();
+            if capture {
+                safeweb_obs::begin_activation();
+            }
+            let started = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| handler(scratch)));
+            let elapsed = started.elapsed();
+            let traces = if capture {
+                safeweb_obs::end_activation()
+            } else {
+                Vec::new()
+            };
             CURRENT_TASK.with(|current| current.set(0));
             drop(handler);
             scratch.clear();
+            self.metrics.activation_ns.observe_ns(elapsed);
+            let elapsed_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if self
+                .slow_ns
+                .is_some_and(|threshold| elapsed_ns >= threshold)
+            {
+                safeweb_obs::tracer().record_slow(&task.name, elapsed_ns, traces);
+            }
             if let Err(payload) = result {
                 self.poison(task, &*payload);
             }
@@ -281,6 +355,7 @@ impl<M: Send + 'static> Inner<M> {
     /// so there is no window in which a notify can slip between the
     /// decision to sleep and the sleep itself.
     fn park(&self) {
+        self.metrics.parks.inc();
         let entry = self.parker.wakeups.load(Ordering::SeqCst);
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         {
@@ -339,6 +414,12 @@ impl<M: Send + 'static> Scheduler<M> {
             n => n,
         }
         .max(1);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let inbox_cap = options.inbox_cap.max(1);
+        let metrics = match &options.metrics {
+            Some(registry) => SchedMetrics::registered(registry, &depth, inbox_cap),
+            None => SchedMetrics::default(),
+        };
         let inner = Arc::new(Inner {
             id: NEXT_SCHED_ID.fetch_add(1, Ordering::Relaxed),
             burst: options.burst.max(1),
@@ -354,7 +435,9 @@ impl<M: Send + 'static> Scheduler<M> {
             stopping: AtomicBool::new(false),
             tasks: Mutex::new(Vec::new()),
             panics: Mutex::new(Vec::new()),
-            depth: Arc::new(AtomicUsize::new(0)),
+            depth,
+            metrics,
+            slow_ns: options.slow_activation_ns,
         });
         let threads = (0..workers)
             .map(|index| {
@@ -367,7 +450,7 @@ impl<M: Send + 'static> Scheduler<M> {
             .collect();
         Scheduler {
             inner,
-            inbox_cap: options.inbox_cap.max(1),
+            inbox_cap,
             threads: Mutex::new(threads),
         }
     }
@@ -627,6 +710,7 @@ mod tests {
             inbox_cap: 8,
             burst: 4,
             name: "sched-test".to_string(),
+            ..Default::default()
         }
     }
 

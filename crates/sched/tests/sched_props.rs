@@ -73,6 +73,7 @@ proptest! {
             inbox_cap: plan.inbox_cap,
             burst: plan.burst,
             name: "props".to_string(),
+            ..Default::default()
         });
 
         let mut probes = Vec::new();
@@ -152,6 +153,7 @@ proptest! {
             inbox_cap: plan.inbox_cap,
             burst: plan.burst,
             name: "props-poison".to_string(),
+            ..Default::default()
         });
 
         let mut logs = Vec::new();
@@ -221,6 +223,7 @@ fn shutdown_never_loses_accepted_sends() {
             inbox_cap: 4,
             burst: 2,
             name: "props-race".to_string(),
+            ..Default::default()
         });
         let processed = Arc::new(AtomicUsize::new(0));
         let senders: Vec<_> = (0..3)
@@ -273,6 +276,7 @@ fn thousands_of_tasks_on_a_handful_of_workers() {
         inbox_cap: 16,
         burst: 8,
         name: "props-scale".to_string(),
+        ..Default::default()
     });
     let total = Arc::new(AtomicUsize::new(0));
     let senders: Vec<_> = (0..2000)

@@ -5,13 +5,13 @@
 //! anything leaves the server**.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use safeweb_docstore::DocStore;
 use safeweb_http::{Method, Request, Response};
 use safeweb_labels::PrivilegeSet;
+use safeweb_obs::{record_span, trace_scope, Counter, Histogram, MetricsRegistry, TraceId};
 use safeweb_relstore::{CellValue, Database, Row};
 use safeweb_taint::{SStr, SValue};
 
@@ -189,60 +189,67 @@ impl Default for FrontendOptions {
 
 /// Cumulative per-phase timing counters (nanoseconds), reproducing the
 /// Figure 5 frontend breakdown.
+///
+/// A thin view over [`safeweb_obs`] counters: each field is a shared
+/// handle, so [`SafeWebApp::attach_metrics`] can surface the same
+/// counters in a [`MetricsRegistry`] without double counting. Counter
+/// increments are relaxed; the accessors read with acquire ordering, so
+/// a reader observing one phase's total also observes every increment
+/// that preceded it.
 #[derive(Debug, Default)]
 pub struct FrontendStats {
-    requests: AtomicU64,
-    auth_ns: AtomicU64,
-    privilege_fetch_ns: AtomicU64,
-    handler_ns: AtomicU64,
-    label_check_ns: AtomicU64,
-    denied: AtomicU64,
-    render_cache_hits: AtomicU64,
-    render_cache_misses: AtomicU64,
+    requests: Counter,
+    auth_ns: Counter,
+    privilege_fetch_ns: Counter,
+    handler_ns: Counter,
+    label_check_ns: Counter,
+    denied: Counter,
+    render_cache_hits: Counter,
+    render_cache_misses: Counter,
 }
 
 impl FrontendStats {
     /// Requests served (after routing).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Total time verifying passwords.
     pub fn auth_ns(&self) -> u64 {
-        self.auth_ns.load(Ordering::Relaxed)
+        self.auth_ns.get()
     }
 
     /// Total time fetching users/privileges from the web database.
     pub fn privilege_fetch_ns(&self) -> u64 {
-        self.privilege_fetch_ns.load(Ordering::Relaxed)
+        self.privilege_fetch_ns.get()
     }
 
     /// Total time in route handlers (template rendering etc.).
     pub fn handler_ns(&self) -> u64 {
-        self.handler_ns.load(Ordering::Relaxed)
+        self.handler_ns.get()
     }
 
     /// Total time checking response labels.
     pub fn label_check_ns(&self) -> u64 {
-        self.label_check_ns.load(Ordering::Relaxed)
+        self.label_check_ns.get()
     }
 
     /// Responses aborted by the label check — each one is a contained
     /// policy violation.
     pub fn denied(&self) -> u64 {
-        self.denied.load(Ordering::Relaxed)
+        self.denied.get()
     }
 
     /// Requests on cacheable routes served from the per-clearance render
     /// cache (no handler run, no re-check).
     pub fn render_cache_hits(&self) -> u64 {
-        self.render_cache_hits.load(Ordering::Relaxed)
+        self.render_cache_hits.get()
     }
 
     /// Requests on cacheable routes that had to render (cold entry, store
     /// advanced, or evicted).
     pub fn render_cache_misses(&self) -> u64 {
-        self.render_cache_misses.load(Ordering::Relaxed)
+        self.render_cache_misses.get()
     }
 }
 
@@ -255,6 +262,12 @@ pub struct SafeWebApp {
     /// Parallel to `handlers`: whether the route opted into the
     /// per-clearance render cache via [`SafeWebApp::get_cached`].
     cacheable: Vec<bool>,
+    /// Parallel to `handlers`: end-to-end request latency per route.
+    route_ns: Vec<Histogram>,
+    /// Parallel to `handlers`: the metric-safe route name ("get
+    /// /records/:mid") — the author-written pattern, never the concrete
+    /// request path, so parameter values cannot leak into span names.
+    route_names: Vec<String>,
     users: UserStore,
     records: DocStore,
     options: FrontendOptions,
@@ -271,6 +284,8 @@ impl SafeWebApp {
             router: Router::new(),
             handlers: Vec::new(),
             cacheable: Vec::new(),
+            route_ns: Vec::new(),
+            route_names: Vec::new(),
             users,
             records,
             options: FrontendOptions::default(),
@@ -351,6 +366,13 @@ impl SafeWebApp {
         let idx = self.handlers.len();
         self.handlers.push(Arc::new(handler));
         self.cacheable.push(false);
+        self.route_ns.push(Histogram::new());
+        let verb = match method {
+            Method::Get => "get",
+            Method::Post => "post",
+            _ => "other",
+        };
+        self.route_names.push(format!("{verb} {pattern}"));
         self.router.add(method, pattern, idx);
     }
 
@@ -359,15 +381,88 @@ impl SafeWebApp {
         Arc::clone(&self.stats)
     }
 
+    /// Wires the frontend's telemetry into `registry`: the Figure 5
+    /// phase counters (`web.requests`, `web.auth_ns`,
+    /// `web.privilege_fetch_ns`, `web.handler_ns`, `web.label_check_ns`,
+    /// `web.denied`), one `web.route_ns.<name>` latency histogram per
+    /// registered route (named by the author-written pattern), and —
+    /// only when render caching is enabled — the cache counters plus a
+    /// derived `web.render_cache.hit_rate` gauge. A cache-disabled
+    /// frontend registers *no* cache metrics, so its snapshots cannot
+    /// report stale zeros as live cache behaviour.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter("web.requests", &self.stats.requests);
+        registry.register_counter("web.auth_ns", &self.stats.auth_ns);
+        registry.register_counter("web.privilege_fetch_ns", &self.stats.privilege_fetch_ns);
+        registry.register_counter("web.handler_ns", &self.stats.handler_ns);
+        registry.register_counter("web.label_check_ns", &self.stats.label_check_ns);
+        registry.register_counter("web.denied", &self.stats.denied);
+        for (name, histogram) in self.route_names.iter().zip(&self.route_ns) {
+            registry.register_histogram(&format!("web.route_ns.{name}"), histogram);
+        }
+        if self.options.render_caching {
+            let hits = self.stats.render_cache_hits.clone();
+            let misses = self.stats.render_cache_misses.clone();
+            registry.register_counter("web.render_cache.hits", &hits);
+            registry.register_counter("web.render_cache.misses", &misses);
+            registry.register_derived("web.render_cache.hit_rate", move || {
+                // Read misses before hits: a racing request bumps hits
+                // only after its miss, so the ratio can understate but
+                // never exceed 1.
+                let m = misses.get();
+                let h = hits.get();
+                let total = h + m;
+                if total == 0 {
+                    0.0
+                } else {
+                    h as f64 / total as f64
+                }
+            });
+        } else {
+            registry.unregister("web.render_cache.hits");
+            registry.unregister("web.render_cache.misses");
+            registry.unregister("web.render_cache.hit_rate");
+        }
+    }
+
     /// Serves one request through the full middleware pipeline
     /// (Figure 3 steps 1–4).
+    ///
+    /// Every routed request is traced: a fresh [`TraceId`] becomes the
+    /// ambient scope for the handler (so events it publishes and
+    /// documents it writes inherit it), a `frontend` span named by the
+    /// route *pattern* is recorded, and the id is echoed back in the
+    /// `x-safeweb-trace` response header for `/__obs/trace/:id` lookups.
     pub fn handle(&self, request: &Request) -> Response {
         // Route first: unknown paths 404 without burning auth time.
         let Some((handler_idx, params)) = self.router.route(request.method(), request.path())
         else {
             return Response::new(404).with_body("not found");
         };
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let trace = TraceId::mint();
+        let _scope = trace_scope(trace);
+        let span_start = safeweb_obs::now_ns();
+        let response = self.serve(handler_idx, params, request);
+        self.route_ns[handler_idx].observe(safeweb_obs::now_ns().saturating_sub(span_start));
+        record_span(
+            "frontend",
+            &self.route_names[handler_idx],
+            trace,
+            span_start,
+            None,
+        );
+        response.with_header("x-safeweb-trace", trace.to_string())
+    }
+
+    /// The middleware pipeline proper, running under the request's trace
+    /// scope.
+    fn serve(
+        &self,
+        handler_idx: usize,
+        params: BTreeMap<String, String>,
+        request: &Request,
+    ) -> Response {
+        self.stats.requests.inc();
 
         // Step 1: authenticate and fetch privileges.
         let Some((username, password)) = request.basic_auth() else {
@@ -379,13 +474,13 @@ impl SafeWebApp {
         let row = (self.auth_lookup)(self.users.database(), &username);
         self.stats
             .privilege_fetch_ns
-            .fetch_add(fetch_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .add(fetch_start.elapsed().as_nanos() as u64);
 
         let auth_start = Instant::now();
         let user = row.and_then(|row| self.users.verify_row(&row, &password));
         self.stats
             .auth_ns
-            .fetch_add(auth_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .add(auth_start.elapsed().as_nanos() as u64);
         let Some(user) = user else {
             return Response::new(401)
                 .with_header("www-authenticate", "Basic realm=\"SafeWeb\"")
@@ -418,14 +513,12 @@ impl SafeWebApp {
                 self.render_cache
                     .get(handler_idx, &path_query, user.privileges.id(), seq)
             {
-                self.stats.render_cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.render_cache_hits.inc();
                 return Response::new(page.status)
                     .with_header("content-type", page.content_type)
                     .with_body(page.body);
             }
-            self.stats
-                .render_cache_misses
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats.render_cache_misses.inc();
         }
 
         // Steps 2–3: run the handler over labelled data.
@@ -439,25 +532,25 @@ impl SafeWebApp {
         let sresponse = (self.handlers[handler_idx])(&ctx);
         self.stats
             .handler_ns
-            .fetch_add(handler_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .add(handler_start.elapsed().as_nanos() as u64);
 
         // Step 4: the label check at the boundary.
         let check_start = Instant::now();
         let released = if self.options.label_checking {
             if sresponse.body.is_user_tainted() {
-                self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                self.stats.denied.inc();
                 self.stats
                     .label_check_ns
-                    .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    .add(check_start.elapsed().as_nanos() as u64);
                 return Response::new(500).with_body("response contains unsanitised user input");
             }
             match sresponse.body.check_release(&user.privileges) {
                 Ok(s) => s.to_string(),
                 Err(e) => {
-                    self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                    self.stats.denied.inc();
                     self.stats
                         .label_check_ns
-                        .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .add(check_start.elapsed().as_nanos() as u64);
                     // The error page must not leak which labels blocked.
                     let _ = e;
                     return Response::new(403).with_body("access denied by security policy");
@@ -468,7 +561,7 @@ impl SafeWebApp {
         };
         self.stats
             .label_check_ns
-            .fetch_add(check_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .add(check_start.elapsed().as_nanos() as u64);
 
         // Cache only fully released 200s, keyed by the exact clearance the
         // label check just ran against.
@@ -737,6 +830,62 @@ mod tests {
         let stats = app.stats();
         assert_eq!(stats.render_cache_hits(), 0);
         assert_eq!(stats.render_cache_misses(), 0);
+    }
+
+    #[test]
+    fn cache_disabled_frontend_registers_no_cache_metrics() {
+        let (app, _) = setup_cached();
+        let app = app.with_options(FrontendOptions {
+            render_caching: false,
+            ..Default::default()
+        });
+        let registry = MetricsRegistry::new();
+        app.attach_metrics(&registry);
+        app.handle(&req("/records/a", "mdt_a"));
+        let names = registry.names();
+        assert!(
+            names.iter().all(|n| !n.contains("render_cache")),
+            "cache-disabled frontend must expose no cache metrics: {names:?}"
+        );
+        // The rest of the surface is still there.
+        assert!(names.iter().any(|n| n == "web.requests"));
+        assert_eq!(
+            registry.snapshot().get("web.requests").unwrap().as_i64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn cache_enabled_frontend_reports_hit_rate() {
+        let (app, _) = setup_cached();
+        let registry = MetricsRegistry::new();
+        app.attach_metrics(&registry);
+        app.handle(&req("/records/a", "mdt_a")); // miss
+        app.handle(&req("/records/a", "mdt_a")); // hit
+        app.handle(&req("/records/a", "mdt_a")); // hit
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("web.render_cache.misses").unwrap().as_i64(),
+            Some(1)
+        );
+        assert_eq!(snap.get("web.render_cache.hits").unwrap().as_i64(), Some(2));
+        let rate = snap
+            .get("web.render_cache.hit_rate")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9, "hit rate {rate}");
+    }
+
+    #[test]
+    fn responses_carry_the_trace_header() {
+        let (app, _) = setup();
+        let resp = app.handle(&req("/records/a", "mdt_a"));
+        let id = resp.headers().get("x-safeweb-trace").expect("trace header");
+        assert!(id.parse::<TraceId>().is_ok(), "unparseable trace id {id}");
+        // Untraceable requests (no route) carry none.
+        let resp = app.handle(&Request::new(Method::Get, "/nowhere"));
+        assert!(resp.headers().get("x-safeweb-trace").is_none());
     }
 
     #[test]
